@@ -1,0 +1,84 @@
+//! Criterion benches for the deployment pipeline (paper Fig. 12 / §5.1.1):
+//! parsing, type checking, and the CoSplit sharding analysis per contract.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cosplit_analysis::solver::AnalyzedContract;
+use scilla::corpus;
+
+/// The five §5.2 evaluation contracts plus representative small/large ones.
+const CONTRACTS: &[&str] = &[
+    "FungibleToken",
+    "Crowdfunding",
+    "NonfungibleToken",
+    "ProofIPFS",
+    "UD_registry",
+    "XSGD",
+    "HelloWorld",
+];
+
+fn bench_pipeline(c: &mut Criterion) {
+    let mut parse = c.benchmark_group("parse");
+    for name in CONTRACTS {
+        let src = corpus::get(name).unwrap().source;
+        parse.bench_with_input(BenchmarkId::from_parameter(name), &src, |b, src| {
+            b.iter(|| scilla::parser::parse_module(src).unwrap())
+        });
+    }
+    parse.finish();
+
+    let mut typecheck = c.benchmark_group("typecheck");
+    for name in CONTRACTS {
+        let src = corpus::get(name).unwrap().source;
+        let module = scilla::parser::parse_module(src).unwrap();
+        typecheck.bench_with_input(BenchmarkId::from_parameter(name), &module, |b, m| {
+            b.iter(|| scilla::typechecker::typecheck(m.clone()).unwrap())
+        });
+    }
+    typecheck.finish();
+
+    let mut analysis = c.benchmark_group("sharding-analysis");
+    for name in CONTRACTS {
+        let src = corpus::get(name).unwrap().source;
+        let checked =
+            scilla::typechecker::typecheck(scilla::parser::parse_module(src).unwrap()).unwrap();
+        analysis.bench_with_input(BenchmarkId::from_parameter(name), &checked, |b, checked| {
+            b.iter(|| AnalyzedContract::analyze(checked))
+        });
+    }
+    analysis.finish();
+}
+
+fn bench_signature_query(c: &mut Criterion) {
+    use cosplit_analysis::signature::WeakReads;
+    let checked = scilla::typechecker::typecheck(
+        scilla::parser::parse_module(corpus::get("FungibleToken").unwrap().source).unwrap(),
+    )
+    .unwrap();
+    let analyzed = AnalyzedContract::analyze(&checked);
+    let selection: Vec<String> =
+        ["Mint", "Transfer", "TransferFrom"].iter().map(|s| s.to_string()).collect();
+    c.bench_function("signature-query/FungibleToken", |b| {
+        b.iter(|| analyzed.query(&selection, &WeakReads::AcceptAll))
+    });
+}
+
+fn bench_ge_enumeration(c: &mut Criterion) {
+    use cosplit_analysis::ge::ge_stats;
+    let mut group = c.benchmark_group("ge-enumeration");
+    group.sample_size(10);
+    // Exponential in #transitions: NFT (2⁵) vs UD registry (2¹¹).
+    for name in ["NonfungibleToken", "UD_registry"] {
+        let checked = scilla::typechecker::typecheck(
+            scilla::parser::parse_module(corpus::get(name).unwrap().source).unwrap(),
+        )
+        .unwrap();
+        let analyzed = AnalyzedContract::analyze(&checked);
+        group.bench_with_input(BenchmarkId::from_parameter(name), &analyzed, |b, a| {
+            b.iter(|| ge_stats(a))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pipeline, bench_signature_query, bench_ge_enumeration);
+criterion_main!(benches);

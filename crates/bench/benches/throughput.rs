@@ -1,0 +1,82 @@
+//! Criterion benches for sharded epoch execution (paper Fig. 14's engine):
+//! wall-clock cost of one epoch at different shard counts, plus interpreter
+//! throughput on token transfers.
+
+use chain::network::ChainConfig;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use workloads::runner::prepare_with;
+use workloads::scenarios::{build, Kind};
+
+fn bench_epoch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("epoch/ft-transfer");
+    group.sample_size(10);
+    for shards in [1u32, 3, 5] {
+        let scenario = build(Kind::FtTransfer, 100, 2_000, 5);
+        group.throughput(Throughput::Elements(scenario.load.len() as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(shards), &shards, |b, &shards| {
+            b.iter_batched(
+                || {
+                    let mut config = ChainConfig::evaluation(shards, true);
+                    config.shard_gas_limit = u64::MAX / 4;
+                    config.ds_gas_limit = u64::MAX / 4;
+                    (prepare_with(&scenario, config), scenario.load.clone())
+                },
+                |(mut net, mut pool)| {
+                    net.run_epoch(&mut pool);
+                    net
+                },
+                criterion::BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn bench_interpreter(c: &mut Criterion) {
+    use scilla::gas::GasMeter;
+    use scilla::interpreter::TransitionContext;
+    use scilla::state::InMemoryState;
+    use scilla::value::Value;
+
+    let compiled = scilla::compile_str(scilla::corpus::get("FungibleToken").unwrap().source).unwrap();
+    let params = vec![
+        ("contract_owner".to_string(), Value::address([9; 20])),
+        ("name".to_string(), Value::Str("T".into())),
+        ("symbol".to_string(), Value::Str("T".into())),
+        ("init_supply".to_string(), Value::Uint(128, 0)),
+    ];
+    let mut state = InMemoryState::from_fields(compiled.init_fields(&params).unwrap());
+    // Seed a balance so transfers succeed.
+    let ctx = TransitionContext { sender: [9; 20], ..TransitionContext::zeroed() };
+    let mut gas = GasMeter::unlimited();
+    compiled
+        .execute(
+            &mut state,
+            "Mint",
+            &[("to".into(), Value::address([1; 20])), ("amount".into(), Value::Uint(128, u64::MAX as u128))],
+            &params,
+            &ctx,
+            &mut gas,
+        )
+        .unwrap();
+
+    c.bench_function("interpreter/ft-transfer", |b| {
+        let ctx = TransitionContext { sender: [1; 20], ..TransitionContext::zeroed() };
+        b.iter(|| {
+            let mut gas = GasMeter::new(100_000);
+            compiled
+                .execute(
+                    &mut state,
+                    "Transfer",
+                    &[("to".into(), Value::address([2; 20])), ("amount".into(), Value::Uint(128, 1))],
+                    &params,
+                    &ctx,
+                    &mut gas,
+                )
+                .unwrap()
+        })
+    });
+}
+
+criterion_group!(benches, bench_epoch, bench_interpreter);
+criterion_main!(benches);

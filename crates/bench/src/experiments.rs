@@ -1,0 +1,514 @@
+//! Experiment runners: one function per paper table/figure.
+//!
+//! Each returns structured data; the `paper` binary renders it, the
+//! criterion benches time the hot paths, and integration tests assert the
+//! shapes (who wins, by roughly what factor).
+
+use chain::delta::StateDelta;
+use chain::dispatch::{dispatch, Decision};
+use chain::network::ChainConfig;
+use chain::state::GlobalState;
+use chain::tx::Transaction;
+use cosplit_analysis::ge::{ge_stats, GeStats};
+use cosplit_analysis::signature::ShardingSignature;
+use cosplit_analysis::solver::AnalyzedContract;
+use scilla::corpus;
+use scilla::typechecker::CheckedModule;
+use std::time::{Duration, Instant};
+
+/// Parses and type-checks a corpus contract (helper shared by experiments).
+pub fn check_contract(name: &str) -> CheckedModule {
+    let entry = corpus::get(name).unwrap_or_else(|| panic!("unknown corpus contract {name}"));
+    let module = scilla::parser::parse_module(entry.source).expect("corpus parses");
+    scilla::typechecker::typecheck(module).expect("corpus typechecks")
+}
+
+// ---------------------------------------------------------------- Fig. 12
+
+/// Per-contract deployment-pipeline timings (paper Fig. 12).
+#[derive(Debug, Clone)]
+pub struct PipelineTiming {
+    /// Contract name.
+    pub name: &'static str,
+    /// Lines of Scilla source.
+    pub loc: usize,
+    /// Parsing time.
+    pub parse: Duration,
+    /// Type checking time.
+    pub typecheck: Duration,
+    /// Sharding analysis time.
+    pub analysis: Duration,
+}
+
+impl PipelineTiming {
+    /// Total pipeline time.
+    pub fn total(&self) -> Duration {
+        self.parse + self.typecheck + self.analysis
+    }
+}
+
+/// Runs the deployment pipeline `reps` times per mainnet-sample contract,
+/// averaging the per-stage times (the paper averages 1000 runs).
+pub fn fig12_pipeline_timings(reps: u32) -> Vec<PipelineTiming> {
+    let mut out = Vec::new();
+    for entry in corpus::mainnet_sample() {
+        let mut parse = Duration::ZERO;
+        let mut typecheck = Duration::ZERO;
+        let mut analysis = Duration::ZERO;
+        for _ in 0..reps {
+            let t0 = Instant::now();
+            let module = scilla::parser::parse_module(entry.source).expect("parses");
+            parse += t0.elapsed();
+            let t0 = Instant::now();
+            let checked = scilla::typechecker::typecheck(module).expect("typechecks");
+            typecheck += t0.elapsed();
+            let t0 = Instant::now();
+            let _ = AnalyzedContract::analyze(&checked);
+            analysis += t0.elapsed();
+        }
+        out.push(PipelineTiming {
+            name: entry.name,
+            loc: entry.source.lines().count(),
+            parse: parse / reps,
+            typecheck: typecheck / reps,
+            analysis: analysis / reps,
+        });
+    }
+    // The paper orders the chart by decreasing total time.
+    out.sort_by_key(|t| std::cmp::Reverse(t.total()));
+    out
+}
+
+/// The §5.1.1 headline: analysis overhead as a share of total deployment
+/// time, aggregated over the whole sample (the paper reports ≈46%).
+pub fn analysis_overhead_pct(timings: &[PipelineTiming]) -> f64 {
+    let analysis: f64 = timings.iter().map(|t| t.analysis.as_secs_f64()).sum();
+    let total: f64 = timings.iter().map(|t| t.total().as_secs_f64()).sum();
+    100.0 * analysis / total
+}
+
+// ---------------------------------------------------------------- Fig. 13
+
+/// GE statistics for one contract (paper Fig. 13a/b).
+#[derive(Debug, Clone)]
+pub struct GeRow {
+    /// Contract name.
+    pub name: &'static str,
+    /// The statistics.
+    pub stats: GeStats,
+}
+
+/// Computes good-enough signature statistics for every mainnet-sample
+/// contract (paper Fig. 13). Exponential in the transition count — the
+/// paper notes deployers do this offline.
+pub fn fig13_ge_statistics() -> Vec<GeRow> {
+    corpus::mainnet_sample()
+        .map(|entry| {
+            let analyzed = AnalyzedContract::analyze(&check_contract(entry.name));
+            GeRow { name: entry.name, stats: ge_stats(&analyzed) }
+        })
+        .collect()
+}
+
+// --------------------------------------------------------------- Table §5.2
+
+/// One row of the §5.2 contract table.
+#[derive(Debug, Clone)]
+pub struct Table52Row {
+    /// Contract name.
+    pub name: &'static str,
+    /// Lines of source.
+    pub loc: usize,
+    /// Number of transitions.
+    pub transitions: usize,
+    /// Largest good-enough signature.
+    pub largest_ges: usize,
+    /// Number of maximal good-enough signatures.
+    pub max_ges: usize,
+}
+
+/// The §5.2 evaluation-contract table.
+pub fn table52() -> Vec<Table52Row> {
+    corpus::evaluation_contracts()
+        .iter()
+        .map(|entry| {
+            let checked = check_contract(entry.name);
+            let analyzed = AnalyzedContract::analyze(&checked);
+            let stats = ge_stats(&analyzed);
+            Table52Row {
+                name: entry.name,
+                loc: entry.source.lines().count(),
+                transitions: stats.transitions,
+                largest_ges: stats.largest,
+                max_ges: stats.maximal_count,
+            }
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------- Fig. 14
+
+/// One workload's TPS series (paper Fig. 14 bars).
+#[derive(Debug, Clone)]
+pub struct Fig14Row {
+    /// Workload label.
+    pub label: &'static str,
+    /// Baseline with 3 shards.
+    pub baseline3: f64,
+    /// CoSplit with 3, 4, 5 shards.
+    pub cosplit: [f64; 3],
+}
+
+/// Runs the full Fig. 14 grid. `epochs` sustained epochs per cell (the
+/// paper uses 10); `scale` shrinks the calibrated gas budgets for quicker
+/// runs (1 = paper scale).
+pub fn fig14_throughput(epochs: usize, users: u64, scale: u64) -> Vec<Fig14Row> {
+    use workloads::runner::run_with;
+    use workloads::scenarios::{build, Kind};
+
+    let config = |shards: u32, cosplit: bool| {
+        let mut c = ChainConfig::evaluation(shards, cosplit);
+        c.shard_gas_limit /= scale;
+        c.ds_gas_limit /= scale;
+        c
+    };
+    Kind::all()
+        .iter()
+        .map(|&kind| {
+            // Over-supply load so gas budgets are the binding constraint:
+            // 5 shards × capacity × epochs, plus slack.
+            let capacity_per_epoch = (ChainConfig::evaluation(5, true).shard_gas_limit / scale / 200) as usize;
+            let load = capacity_per_epoch * 6 * epochs;
+            let scenario = build(kind, users, load, 0xC0517);
+            let tps = |shards: u32, cosplit: bool| {
+                run_with(&scenario, config(shards, cosplit), epochs).tps()
+            };
+            Fig14Row {
+                label: kind.label(),
+                baseline3: tps(3, false),
+                cosplit: [tps(3, true), tps(4, true), tps(5, true)],
+            }
+        })
+        .collect()
+}
+
+// -------------------------------------------------------------- §5.2.2
+
+/// The dispatch/merge overhead measurements of §5.2.2.
+#[derive(Debug, Clone)]
+pub struct Overheads {
+    /// Mean baseline dispatch time (no signature).
+    pub dispatch_baseline: Duration,
+    /// Mean CoSplit dispatch time including the JSON-RPC-style signature
+    /// round-trip (the serialisation the paper blames for its 60× factor).
+    pub dispatch_cosplit: Duration,
+    /// Mean per-component time to apply a delta directly.
+    pub merge_baseline: Duration,
+    /// Mean per-component time to wire-encode, merge, and apply deltas.
+    pub merge_cosplit: Duration,
+}
+
+/// Builds a ready-to-measure dispatch workload: a prepared network and a
+/// batch of transfer transactions.
+pub fn dispatch_fixture(users: u64, txs: usize) -> (GlobalState, Vec<Transaction>, GlobalState) {
+    use workloads::runner::prepare;
+    use workloads::scenarios::{build, Kind};
+    let scenario = build(Kind::FtTransfer, users, txs, 7);
+    let with_sig = prepare(&scenario, 3, true);
+    let without_sig = prepare(&scenario, 3, false);
+    (with_sig.state().clone(), scenario.load, without_sig.state().clone())
+}
+
+/// Dispatches through the JSON wire boundary: the signature travels to the
+/// lookup node serialised, as in the paper's CoSplit↔Zilliqa integration.
+pub fn dispatch_via_wire(tx: &Transaction, state: &GlobalState, num_shards: u32) -> Decision {
+    if let chain::tx::TxKind::Call { contract, .. } = &tx.kind {
+        if let Some(deployed) = state.contracts.get(contract) {
+            if let Some(sig) = &deployed.signature {
+                // Round-trip the signature through its wire form.
+                let json = sig.to_json();
+                let _decoded: ShardingSignature =
+                    ShardingSignature::from_json(&json).expect("wire roundtrip");
+            }
+        }
+    }
+    dispatch(tx, state, num_shards, true)
+}
+
+/// Measures the §5.2.2 overheads over a transfer workload.
+pub fn measure_overheads(users: u64, txs: usize) -> Overheads {
+    let (state_sig, load, state_plain) = dispatch_fixture(users, txs);
+
+    let t0 = Instant::now();
+    for tx in &load {
+        std::hint::black_box(dispatch(tx, &state_plain, 3, true));
+    }
+    let dispatch_baseline = t0.elapsed() / load.len() as u32;
+
+    let t0 = Instant::now();
+    for tx in &load {
+        std::hint::black_box(dispatch_via_wire(tx, &state_sig, 3));
+    }
+    let dispatch_cosplit = t0.elapsed() / load.len() as u32;
+
+    // Merge: produce real deltas by running one epoch on each config.
+    let deltas = epoch_deltas(&state_sig, &load);
+    let components: usize = deltas.iter().map(StateDelta::changed_components).sum();
+
+    let mut base_state = state_plain.clone();
+    let merged = StateDelta::merge(deltas.clone()).expect("merges");
+    let t0 = Instant::now();
+    merged.apply(&mut base_state).expect("applies");
+    let merge_baseline = t0.elapsed() / components.max(1) as u32;
+
+    let mut cosplit_state = state_sig.clone();
+    let t0 = Instant::now();
+    // Wire-encode each shard's delta (MicroBlock → DS), then merge + apply.
+    for d in &deltas {
+        std::hint::black_box(d.to_wire());
+    }
+    let merged = StateDelta::merge(deltas).expect("merges");
+    std::hint::black_box(merged.to_wire());
+    merged.apply(&mut cosplit_state).expect("applies");
+    let merge_cosplit = t0.elapsed() / components.max(1) as u32;
+
+    Overheads { dispatch_baseline, dispatch_cosplit, merge_baseline, merge_cosplit }
+}
+
+/// Runs one epoch's shard executions over `load` and returns the per-shard
+/// deltas (without applying them).
+pub fn epoch_deltas(state: &GlobalState, load: &[Transaction]) -> Vec<StateDelta> {
+    use chain::dispatch::Assignment;
+    use chain::executor::{execute_batch, ExecutorConfig};
+    let num_shards = 3;
+    let mut batches: Vec<Vec<Transaction>> = (0..num_shards).map(|_| Vec::new()).collect();
+    for tx in load {
+        if let Assignment::Shard(s) = dispatch(tx, state, num_shards, true).assignment {
+            batches[s as usize].push(tx.clone());
+        }
+    }
+    batches
+        .into_iter()
+        .enumerate()
+        .map(|(s, batch)| {
+            let cfg = ExecutorConfig {
+                role: Assignment::Shard(s as u32),
+                num_shards,
+                gas_limit: u64::MAX,
+                block_number: 10,
+                use_cosplit: true,
+                overflow_guard: false,
+                allow_contract_msgs: false,
+            };
+            execute_batch(&cfg, state, batch).delta
+        })
+        .collect()
+}
+
+// -------------------------------------------------------------- §5.2.3
+
+/// Strategy attribution for one workload (paper §5.2.3): which of the two
+/// sharding strategies each measured transaction relied on. A transaction
+/// *uses ownership* when its constraints pin state components to the
+/// executing shard (Strategy 1), and *uses commutativity* when it writes
+/// fields whose join is `IntMerge` (Strategy 2) — many use both.
+#[derive(Debug, Clone)]
+pub struct StrategyRow {
+    /// Workload label.
+    pub label: &'static str,
+    /// Shard-executed transactions relying on disjoint state ownership.
+    pub uses_ownership: usize,
+    /// Shard-executed transactions relying on commutative (IntMerge) writes.
+    pub uses_commutativity: usize,
+    /// Shard-executed transactions with *no* ownership constraints at all
+    /// (pure commutative footprint, freely spreadable).
+    pub unconstrained: usize,
+    /// Routed to the DS committee.
+    pub ds: usize,
+}
+
+/// Computes the ownership-vs-commutativity breakdown for all workloads.
+pub fn strategies(users: u64, txs: usize) -> Vec<StrategyRow> {
+    use chain::dispatch::Assignment;
+    use chain::tx::TxKind;
+    use cosplit_analysis::signature::{Constraint, Join};
+    use workloads::runner::prepare;
+    use workloads::scenarios::{build, Kind};
+    Kind::all()
+        .iter()
+        .map(|&kind| {
+            let scenario = build(kind, users, txs, 3);
+            let net = prepare(&scenario, 3, true);
+            // The analysis metadata for the deployed contract: which fields
+            // merge commutatively, and which transitions write them.
+            let analyzed = AnalyzedContract::analyze(&check_contract(scenario.corpus_name));
+            let mut row = StrategyRow {
+                label: kind.label(),
+                uses_ownership: 0,
+                uses_commutativity: 0,
+                unconstrained: 0,
+                ds: 0,
+            };
+            for tx in &scenario.load {
+                let d = dispatch(tx, net.state(), 3, true);
+                if d.assignment == Assignment::Ds {
+                    row.ds += 1;
+                    continue;
+                }
+                let TxKind::Call { contract, transition, .. } = &tx.kind else { continue };
+                let deployed = &net.state().contracts[contract];
+                let sig = deployed.signature.as_ref().expect("cosplit deployment");
+                let tc = sig.transition(transition).expect("selected transition");
+                let owns = tc.constraints.iter().any(|c| matches!(c, Constraint::Owns(_)));
+                if owns {
+                    row.uses_ownership += 1;
+                } else {
+                    row.unconstrained += 1;
+                }
+                let summary = analyzed.summary(transition).expect("transition summary");
+                let merges = summary
+                    .writes()
+                    .any(|(pf, _)| sig.joins.get(&pf.field) == Some(&Join::IntMerge));
+                if merges {
+                    row.uses_commutativity += 1;
+                }
+            }
+            row
+        })
+        .collect()
+}
+
+// -------------------------------------------------------------- Ablations
+
+/// One workload's TPS under ablated protocol features (DESIGN.md: ablation
+/// benches for the design choices).
+#[derive(Debug, Clone)]
+pub struct AblationRow {
+    /// Workload label.
+    pub label: &'static str,
+    /// Full system: CoSplit + relaxed nonces + IntMerge.
+    pub full: f64,
+    /// §4.2.1 ablated: strict gap-free nonce ordering.
+    pub strict_nonces: f64,
+    /// Strategy 2 ablated: weak reads declined, every join OwnOverwrite.
+    pub ownership_only: f64,
+    /// Both strategies off: the §4.1 baseline.
+    pub baseline: f64,
+}
+
+/// Runs the ablation grid for the two workloads the paper singles out:
+/// NFT mint (whose linear scaling "is only possible because of the changes
+/// to the account-based model" of §4.2) and FT transfer (whose recipient
+/// updates need commutativity).
+pub fn ablation(shards: u32, users: u64, epochs: usize, scale: u64) -> Vec<AblationRow> {
+    use workloads::runner::run_with;
+    use workloads::scenarios::{build, Kind};
+
+    let base_config = |cosplit: bool| {
+        let mut c = ChainConfig::evaluation(shards, cosplit);
+        c.shard_gas_limit /= scale;
+        c.ds_gas_limit /= scale;
+        c
+    };
+    [Kind::NftMint, Kind::FtTransfer]
+        .iter()
+        .map(|&kind| {
+            let capacity = (ChainConfig::evaluation(shards, true).shard_gas_limit / scale / 200) as usize;
+            let load = capacity * (shards as usize + 1) * epochs;
+            let scenario = build(kind, users, load, 0xAB1A7E);
+
+            let full = run_with(&scenario, base_config(true), epochs).tps();
+
+            let mut strict = base_config(true);
+            strict.relaxed_nonces = false;
+            let strict_nonces = run_with(&scenario, strict, epochs).tps();
+
+            let mut ownership_scenario = scenario.clone();
+            ownership_scenario.weak_reads =
+                cosplit_analysis::signature::WeakReads::Fields(Default::default());
+            let ownership_only = run_with(&ownership_scenario, base_config(true), epochs).tps();
+
+            let baseline = run_with(&scenario, base_config(false), epochs).tps();
+
+            AblationRow { label: kind.label(), full, strict_nonces, ownership_only, baseline }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pipeline_timing_covers_the_sample() {
+        let t = fig12_pipeline_timings(1);
+        assert_eq!(t.len(), 49);
+        assert!(t.iter().all(|x| x.loc > 0));
+        let pct = analysis_overhead_pct(&t);
+        assert!(pct > 5.0 && pct < 95.0, "analysis share {pct}%");
+    }
+
+    #[test]
+    fn table52_matches_paper() {
+        let rows = table52();
+        let expect = [
+            ("FungibleToken", 10, 6, 2),
+            ("Crowdfunding", 3, 2, 1),
+            ("NonfungibleToken", 5, 3, 2),
+            ("ProofIPFS", 10, 8, 2),
+            ("UD_registry", 11, 6, 2),
+        ];
+        for (row, (name, t, l, m)) in rows.iter().zip(expect) {
+            assert_eq!(row.name, name);
+            assert_eq!(row.transitions, t, "{name}");
+            assert_eq!(row.largest_ges, l, "{name}");
+            assert_eq!(row.max_ges, m, "{name}");
+        }
+    }
+
+    #[test]
+    fn overheads_show_serialisation_cost() {
+        let o = measure_overheads(30, 400);
+        assert!(
+            o.dispatch_cosplit > o.dispatch_baseline,
+            "signature round-trip must cost something: {o:?}"
+        );
+    }
+
+    #[test]
+    fn ablations_isolate_each_mechanism() {
+        let rows = ablation(5, 40, 2, 8);
+        let nft = rows.iter().find(|r| r.label == "NFT mint").unwrap();
+        // §4.2.1: without relaxed nonces the single-source mint serialises.
+        assert!(nft.strict_nonces < nft.full * 0.5, "{nft:?}");
+        assert!(nft.full > nft.baseline * 3.0, "{nft:?}");
+
+        let ft = rows.iter().find(|r| r.label == "FT transfer").unwrap();
+        // Strategy 2: without IntMerge the two-entry footprint splits and
+        // throughput falls back to near-baseline.
+        assert!(ft.ownership_only < ft.full * 0.6, "{ft:?}");
+        assert!(ft.ownership_only < ft.baseline * 1.7, "{ft:?}");
+        // FT transfers already pin to the sender's home shard, so strict
+        // nonces cost them nothing.
+        assert!(ft.strict_nonces > ft.full * 0.9, "{ft:?}");
+    }
+
+    #[test]
+    fn strategy_attribution_matches_5_2_3() {
+        let rows = strategies(30, 300);
+        let get = |label: &str| rows.iter().find(|r| r.label == label).unwrap().clone();
+        // Fungible quantities benefit from commutativity…
+        let ft = get("FT transfer");
+        assert_eq!(ft.uses_commutativity, 300, "{ft:?}");
+        // …non-fungible ones from disjoint ownership (UD writes no IntMerge
+        // field at all).
+        let ud = get("UD config");
+        assert!(ud.uses_ownership > 0 && ud.uses_commutativity == 0, "{ud:?}");
+        // NFT transfers mix both: owned token entries + commutative counters.
+        let nft = get("NFT transfer");
+        assert!(nft.uses_ownership > 0 && nft.uses_commutativity > 0, "{nft:?}");
+        // ProofIPFS is the split-footprint workload: most load goes to DS.
+        let ipfs = get("ProofIPFS register");
+        assert!(ipfs.ds > ipfs.uses_ownership, "{ipfs:?}");
+    }
+}

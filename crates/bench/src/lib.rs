@@ -1,0 +1,12 @@
+//! Benchmark harness for the CoSplit reproduction.
+//!
+//! [`experiments`] implements one runner per paper table/figure (see the
+//! experiment index in DESIGN.md); [`fmt`] renders their results as text
+//! tables. The `paper` binary ties them together:
+//!
+//! ```text
+//! cargo run --release -p cosplit-bench --bin paper -- all
+//! ```
+
+pub mod experiments;
+pub mod fmt;

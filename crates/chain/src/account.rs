@@ -1,0 +1,138 @@
+//! Accounts with relaxed nonce tracking (paper §4.2.1).
+//!
+//! Ethereum's strict gap-free nonce ordering would force all of a user's
+//! transactions into one shard. The paper relaxes this: transactions commit
+//! in *increasing* nonce order without waiting for gaps to fill (like Paxos
+//! ballots), which keeps replay protection while allowing, e.g., nonces
+//! {1,3,5} and {2,4} from the same user to execute in two shards in
+//! parallel.
+
+use std::collections::BTreeSet;
+
+/// Replay-safe, gap-tolerant nonce state.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct NonceState {
+    /// Every nonce `≤ watermark` is committed.
+    watermark: u64,
+    /// Committed nonces above the watermark.
+    committed_above: BTreeSet<u64>,
+}
+
+impl NonceState {
+    /// Fresh state: no nonce committed.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Can a transaction with this nonce still commit?
+    pub fn is_usable(&self, nonce: u64) -> bool {
+        nonce > self.watermark && !self.committed_above.contains(&nonce)
+    }
+
+    /// Marks a nonce committed.
+    ///
+    /// Returns `false` (and changes nothing) if it was already committed —
+    /// the replay-protection property.
+    pub fn commit(&mut self, nonce: u64) -> bool {
+        if !self.is_usable(nonce) {
+            return false;
+        }
+        self.committed_above.insert(nonce);
+        self.compact();
+        true
+    }
+
+    /// Merges another shard's committed set into this one.
+    pub fn merge(&mut self, committed: &[u64]) {
+        for &n in committed {
+            if n > self.watermark {
+                self.committed_above.insert(n);
+            }
+        }
+        self.compact();
+    }
+
+    fn compact(&mut self) {
+        while self.committed_above.remove(&(self.watermark + 1)) {
+            self.watermark += 1;
+        }
+    }
+
+    /// Highest committed nonce (0 when none).
+    pub fn high(&self) -> u64 {
+        self.committed_above.iter().next_back().copied().unwrap_or(self.watermark)
+    }
+}
+
+/// The protocol-level state of one account.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Account {
+    /// Native token balance.
+    pub balance: u128,
+    /// Relaxed nonce state.
+    pub nonces: NonceState,
+    /// Whether this address holds a contract.
+    pub is_contract: bool,
+}
+
+impl Account {
+    /// A user account with an initial balance.
+    pub fn user(balance: u128) -> Self {
+        Account { balance, nonces: NonceState::new(), is_contract: false }
+    }
+
+    /// A contract account.
+    pub fn contract() -> Self {
+        Account { balance: 0, nonces: NonceState::new(), is_contract: true }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn out_of_order_commit_is_allowed() {
+        let mut n = NonceState::new();
+        assert!(n.commit(3));
+        assert!(n.commit(1));
+        assert!(n.commit(5));
+        assert!(n.is_usable(2));
+        assert!(n.is_usable(4));
+        assert!(!n.is_usable(3));
+    }
+
+    #[test]
+    fn replay_is_rejected() {
+        let mut n = NonceState::new();
+        assert!(n.commit(2));
+        assert!(!n.commit(2), "replaying a committed nonce must fail");
+    }
+
+    #[test]
+    fn watermark_compacts_contiguous_prefix() {
+        let mut n = NonceState::new();
+        for nonce in [2, 1, 3] {
+            n.commit(nonce);
+        }
+        // 1..=3 contiguous → watermark 3 with an empty overflow set.
+        assert!(!n.is_usable(3));
+        assert!(n.is_usable(4));
+        assert_eq!(n.high(), 3);
+        assert!(n.committed_above.is_empty());
+    }
+
+    #[test]
+    fn merge_unions_parallel_shards() {
+        // Shard A committed {1,3,5}; shard B committed {2,4} (the paper's
+        // example).
+        let mut n = NonceState::new();
+        n.merge(&[1, 3, 5]);
+        n.merge(&[2, 4]);
+        assert_eq!(n.high(), 5);
+        assert!(n.is_usable(6));
+        for used in 1..=5 {
+            assert!(!n.is_usable(used));
+        }
+    }
+}

@@ -1,0 +1,97 @@
+//! Account addresses and their deterministic shard assignment.
+
+use std::fmt;
+
+/// A 20-byte account address (Zilliqa/Ethereum style).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+pub struct Address(pub [u8; 20]);
+
+impl Address {
+    /// A deterministic test/workload address derived from an index.
+    pub fn from_index(i: u64) -> Address {
+        let mut bytes = [0u8; 20];
+        bytes[..8].copy_from_slice(&i.to_be_bytes());
+        bytes[8] = 0xAA; // avoid colliding with the all-zero address
+        Address(bytes)
+    }
+
+    /// A stable 64-bit hash of the address (FNV-1a).
+    pub fn hash64(&self) -> u64 {
+        fnv1a(&self.0)
+    }
+
+    /// The shard this account is deterministically assigned to (paper §4.1:
+    /// "transactions are deterministically assigned to shards based on the
+    /// sender's address").
+    pub fn home_shard(&self, num_shards: u32) -> u32 {
+        (self.hash64() % num_shards as u64) as u32
+    }
+
+    /// The interpreter-level value for this address.
+    pub fn to_value(self) -> scilla::value::Value {
+        scilla::value::Value::address(self.0)
+    }
+}
+
+impl fmt::Display for Address {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "0x")?;
+        for b in &self.0 {
+            write!(f, "{b:02x}")?;
+        }
+        Ok(())
+    }
+}
+
+/// FNV-1a over arbitrary bytes; used for every deterministic placement
+/// decision (account→shard, state component→shard).
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for b in bytes {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_index_is_injective_for_small_indices() {
+        let a: Vec<Address> = (0..1000).map(Address::from_index).collect();
+        let mut b = a.clone();
+        b.sort_unstable();
+        b.dedup();
+        assert_eq!(a.len(), b.len());
+    }
+
+    #[test]
+    fn home_shard_is_stable_and_in_range() {
+        for i in 0..100 {
+            let addr = Address::from_index(i);
+            let s = addr.home_shard(5);
+            assert!(s < 5);
+            assert_eq!(s, addr.home_shard(5));
+        }
+    }
+
+    #[test]
+    fn shards_are_roughly_balanced() {
+        let mut counts = [0usize; 4];
+        for i in 0..4000 {
+            counts[Address::from_index(i).home_shard(4) as usize] += 1;
+        }
+        for c in counts {
+            assert!((700..1300).contains(&c), "unbalanced: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn display_is_hex() {
+        let a = Address([0xab; 20]);
+        assert!(a.to_string().starts_with("0xabab"));
+        assert_eq!(a.to_string().len(), 42);
+    }
+}

@@ -1,0 +1,414 @@
+//! Transaction dispatch — `dispatch_oc(T, x)` (paper §4.3).
+//!
+//! The lookup node instantiates a transition's symbolic ownership
+//! constraints with the transaction's actual arguments and finds a shard
+//! satisfying all of them; if none exists the transaction is routed to the
+//! DS committee, which processes leftovers sequentially after the shards.
+
+use crate::address::{fnv1a, Address};
+use crate::state::{DeployedContract, GlobalState};
+use crate::tx::{Transaction, TxKind};
+use cosplit_analysis::domain::PseudoField;
+use cosplit_analysis::signature::Constraint;
+use scilla::value::Value;
+use std::collections::BTreeSet;
+
+/// Where a transaction is processed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Assignment {
+    /// One of the transaction shards.
+    Shard(u32),
+    /// The DS committee (sequential, after the shards).
+    Ds,
+}
+
+/// Why the dispatcher chose what it chose — used by the evaluation's
+/// strategy-attribution breakdown (§5.2.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DispatchReason {
+    /// Payments go to the sender's home shard (default strategy).
+    Payment,
+    /// No signature: baseline contract strategy, same-shard case.
+    BaselineLocal,
+    /// No signature: baseline contract strategy, cross-shard case.
+    BaselineCross,
+    /// Transition not in the signature's selection.
+    Unselected,
+    /// The signature marks the transition unsatisfiable.
+    Unsat,
+    /// All ownership constraints pin to one shard.
+    OwnershipPinned,
+    /// No ownership constraints at all (pure commutative effects).
+    Unconstrained,
+    /// Ownership constraints span several shards.
+    SplitFootprint,
+    /// Two map keys alias at runtime.
+    AliasConflict,
+    /// A `UserAddr` parameter holds a contract address.
+    NotUserAddr,
+    /// A constraint referenced an argument the transaction did not supply.
+    BadArguments,
+    /// Strict (non-relaxed) nonce ordering forced DS serialisation
+    /// (§4.2.1 ablation).
+    StrictNonceOrder,
+}
+
+/// A dispatch decision.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Decision {
+    /// Where to execute.
+    pub assignment: Assignment,
+    /// Why.
+    pub reason: DispatchReason,
+}
+
+/// The shard that owns a concrete state component of a contract.
+///
+/// Placement is by the entry's *first map key*:
+///
+/// * all entries under the same top-level key — across fields and nesting
+///   depths — live in one shard, so a transition touching e.g. `balances
+///   [from]` and `allowances[from][spender]`, or the UD registry's
+///   `registry_owners[node]` and `records[node][key]`, pins to a single
+///   shard;
+/// * a first key that is an *address* places the entry in that account's
+///   home shard, aligning `Owns(f[_sender])` with the `SenderShard`
+///   constraint and with gas accounting (§4.2.2);
+/// * whole fields are placed by field name.
+pub fn component_shard(contract: Address, field: &str, keys: &[Value], num_shards: u32) -> u32 {
+    match keys.first() {
+        None => {
+            let mut bytes = contract.0.to_vec();
+            bytes.extend_from_slice(field.as_bytes());
+            (fnv1a(&bytes) % num_shards as u64) as u32
+        }
+        Some(k) => {
+            if let Some(addr) = k.as_address() {
+                return Address(addr).home_shard(num_shards);
+            }
+            let mut bytes = contract.0.to_vec();
+            bytes.push(0);
+            bytes.extend_from_slice(k.to_string().as_bytes());
+            (fnv1a(&bytes) % num_shards as u64) as u32
+        }
+    }
+}
+
+/// Dispatch-time protocol switches.
+#[derive(Debug, Clone, Copy)]
+pub struct DispatchPolicy {
+    /// Number of transaction shards.
+    pub num_shards: u32,
+    /// Honour CoSplit signatures (false = §4.1 baseline strategy).
+    pub use_cosplit: bool,
+    /// §4.2.1 relaxed nonces. When *false*, the strict gap-free nonce order
+    /// forces all of a sender's transactions through one place: a shard
+    /// decision away from the sender's home shard is demoted to the DS
+    /// committee (ablation mode; the paper's model always relaxes).
+    pub relaxed_nonces: bool,
+}
+
+/// Dispatches one transaction (paper §4.3, "Assigning Transactions to
+/// Shards").
+///
+/// `use_cosplit` switches between the CoSplit strategy (signatures honoured
+/// when present) and the default Zilliqa strategy used as the evaluation
+/// baseline (§4.1).
+pub fn dispatch(
+    tx: &Transaction,
+    state: &GlobalState,
+    num_shards: u32,
+    use_cosplit: bool,
+) -> Decision {
+    dispatch_policy(tx, state, &DispatchPolicy { num_shards, use_cosplit, relaxed_nonces: true })
+}
+
+/// [`dispatch`] with explicit protocol switches.
+pub fn dispatch_policy(tx: &Transaction, state: &GlobalState, policy: &DispatchPolicy) -> Decision {
+    let decision = dispatch_inner(tx, state, policy.num_shards, policy.use_cosplit);
+    if policy.relaxed_nonces {
+        return decision;
+    }
+    // Strict nonces: a sender's transactions must be totally ordered, so
+    // anything not in the sender's home shard serialises at the DS.
+    match decision.assignment {
+        Assignment::Shard(s) if s == tx.sender.home_shard(policy.num_shards) => decision,
+        Assignment::Ds => decision,
+        Assignment::Shard(_) => {
+            Decision { assignment: Assignment::Ds, reason: DispatchReason::StrictNonceOrder }
+        }
+    }
+}
+
+fn dispatch_inner(
+    tx: &Transaction,
+    state: &GlobalState,
+    num_shards: u32,
+    use_cosplit: bool,
+) -> Decision {
+    match &tx.kind {
+        TxKind::Payment { .. } => Decision {
+            assignment: Assignment::Shard(tx.sender.home_shard(num_shards)),
+            reason: DispatchReason::Payment,
+        },
+        TxKind::Call { contract, transition, args, .. } => {
+            let Some(deployed) = state.contracts.get(contract) else {
+                // Unknown contract: let the DS committee reject it.
+                return Decision { assignment: Assignment::Ds, reason: DispatchReason::BadArguments };
+            };
+            if use_cosplit {
+                if let Some(sig) = &deployed.signature {
+                    if let Some(tc) = sig.transition(transition) {
+                        return dispatch_with_constraints(tx, state, deployed, &tc.constraints, args, num_shards);
+                    }
+                    return Decision { assignment: Assignment::Ds, reason: DispatchReason::Unselected };
+                }
+            }
+            baseline(tx, *contract, num_shards)
+        }
+    }
+}
+
+/// The default Zilliqa strategy (paper §4.1): contract and user are
+/// statically assigned to shards; same-shard calls execute in the shard,
+/// cross-shard calls go to the DS committee.
+fn baseline(tx: &Transaction, contract: Address, num_shards: u32) -> Decision {
+    let user_shard = tx.sender.home_shard(num_shards);
+    let contract_shard = contract.home_shard(num_shards);
+    if user_shard == contract_shard {
+        Decision { assignment: Assignment::Shard(contract_shard), reason: DispatchReason::BaselineLocal }
+    } else {
+        Decision { assignment: Assignment::Ds, reason: DispatchReason::BaselineCross }
+    }
+}
+
+fn dispatch_with_constraints(
+    tx: &Transaction,
+    state: &GlobalState,
+    deployed: &DeployedContract,
+    constraints: &BTreeSet<Constraint>,
+    args: &[(String, Value)],
+    num_shards: u32,
+) -> Decision {
+    let ds = |reason| Decision { assignment: Assignment::Ds, reason };
+    let resolve = |name: &str| -> Option<Value> {
+        match name {
+            "_sender" | "_origin" => Some(tx.sender.to_value()),
+            _ => args
+                .iter()
+                .find(|(n, _)| n == name)
+                .map(|(_, v)| v.clone())
+                .or_else(|| deployed.param(name).cloned()),
+        }
+    };
+
+    let mut required: BTreeSet<u32> = BTreeSet::new();
+    for c in constraints {
+        match c {
+            Constraint::Unsat => return ds(DispatchReason::Unsat),
+            Constraint::Owns(PseudoField { field, keys }) => {
+                let mut key_vals = Vec::with_capacity(keys.len());
+                for k in keys {
+                    match resolve(k) {
+                        Some(v) => key_vals.push(v),
+                        None => return ds(DispatchReason::BadArguments),
+                    }
+                }
+                required.insert(component_shard(deployed.address, field, &key_vals, num_shards));
+            }
+            Constraint::SenderShard => {
+                required.insert(tx.sender.home_shard(num_shards));
+            }
+            Constraint::ContractShard => {
+                required.insert(deployed.address.home_shard(num_shards));
+            }
+            Constraint::UserAddr(p) => match resolve(p).as_ref().and_then(Value::as_address) {
+                Some(bytes) => {
+                    if state.is_contract(&Address(bytes)) {
+                        return ds(DispatchReason::NotUserAddr);
+                    }
+                }
+                None => return ds(DispatchReason::BadArguments),
+            },
+            Constraint::NoAliases(t1, t2) => {
+                let v1: Option<Vec<Value>> = t1.iter().map(|k| resolve(k)).collect();
+                let v2: Option<Vec<Value>> = t2.iter().map(|k| resolve(k)).collect();
+                match (v1, v2) {
+                    (Some(a), Some(b)) => {
+                        if a == b {
+                            return ds(DispatchReason::AliasConflict);
+                        }
+                    }
+                    _ => return ds(DispatchReason::BadArguments),
+                }
+            }
+        }
+    }
+
+    match required.len() {
+        0 => {
+            // Fully commutative footprint: spread by transaction id.
+            let shard = (fnv1a(&tx.id.to_be_bytes()) % num_shards as u64) as u32;
+            Decision { assignment: Assignment::Shard(shard), reason: DispatchReason::Unconstrained }
+        }
+        1 => Decision {
+            assignment: Assignment::Shard(*required.iter().next().expect("one element")),
+            reason: DispatchReason::OwnershipPinned,
+        },
+        _ => ds(DispatchReason::SplitFootprint),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::account::Account;
+    use cosplit_analysis::signature::WeakReads;
+    use cosplit_analysis::solver::AnalyzedContract;
+    use std::sync::Arc;
+
+    const TOKEN: &str = r#"
+        contract Token ()
+        field balances : Map ByStr20 Uint128 = Emp ByStr20 Uint128
+        transition Transfer (to : ByStr20, amount : Uint128)
+          bal_opt <- balances[_sender];
+          match bal_opt with
+          | Some bal =>
+            ok = builtin le amount bal;
+            match ok with
+            | True =>
+              nf = builtin sub bal amount;
+              balances[_sender] := nf;
+              to_opt <- balances[to];
+              nt = match to_opt with
+                | Some b => builtin add b amount
+                | None => amount
+                end;
+              balances[to] := nt
+            | False => throw
+            end
+          | None => throw
+          end
+        end
+        transition Mint (to : ByStr20, amount : Uint128)
+          to_opt <- balances[to];
+          nt = match to_opt with
+            | Some b => builtin add b amount
+            | None => amount
+            end;
+          balances[to] := nt
+        end
+    "#;
+
+    fn setup(with_sig: bool) -> (GlobalState, Address) {
+        let caddr = Address::from_index(999);
+        let module = scilla::parser::parse_module(TOKEN).unwrap();
+        let checked = scilla::typechecker::typecheck(module).unwrap();
+        let analyzed = AnalyzedContract::analyze(&checked);
+        let signature = with_sig.then(|| {
+            analyzed.query(&["Transfer".into(), "Mint".into()], &WeakReads::AcceptAll)
+        });
+        let compiled = scilla::interpreter::CompiledContract::compile(checked).unwrap();
+        let mut state = GlobalState::new();
+        state.accounts.insert(caddr, Account::contract());
+        state.contracts.insert(
+            caddr,
+            Arc::new(DeployedContract { address: caddr, compiled, params: vec![], signature }),
+        );
+        state.storage.insert(caddr, Default::default());
+        (state, caddr)
+    }
+
+    fn transfer_tx(sender: u64, to: u64, contract: Address) -> Transaction {
+        Transaction::call(
+            sender * 1000 + to,
+            Address::from_index(sender),
+            1,
+            contract,
+            "Transfer",
+            vec![
+                ("to".into(), Address::from_index(to).to_value()),
+                ("amount".into(), Value::Uint(128, 5)),
+            ],
+        )
+    }
+
+    #[test]
+    fn cosplit_pins_transfer_to_sender_component_shard() {
+        let (state, c) = setup(true);
+        let tx = transfer_tx(1, 2, c);
+        let d = dispatch(&tx, &state, 4, true);
+        assert_eq!(d.reason, DispatchReason::OwnershipPinned);
+        let expected =
+            component_shard(c, "balances", &[Address::from_index(1).to_value()], 4);
+        assert_eq!(d.assignment, Assignment::Shard(expected));
+    }
+
+    #[test]
+    fn self_transfer_aliases_and_goes_to_ds() {
+        let (state, c) = setup(true);
+        let tx = transfer_tx(1, 1, c);
+        let d = dispatch(&tx, &state, 4, true);
+        assert_eq!(d.assignment, Assignment::Ds);
+        assert_eq!(d.reason, DispatchReason::AliasConflict);
+    }
+
+    #[test]
+    fn mint_is_unconstrained_and_spreads() {
+        let (state, c) = setup(true);
+        let shards: BTreeSet<Assignment> = (0..64)
+            .map(|i| {
+                let tx = Transaction::call(
+                    i,
+                    Address::from_index(7),
+                    i,
+                    c,
+                    "Mint",
+                    vec![
+                        ("to".into(), Address::from_index(i).to_value()),
+                        ("amount".into(), Value::Uint(128, 1)),
+                    ],
+                );
+                let d = dispatch(&tx, &state, 4, true);
+                assert_eq!(d.reason, DispatchReason::Unconstrained);
+                d.assignment
+            })
+            .collect();
+        assert!(shards.len() > 1, "minting should spread across shards");
+    }
+
+    #[test]
+    fn baseline_routes_cross_shard_to_ds() {
+        let (state, c) = setup(false);
+        let mut local = 0;
+        let mut ds = 0;
+        for i in 0..100 {
+            let tx = transfer_tx(i, i + 1, c);
+            match dispatch(&tx, &state, 4, true).assignment {
+                Assignment::Shard(s) => {
+                    assert_eq!(s, c.home_shard(4));
+                    local += 1;
+                }
+                Assignment::Ds => ds += 1,
+            }
+        }
+        assert!(ds > local, "most users live outside the contract's shard");
+        assert!(local > 0);
+    }
+
+    #[test]
+    fn cosplit_flag_off_ignores_signatures() {
+        let (state, c) = setup(true);
+        let tx = transfer_tx(1, 2, c);
+        let d = dispatch(&tx, &state, 4, false);
+        assert!(matches!(d.reason, DispatchReason::BaselineLocal | DispatchReason::BaselineCross));
+    }
+
+    #[test]
+    fn payments_use_sender_home_shard() {
+        let (state, _) = setup(false);
+        let tx = Transaction::payment(1, Address::from_index(3), 1, Address::from_index(4), 10);
+        let d = dispatch(&tx, &state, 4, true);
+        assert_eq!(d.assignment, Assignment::Shard(Address::from_index(3).home_shard(4)));
+    }
+}

@@ -1,0 +1,104 @@
+//! Error types for the blockchain simulator.
+
+use std::fmt;
+
+/// An error raised while deploying a contract.
+#[derive(Debug)]
+pub enum DeployError {
+    /// Lexing/parsing failed.
+    Parse(scilla::error::ParseError),
+    /// Type checking failed.
+    Type(scilla::error::TypeError),
+    /// Library evaluation or field initialisation failed.
+    Exec(scilla::error::ExecError),
+    /// The submitted sharding signature did not validate against the
+    /// re-derived one (paper §4.3, "Validating Sharding Signatures").
+    InvalidSignature,
+    /// The target address already holds a contract.
+    AddressTaken,
+}
+
+impl fmt::Display for DeployError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DeployError::Parse(e) => write!(f, "deployment rejected: {e}"),
+            DeployError::Type(e) => write!(f, "deployment rejected: {e}"),
+            DeployError::Exec(e) => write!(f, "deployment rejected: {e}"),
+            DeployError::InvalidSignature => {
+                write!(f, "deployment rejected: sharding signature does not validate")
+            }
+            DeployError::AddressTaken => write!(f, "deployment rejected: address already in use"),
+        }
+    }
+}
+
+impl std::error::Error for DeployError {}
+
+impl From<scilla::error::ParseError> for DeployError {
+    fn from(e: scilla::error::ParseError) -> Self {
+        DeployError::Parse(e)
+    }
+}
+
+impl From<scilla::error::TypeError> for DeployError {
+    fn from(e: scilla::error::TypeError) -> Self {
+        DeployError::Type(e)
+    }
+}
+
+impl From<scilla::error::ExecError> for DeployError {
+    fn from(e: scilla::error::ExecError) -> Self {
+        DeployError::Exec(e)
+    }
+}
+
+/// An error raised while merging per-shard state deltas.
+///
+/// Under correct CoSplit dispatch these cannot occur: ownership guarantees
+/// per-component writer exclusivity and `IntMerge` deltas always compose.
+/// They are surfaced (rather than panicking) so property tests can assert
+/// their absence.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MergeError {
+    /// Two shards overwrote the same state component.
+    OverwriteConflict {
+        /// The contract whose state conflicted.
+        contract: String,
+        /// The conflicting component (field + rendered key path).
+        component: String,
+    },
+    /// Applying an integer delta under- or overflowed the component.
+    DeltaOutOfRange {
+        /// The contract whose state overflowed.
+        contract: String,
+        /// The affected component.
+        component: String,
+    },
+}
+
+impl fmt::Display for MergeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MergeError::OverwriteConflict { contract, component } => {
+                write!(f, "merge conflict: {contract}:{component} overwritten by two shards")
+            }
+            MergeError::DeltaOutOfRange { contract, component } => {
+                write!(f, "merge failed: {contract}:{component} delta out of range")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MergeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_describe_the_failure() {
+        let e = MergeError::OverwriteConflict { contract: "c".into(), component: "f[k]".into() };
+        assert!(e.to_string().contains("f[k]"));
+        assert!(DeployError::InvalidSignature.to_string().contains("signature"));
+    }
+}

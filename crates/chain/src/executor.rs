@@ -1,0 +1,646 @@
+//! Batch execution of transactions by a shard or by the DS committee.
+//!
+//! A shard executes its packet sequentially against the epoch-start state
+//! snapshot, producing a `MicroBlock` with a [`StateDelta`] (paper Fig. 10).
+//! Each transaction runs atomically through a journaled store: on failure
+//! its writes are undone, gas is still charged. The DS committee reuses the
+//! same executor after the shard deltas merge, with chained contract calls
+//! enabled.
+
+use crate::address::Address;
+use crate::delta::{compute_int_delta, read_component, Component, ContractDelta, StateDelta};
+use crate::dispatch::Assignment;
+use crate::tx::{Transaction, TxKind};
+use cosplit_analysis::signature::Join;
+use scilla::builtins::uint_max;
+use scilla::error::ExecError;
+use scilla::gas::{GasMeter, COST_TX_BASE};
+use scilla::interpreter::{OutMsg, TransitionContext};
+use scilla::state::{InMemoryState, StateStore};
+use scilla::value::Value;
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::state::GlobalState;
+
+/// Execution parameters for one committee in one epoch.
+#[derive(Debug, Clone)]
+pub struct ExecutorConfig {
+    /// Which committee this is.
+    pub role: Assignment,
+    /// Total number of transaction shards in the network.
+    pub num_shards: u32,
+    /// The committee's per-epoch gas budget.
+    pub gas_limit: u64,
+    /// Current block number.
+    pub block_number: u64,
+    /// Honour sharding signatures when computing deltas.
+    pub use_cosplit: bool,
+    /// Enforce the §6 overflow guard on `IntMerge` components.
+    pub overflow_guard: bool,
+    /// Allow messages to other contracts (DS committee only).
+    pub allow_contract_msgs: bool,
+}
+
+/// Outcome of one transaction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TxStatus {
+    /// Committed with its state changes.
+    Success,
+    /// Committed, state rolled back, gas charged.
+    Failed(String),
+    /// Re-routed to the DS committee with no state change and no gas
+    /// charged: either the §6 overflow guard fired, or the transaction
+    /// turned out not to be single-contract (its message chain reaches
+    /// another contract, paper §4.3).
+    Rerouted(RerouteCause),
+}
+
+/// Why a shard handed a transaction to the DS committee.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RerouteCause {
+    /// The §6 overflow guard on an `IntMerge` component fired.
+    OverflowGuard,
+    /// The transaction sent a message to another contract.
+    CrossContract,
+}
+
+/// Internal: distinguishes interpreter failures from reroute conditions.
+enum CallError {
+    Exec(ExecError),
+    CrossContract,
+}
+
+impl From<ExecError> for CallError {
+    fn from(e: ExecError) -> Self {
+        CallError::Exec(e)
+    }
+}
+
+/// A per-transaction receipt.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Receipt {
+    /// The transaction.
+    pub tx_id: u64,
+    /// What happened.
+    pub status: TxStatus,
+    /// Gas consumed.
+    pub gas_used: u64,
+    /// Events emitted (empty unless the transaction succeeded).
+    pub events: Vec<Value>,
+}
+
+/// What one committee produced in one epoch (paper Fig. 10: MicroBlock +
+/// StateDelta).
+#[derive(Debug, Clone)]
+pub struct MicroBlock {
+    /// The producing committee.
+    pub role: Assignment,
+    /// Receipts for processed transactions, in order.
+    pub receipts: Vec<Receipt>,
+    /// Transactions that did not fit the gas budget (stay in the pool).
+    pub deferred: Vec<Transaction>,
+    /// Transactions the overflow guard rerouted to the DS committee.
+    pub rerouted: Vec<Transaction>,
+    /// The state delta.
+    pub delta: StateDelta,
+    /// Total gas consumed.
+    pub gas_used: u64,
+}
+
+impl MicroBlock {
+    /// Number of successfully committed transactions.
+    pub fn committed(&self) -> usize {
+        self.receipts.iter().filter(|r| r.status == TxStatus::Success).count()
+    }
+}
+
+/// Executes a batch of transactions for one committee against a state
+/// snapshot.
+pub fn execute_batch(
+    cfg: &ExecutorConfig,
+    snapshot: &GlobalState,
+    txs: Vec<Transaction>,
+) -> MicroBlock {
+    let mut exec = Executor {
+        cfg,
+        snapshot,
+        storages: BTreeMap::new(),
+        balance: Ledger {
+            snapshot,
+            role: cfg.role,
+            num_shards: cfg.num_shards,
+            spent: BTreeMap::new(),
+            deltas: BTreeMap::new(),
+        },
+        nonce_committed: BTreeMap::new(),
+        receipts: Vec::new(),
+        deferred: Vec::new(),
+        rerouted: Vec::new(),
+        gas_used: 0,
+    };
+    let mut over_budget = false;
+    for tx in txs {
+        if over_budget || exec.gas_used + tx.gas_limit > cfg.gas_limit {
+            over_budget = true;
+            exec.deferred.push(tx);
+            continue;
+        }
+        exec.process(tx);
+    }
+    exec.finish()
+}
+
+/// Per-shard balance ledger with slice limits (paper §4.2.2: "splitting a
+/// user's balance across shards, with a larger fraction given to the shard
+/// handling money transfers from that user").
+struct Ledger<'a> {
+    snapshot: &'a GlobalState,
+    role: Assignment,
+    num_shards: u32,
+    /// Gross debits, checked against the slice.
+    spent: BTreeMap<Address, u128>,
+    /// Net changes, reported in the state delta.
+    deltas: BTreeMap<Address, i128>,
+}
+
+impl Ledger<'_> {
+    fn slice(&self, addr: &Address) -> u128 {
+        let base = self.snapshot.balance(addr);
+        match self.role {
+            Assignment::Ds => base,
+            Assignment::Shard(s) => {
+                let n = self.num_shards as u128;
+                if self.snapshot.is_contract(addr) {
+                    // A contract's funds move only in its home shard
+                    // (`ContractShard` constraint).
+                    if addr.home_shard(self.num_shards) == s { base } else { 0 }
+                } else {
+                    // The away-slice is base/(4n); the home shard keeps the
+                    // rest.
+                    let away = base / (4 * n);
+                    if addr.home_shard(self.num_shards) == s {
+                        base - away * (n - 1)
+                    } else {
+                        away
+                    }
+                }
+            }
+        }
+    }
+
+    fn debit(&mut self, addr: Address, amount: u128) -> Result<(), String> {
+        let spent = self.spent.get(&addr).copied().unwrap_or(0);
+        if spent + amount > self.slice(&addr) {
+            return Err(format!("insufficient balance slice for {addr}"));
+        }
+        self.spent.insert(addr, spent + amount);
+        *self.deltas.entry(addr).or_insert(0) -= amount as i128;
+        Ok(())
+    }
+
+    fn credit(&mut self, addr: Address, amount: u128) {
+        *self.deltas.entry(addr).or_insert(0) += amount as i128;
+    }
+
+    fn undo(&mut self, checkpoint: (BTreeMap<Address, u128>, BTreeMap<Address, i128>)) {
+        self.spent = checkpoint.0;
+        self.deltas = checkpoint.1;
+    }
+
+    fn checkpoint(&self) -> (BTreeMap<Address, u128>, BTreeMap<Address, i128>) {
+        (self.spent.clone(), self.deltas.clone())
+    }
+}
+
+/// A shard's working copy of one contract's storage, with touched components.
+struct ShardStorage {
+    state: InMemoryState,
+    touched: BTreeSet<Component>,
+}
+
+struct Executor<'a> {
+    cfg: &'a ExecutorConfig,
+    snapshot: &'a GlobalState,
+    storages: BTreeMap<Address, ShardStorage>,
+    balance: Ledger<'a>,
+    nonce_committed: BTreeMap<Address, Vec<u64>>,
+    receipts: Vec<Receipt>,
+    deferred: Vec<Transaction>,
+    rerouted: Vec<Transaction>,
+    gas_used: u64,
+}
+
+impl Executor<'_> {
+    fn nonce_usable(&self, addr: &Address, nonce: u64) -> bool {
+        let base_ok = self
+            .snapshot
+            .accounts
+            .get(addr)
+            .map(|a| a.nonces.is_usable(nonce))
+            .unwrap_or(nonce > 0);
+        base_ok
+            && !self
+                .nonce_committed
+                .get(addr)
+                .is_some_and(|ns| ns.contains(&nonce))
+    }
+
+    fn process(&mut self, tx: Transaction) {
+        if !self.nonce_usable(&tx.sender, tx.nonce) {
+            self.receipts.push(Receipt {
+                tx_id: tx.id,
+                status: TxStatus::Failed("nonce already used".into()),
+                gas_used: 0,
+                events: Vec::new(),
+            });
+            return;
+        }
+
+        // Reserve the full gas budget up front; refund after execution.
+        let fee_reserve = tx.gas_limit as u128 * tx.gas_price;
+        let ledger_cp = self.balance.checkpoint();
+        if self.balance.debit(tx.sender, fee_reserve).is_err() {
+            self.receipts.push(Receipt {
+                tx_id: tx.id,
+                status: TxStatus::Failed("cannot reserve gas".into()),
+                gas_used: 0,
+                events: Vec::new(),
+            });
+            return;
+        }
+
+        let (status, gas, events) = match &tx.kind {
+            TxKind::Payment { to, amount } => {
+                let gas = COST_TX_BASE;
+                let status = match self.balance.debit(tx.sender, *amount) {
+                    Ok(()) => {
+                        self.balance.credit(*to, *amount);
+                        TxStatus::Success
+                    }
+                    Err(e) => TxStatus::Failed(e),
+                };
+                (status, gas, Vec::new())
+            }
+            TxKind::Call { contract, transition, args, amount } => {
+                self.run_call(&tx, *contract, transition, args, *amount)
+            }
+        };
+
+        if let TxStatus::Rerouted(_) = status {
+            // No gas charged; release the reservation and hand the
+            // transaction to the DS committee.
+            self.balance.undo(ledger_cp);
+            self.rerouted.push(tx.clone());
+            self.receipts.push(Receipt { tx_id: tx.id, status, gas_used: 0, events: Vec::new() });
+            return;
+        }
+
+        // Refund unused gas.
+        let actual_fee = gas as u128 * tx.gas_price;
+        self.balance.credit(tx.sender, fee_reserve.saturating_sub(actual_fee));
+        self.gas_used += gas;
+        self.nonce_committed.entry(tx.sender).or_default().push(tx.nonce);
+        self.receipts.push(Receipt { tx_id: tx.id, status, gas_used: gas, events });
+    }
+
+    fn run_call(
+        &mut self,
+        tx: &Transaction,
+        contract: Address,
+        transition: &str,
+        args: &[(String, Value)],
+        amount: u128,
+    ) -> (TxStatus, u64, Vec<Value>) {
+        let mut gas = GasMeter::new(tx.gas_limit.saturating_sub(COST_TX_BASE));
+        let ledger_cp = self.balance.checkpoint();
+        let mut journal = TxJournal::default();
+        let mut events = Vec::new();
+        let result = self.invoke(
+            &mut journal,
+            &mut gas,
+            &mut events,
+            tx.sender,
+            tx.sender,
+            contract,
+            transition,
+            args,
+            amount,
+            0,
+        );
+        let gas_total = COST_TX_BASE + gas.used();
+        match result {
+            Ok(()) => {
+                if self.cfg.overflow_guard
+                    && self.overflow_violation(&journal).is_some() {
+                        journal.rollback(&mut self.storages);
+                        self.balance.undo(ledger_cp);
+                        return (TxStatus::Rerouted(RerouteCause::OverflowGuard), 0, Vec::new());
+                    }
+                journal.commit(&mut self.storages);
+                (TxStatus::Success, gas_total, events)
+            }
+            Err(CallError::CrossContract) => {
+                // The conservative single-contract check failed at runtime:
+                // hand the whole transaction to the DS committee.
+                journal.rollback(&mut self.storages);
+                self.balance.undo(ledger_cp);
+                (TxStatus::Rerouted(RerouteCause::CrossContract), 0, Vec::new())
+            }
+            Err(CallError::Exec(e)) => {
+                journal.rollback(&mut self.storages);
+                // The checkpoint was taken after the fee reservation, so
+                // undoing restores exactly the reserved-fee ledger state.
+                self.balance.undo(ledger_cp);
+                (TxStatus::Failed(e.to_string()), gas_total, Vec::new())
+            }
+        }
+    }
+
+    /// Executes one transition invocation, recursing into messages sent to
+    /// other contracts (DS committee only).
+    #[allow(clippy::too_many_arguments)]
+    fn invoke(
+        &mut self,
+        journal: &mut TxJournal,
+        gas: &mut GasMeter,
+        events: &mut Vec<Value>,
+        origin: Address,
+        sender: Address,
+        contract: Address,
+        transition: &str,
+        args: &[(String, Value)],
+        amount: u128,
+        depth: u32,
+    ) -> Result<(), CallError> {
+        if depth > 4 {
+            return Err(ExecError::BadInvocation("message chain too deep".into()).into());
+        }
+        let deployed = self
+            .snapshot
+            .contracts
+            .get(&contract)
+            .cloned()
+            .ok_or_else(|| ExecError::BadInvocation(format!("no contract at {contract}")))?;
+
+        self.ensure_storage(contract);
+        let ctx = TransitionContext {
+            sender: sender.0,
+            origin: origin.0,
+            amount,
+            this_address: contract.0,
+            block_number: self.cfg.block_number,
+        };
+
+        let outcome = {
+            let storage = self.storages.get_mut(&contract).expect("ensured above");
+            let mut store = JournaledStore { contract, inner: &mut storage.state, journal };
+            deployed
+                .compiled
+                .execute(&mut store, transition, args, &deployed.params, &ctx, gas)
+                .map_err(CallError::Exec)?
+        };
+
+        if outcome.accepted && amount > 0 {
+            self.balance
+                .debit(sender, amount)
+                .map_err(|e| CallError::Exec(ExecError::InsufficientFunds(e)))?;
+            self.balance.credit(contract, amount);
+        }
+        events.extend(outcome.events);
+
+        for msg in outcome.messages {
+            self.deliver(journal, gas, events, origin, contract, &msg, depth)?;
+        }
+        Ok(())
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn deliver(
+        &mut self,
+        journal: &mut TxJournal,
+        gas: &mut GasMeter,
+        events: &mut Vec<Value>,
+        origin: Address,
+        from_contract: Address,
+        msg: &OutMsg,
+        depth: u32,
+    ) -> Result<(), CallError> {
+        let recipient = Address(msg.recipient);
+        if self.snapshot.is_contract(&recipient) {
+            if !self.cfg.allow_contract_msgs {
+                return Err(CallError::CrossContract);
+            }
+            let args: Vec<(String, Value)> =
+                msg.params.iter().map(|(k, v)| (k.clone(), v.clone())).collect();
+            return self.invoke(
+                journal,
+                gas,
+                events,
+                origin,
+                from_contract,
+                recipient,
+                &msg.tag,
+                &args,
+                msg.amount,
+                depth + 1,
+            );
+        }
+        if msg.amount > 0 {
+            self.balance
+                .debit(from_contract, msg.amount)
+                .map_err(|e| CallError::Exec(ExecError::InsufficientFunds(e)))?;
+            self.balance.credit(recipient, msg.amount);
+        }
+        Ok(())
+    }
+
+    fn ensure_storage(&mut self, contract: Address) {
+        self.storages.entry(contract).or_insert_with(|| ShardStorage {
+            state: self.snapshot.storage.get(&contract).cloned().unwrap_or_default(),
+            touched: BTreeSet::new(),
+        });
+    }
+
+    /// The §6 overflow guard: for every `IntMerge` component the *current
+    /// transaction* touched, the shard's cumulative positive delta (which
+    /// includes earlier committed transactions, via the working state) must
+    /// not exceed `⌊(MAX − v)/N⌋` of the epoch-start value `v`.
+    fn overflow_violation(&self, journal: &TxJournal) -> Option<Component> {
+        if matches!(self.cfg.role, Assignment::Ds) {
+            return None;
+        }
+        for (addr, comp) in &journal.touched {
+            {
+                let Some(joins) = self.joins_of(addr) else { continue };
+                let Some(storage) = self.storages.get(addr) else { continue };
+                if joins.get(&comp.0) != Some(&Join::IntMerge) {
+                    continue;
+                }
+                let base_storage = self.snapshot.storage.get(addr);
+                let initial: u128 = match base_storage.and_then(|s| read_component(s, comp)) {
+                    Some(Value::Uint(_, n)) => n,
+                    None => 0,
+                    // A non-integer epoch-start value cannot be guarded;
+                    // force the conservative path.
+                    Some(_) => return Some(comp.clone()),
+                };
+                let (now, width) = match read_component(&storage.state, comp) {
+                    Some(Value::Uint(w, n)) => (n, w),
+                    _ => continue,
+                };
+                let headroom = uint_max(width).saturating_sub(initial);
+                let allowance = headroom / self.cfg.num_shards as u128;
+                if now > initial && now - initial > allowance {
+                    return Some(comp.clone());
+                }
+            }
+        }
+        None
+    }
+
+    fn joins_of(&self, contract: &Address) -> Option<&BTreeMap<String, Join>> {
+        if !self.cfg.use_cosplit {
+            return None;
+        }
+        self.snapshot
+            .contracts
+            .get(contract)
+            .and_then(|d| d.signature.as_ref())
+            .map(|s| &s.joins)
+    }
+
+    fn finish(mut self) -> MicroBlock {
+        let mut delta = StateDelta::new();
+        for (addr, storage) in &self.storages {
+            if storage.touched.is_empty() {
+                continue;
+            }
+            let joins = self.joins_of(addr).cloned().unwrap_or_default();
+            let base = self.snapshot.storage.get(addr);
+            let mut cd = ContractDelta::default();
+            for comp in &storage.touched {
+                let final_v = read_component(&storage.state, comp);
+                let merge = joins.get(&comp.0) == Some(&Join::IntMerge);
+                let delta = match (&final_v, merge) {
+                    (Some(v), true) => {
+                        let initial = base.and_then(|s| read_component(s, comp));
+                        compute_int_delta(initial.as_ref(), v)
+                    }
+                    _ => None,
+                };
+                match delta {
+                    Some(id) => {
+                        cd.int_deltas.insert(comp.clone(), id);
+                    }
+                    // Non-integer, shape-changing, or out-of-i128-range
+                    // changes fall back to an overwrite; under a correct
+                    // signature only one shard can produce them.
+                    None => {
+                        cd.overwrites.insert(comp.clone(), final_v);
+                    }
+                }
+            }
+            delta.contracts.insert(*addr, cd);
+        }
+        delta.balances = self.balance.deltas.iter().filter(|(_, d)| **d != 0).map(|(a, d)| (*a, *d)).collect();
+        delta.nonces = std::mem::take(&mut self.nonce_committed);
+
+        MicroBlock {
+            role: self.cfg.role,
+            receipts: self.receipts,
+            deferred: self.deferred,
+            rerouted: self.rerouted,
+            delta,
+            gas_used: self.gas_used,
+        }
+    }
+}
+
+/// The undo log shared by all invocations of one transaction (chained calls
+/// roll back together — transitions are atomic, paper §3.1).
+#[derive(Default)]
+struct TxJournal {
+    /// (contract, component, prior value) in write order.
+    undo: Vec<(Address, Component, Option<Value>)>,
+    /// Components written by this transaction.
+    touched: Vec<(Address, Component)>,
+}
+
+impl TxJournal {
+    fn commit(self, storages: &mut BTreeMap<Address, ShardStorage>) {
+        for (addr, comp) in self.touched {
+            if let Some(s) = storages.get_mut(&addr) {
+                s.touched.insert(comp);
+            }
+        }
+    }
+
+    fn rollback(self, storages: &mut BTreeMap<Address, ShardStorage>) {
+        for (addr, comp, prior) in self.undo.into_iter().rev() {
+            let Some(s) = storages.get_mut(&addr) else { continue };
+            let (field, keys) = &comp;
+            match prior {
+                Some(v) => {
+                    if keys.is_empty() {
+                        s.state.store(field, v);
+                    } else {
+                        s.state.map_update(field, keys, v);
+                    }
+                }
+                None => {
+                    if keys.is_empty() {
+                        s.state.remove_field(field);
+                    } else {
+                        s.state.map_delete(field, keys);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// A [`StateStore`] view that records undo information and touched
+/// components into the transaction journal.
+struct JournaledStore<'a, 'j> {
+    contract: Address,
+    inner: &'a mut InMemoryState,
+    journal: &'j mut TxJournal,
+}
+
+impl JournaledStore<'_, '_> {
+    fn record(&mut self, field: &str, keys: &[Value]) {
+        let comp: Component = (field.to_string(), keys.to_vec());
+        let prior = read_component(self.inner, &comp);
+        self.journal.undo.push((self.contract, comp.clone(), prior));
+        self.journal.touched.push((self.contract, comp));
+    }
+}
+
+impl StateStore for JournaledStore<'_, '_> {
+    fn load(&self, field: &str) -> Option<Value> {
+        self.inner.load(field)
+    }
+
+    fn store(&mut self, field: &str, value: Value) {
+        self.record(field, &[]);
+        self.inner.store(field, value);
+    }
+
+    fn map_get(&self, field: &str, keys: &[Value]) -> Option<Value> {
+        self.inner.map_get(field, keys)
+    }
+
+    fn map_update(&mut self, field: &str, keys: &[Value], value: Value) {
+        self.record(field, keys);
+        self.inner.map_update(field, keys, value);
+    }
+
+    fn map_exists(&self, field: &str, keys: &[Value]) -> bool {
+        self.inner.map_exists(field, keys)
+    }
+
+    fn map_delete(&mut self, field: &str, keys: &[Value]) {
+        self.record(field, keys);
+        self.inner.map_delete(field, keys);
+    }
+}

@@ -1,0 +1,41 @@
+//! A Zilliqa-style sharded account-based blockchain simulator.
+//!
+//! Implements the protocol substrate of the CoSplit paper (§4): lookup
+//! nodes dispatch transactions to transaction shards or the DS committee;
+//! shards execute their packets in parallel against the epoch-start state
+//! and emit MicroBlocks with state deltas; the DS committee merges the
+//! deltas with the per-field join operations from contracts' sharding
+//! signatures and then processes the leftover (potentially conflicting)
+//! transactions sequentially.
+//!
+//! The account model includes the paper's §4.2 revisions: relaxed
+//! (gap-tolerant) nonces, per-shard balance slices for parallel gas
+//! accounting, and weak reads of commutatively-written state.
+//!
+//! # Examples
+//!
+//! ```
+//! use chain::address::Address;
+//! use chain::network::{ChainConfig, Network};
+//! use chain::tx::Transaction;
+//!
+//! let mut net = Network::new(ChainConfig::evaluation(3, true));
+//! let alice = Address::from_index(1);
+//! let bob = Address::from_index(2);
+//! net.fund_account(alice, 1_000_000);
+//!
+//! let mut pool = vec![Transaction::payment(1, alice, 1, bob, 100)];
+//! let report = net.run_epoch(&mut pool);
+//! assert_eq!(report.committed, 1);
+//! assert_eq!(net.state().balance(&bob), 100);
+//! ```
+
+pub mod account;
+pub mod address;
+pub mod delta;
+pub mod dispatch;
+pub mod error;
+pub mod executor;
+pub mod network;
+pub mod state;
+pub mod tx;

@@ -1,0 +1,349 @@
+//! The sharded network: lookup dispatch, parallel shard execution, DS
+//! committee merge — one epoch at a time (paper Fig. 10).
+
+use crate::address::Address;
+use crate::delta::StateDelta;
+use crate::dispatch::{dispatch_policy, Assignment, DispatchPolicy, DispatchReason};
+use crate::error::DeployError;
+use crate::executor::{execute_batch, ExecutorConfig, MicroBlock, Receipt, TxStatus};
+use crate::state::{DeployedContract, GlobalState};
+use crate::tx::Transaction;
+use cosplit_analysis::signature::{ShardingSignature, WeakReads};
+use cosplit_analysis::solver::AnalyzedContract;
+use scilla::interpreter::CompiledContract;
+use scilla::state::InMemoryState;
+use scilla::value::Value;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Network-wide protocol parameters.
+#[derive(Debug, Clone)]
+pub struct ChainConfig {
+    /// Number of transaction shards (the DS committee is extra).
+    pub num_shards: u32,
+    /// Per-shard gas budget per epoch.
+    pub shard_gas_limit: u64,
+    /// DS-committee gas budget per epoch.
+    pub ds_gas_limit: u64,
+    /// Simulated wall-clock duration of one epoch (Zilliqa: ≈51 s — the
+    /// paper's 10 epochs take "roughly 8.5 minutes").
+    pub epoch_duration_secs: f64,
+    /// Use CoSplit signatures for dispatch and delta merging.
+    pub use_cosplit: bool,
+    /// Enforce the §6 overflow guard.
+    pub overflow_guard: bool,
+    /// Maximum transactions a lookup node packs into one committee's packet
+    /// per epoch (paper Fig. 10: lookups "group several transactions
+    /// together in a packet"). Overflow stays in the pool.
+    pub max_packet_txs: usize,
+    /// §4.2.1 relaxed nonces (false only for the ablation study).
+    pub relaxed_nonces: bool,
+}
+
+impl ChainConfig {
+    /// The paper's evaluation setting with a given shard count.
+    pub fn evaluation(num_shards: u32, use_cosplit: bool) -> Self {
+        ChainConfig {
+            num_shards,
+            // Calibrated so one shard sustains ≈3600 simple token transfers
+            // per epoch (≈70 TPS), matching the magnitude of Fig. 14. The DS
+            // committee gets half a shard's budget: it spends part of the
+            // epoch collecting MicroBlocks and merging deltas.
+            shard_gas_limit: 720_000,
+            ds_gas_limit: 360_000,
+            epoch_duration_secs: 51.0,
+            use_cosplit,
+            overflow_guard: false,
+            max_packet_txs: 10_000,
+            relaxed_nonces: true,
+        }
+    }
+
+    /// A scaled-down configuration for fast (debug-build) tests: ≈200
+    /// transfers per shard-epoch.
+    pub fn small(num_shards: u32, use_cosplit: bool) -> Self {
+        ChainConfig {
+            shard_gas_limit: 40_000,
+            ds_gas_limit: 20_000,
+            ..ChainConfig::evaluation(num_shards, use_cosplit)
+        }
+    }
+}
+
+impl Default for ChainConfig {
+    fn default() -> Self {
+        ChainConfig::evaluation(3, true)
+    }
+}
+
+/// Timings of the deployment validation pipeline (paper Fig. 12).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DeployTimings {
+    /// Parsing time.
+    pub parse: Duration,
+    /// Type-checking time.
+    pub typecheck: Duration,
+    /// Sharding analysis + signature validation time (zero when no
+    /// signature was submitted).
+    pub analysis: Duration,
+}
+
+/// What happened during one epoch.
+#[derive(Debug, Clone, Default)]
+pub struct EpochReport {
+    /// Successfully committed transactions.
+    pub committed: usize,
+    /// Included but failed transactions.
+    pub failed: usize,
+    /// Transactions deferred to the next epoch (gas budget exhausted).
+    pub deferred: usize,
+    /// Committed per committee: (committee, committed, gas used).
+    pub per_committee: Vec<(Assignment, usize, u64)>,
+    /// Dispatch decisions by reason.
+    pub dispatch_reasons: BTreeMap<String, usize>,
+    /// Number of state components merged by the DS committee.
+    pub merged_components: usize,
+    /// Simulated duration of the epoch.
+    pub sim_seconds: f64,
+    /// All transaction receipts, in per-committee order (shards first, then
+    /// the DS committee).
+    pub receipts: Vec<Receipt>,
+}
+
+/// The whole simulated network.
+#[derive(Debug)]
+pub struct Network {
+    config: ChainConfig,
+    state: GlobalState,
+    block_number: u64,
+}
+
+impl Network {
+    /// A fresh network with the given configuration.
+    pub fn new(config: ChainConfig) -> Self {
+        Network { config, state: GlobalState::new(), block_number: 1 }
+    }
+
+    /// The network configuration.
+    pub fn config(&self) -> &ChainConfig {
+        &self.config
+    }
+
+    /// Read access to the replicated state.
+    pub fn state(&self) -> &GlobalState {
+        &self.state
+    }
+
+    /// The current block number.
+    pub fn block_number(&self) -> u64 {
+        self.block_number
+    }
+
+    /// Creates/funds a user account.
+    pub fn fund_account(&mut self, addr: Address, balance: u128) {
+        self.state.credit(addr, balance);
+    }
+
+    /// One contract's storage (for assertions in tests/examples).
+    pub fn storage_of(&self, addr: &Address) -> Option<&InMemoryState> {
+        self.state.storage.get(addr)
+    }
+
+    /// Deploys a contract, running the full miner validation pipeline:
+    /// parse, type-check, and — when a sharding selection is provided —
+    /// derive the signature with CoSplit and validate it (paper §4.3).
+    ///
+    /// Returns the per-stage timings the paper reports in Fig. 12.
+    ///
+    /// # Errors
+    ///
+    /// Any pipeline failure rejects the deployment; see [`DeployError`].
+    pub fn deploy(
+        &mut self,
+        addr: Address,
+        source: &str,
+        params: Vec<(String, Value)>,
+        sharding: Option<(&[&str], WeakReads)>,
+    ) -> Result<DeployTimings, DeployError> {
+        if self.state.contracts.contains_key(&addr) {
+            return Err(DeployError::AddressTaken);
+        }
+        let mut timings = DeployTimings::default();
+
+        let t0 = Instant::now();
+        let module = scilla::parser::parse_module(source)?;
+        timings.parse = t0.elapsed();
+
+        let t0 = Instant::now();
+        let checked = scilla::typechecker::typecheck(module)?;
+        timings.typecheck = t0.elapsed();
+
+        let signature: Option<ShardingSignature> = match sharding {
+            Some((selection, weak_reads)) => {
+                let t0 = Instant::now();
+                let analyzed = AnalyzedContract::analyze(&checked);
+                let selection: Vec<String> = selection.iter().map(|s| s.to_string()).collect();
+                let submitted = analyzed.query(&selection, &weak_reads);
+                // Miner-side validation: re-derive and compare.
+                if !analyzed.validate(&submitted) {
+                    return Err(DeployError::InvalidSignature);
+                }
+                timings.analysis = t0.elapsed();
+                Some(submitted)
+            }
+            None => None,
+        };
+
+        let compiled = CompiledContract::compile(checked)?;
+        let fields = compiled.init_fields(&params)?;
+        self.state.storage.insert(addr, InMemoryState::from_fields(fields));
+        self.state
+            .accounts
+            .entry(addr)
+            .or_insert_with(crate::account::Account::contract)
+            .is_contract = true;
+        self.state
+            .contracts
+            .insert(addr, Arc::new(DeployedContract { address: addr, compiled, params, signature }));
+        Ok(timings)
+    }
+
+    /// Runs one epoch over the pending pool: dispatch → parallel shard
+    /// execution → delta merge → DS committee execution. Deferred
+    /// transactions are returned to the pool.
+    pub fn run_epoch(&mut self, pool: &mut Vec<Transaction>) -> EpochReport {
+        let mut report = EpochReport { sim_seconds: self.config.epoch_duration_secs, ..Default::default() };
+
+        // --- Lookup nodes: form per-committee packets.
+        let mut shard_batches: Vec<Vec<Transaction>> =
+            (0..self.config.num_shards).map(|_| Vec::new()).collect();
+        let mut ds_batch: Vec<Transaction> = Vec::new();
+        let mut held_back: Vec<Transaction> = Vec::new();
+        let policy = DispatchPolicy {
+            num_shards: self.config.num_shards,
+            use_cosplit: self.config.use_cosplit,
+            relaxed_nonces: self.config.relaxed_nonces,
+        };
+        for tx in pool.drain(..) {
+            let decision = dispatch_policy(&tx, &self.state, &policy);
+            let packet = match decision.assignment {
+                Assignment::Shard(s) => &mut shard_batches[s as usize],
+                Assignment::Ds => &mut ds_batch,
+            };
+            if packet.len() >= self.config.max_packet_txs {
+                // The packet is full; the transaction waits for a later
+                // epoch (and is not counted as dispatched this epoch).
+                held_back.push(tx);
+                continue;
+            }
+            *report.dispatch_reasons.entry(reason_name(decision.reason).to_string()).or_insert(0) += 1;
+            packet.push(tx);
+        }
+        pool.extend(held_back);
+
+        // --- Shards execute their packets in parallel on the epoch-start
+        // snapshot.
+        let snapshot = &self.state;
+        let config = &self.config;
+        let block_number = self.block_number;
+        let microblocks: Vec<MicroBlock> = crossbeam::thread::scope(|scope| {
+            let handles: Vec<_> = shard_batches
+                .into_iter()
+                .enumerate()
+                .map(|(s, batch)| {
+                    scope.spawn(move |_| {
+                        let cfg = ExecutorConfig {
+                            role: Assignment::Shard(s as u32),
+                            num_shards: config.num_shards,
+                            gas_limit: config.shard_gas_limit,
+                            block_number,
+                            use_cosplit: config.use_cosplit,
+                            overflow_guard: config.overflow_guard,
+                            allow_contract_msgs: false,
+                        };
+                        execute_batch(&cfg, snapshot, batch)
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("shard thread")).collect()
+        })
+        .expect("shard scope");
+
+        // --- DS committee: merge the state deltas…
+        let mut deltas = Vec::with_capacity(microblocks.len());
+        for mb in &microblocks {
+            deltas.push(mb.delta.clone());
+        }
+        let merged = StateDelta::merge(deltas).expect("ownership dispatch precludes conflicts");
+        report.merged_components = merged.changed_components();
+        merged.apply(&mut self.state).expect("deltas in range");
+
+        // …then process its own packet (plus reroutes) sequentially on the
+        // merged state.
+        for mb in &microblocks {
+            ds_batch.extend(mb.rerouted.iter().cloned());
+        }
+        let ds_cfg = ExecutorConfig {
+            role: Assignment::Ds,
+            num_shards: self.config.num_shards,
+            gas_limit: self.config.ds_gas_limit,
+            block_number,
+            use_cosplit: self.config.use_cosplit,
+            overflow_guard: false,
+            allow_contract_msgs: true,
+        };
+        let ds_block = execute_batch(&ds_cfg, &self.state, ds_batch);
+        ds_block.delta.apply(&mut self.state).expect("ds delta applies");
+
+        // --- Accounting.
+        for mb in microblocks.iter().chain(std::iter::once(&ds_block)) {
+            let committed = mb.committed();
+            report.committed += committed;
+            report.failed += mb
+                .receipts
+                .iter()
+                .filter(|r| matches!(r.status, TxStatus::Failed(_)))
+                .count();
+            report.deferred += mb.deferred.len();
+            report.per_committee.push((mb.role, committed, mb.gas_used));
+            report.receipts.extend(mb.receipts.iter().cloned());
+            pool.extend(mb.deferred.iter().cloned());
+        }
+        self.block_number += 1;
+        report
+    }
+
+    /// Runs `epochs` epochs, returning all reports.
+    pub fn run_epochs(&mut self, pool: &mut Vec<Transaction>, epochs: usize) -> Vec<EpochReport> {
+        (0..epochs).map(|_| self.run_epoch(pool)).collect()
+    }
+}
+
+/// Aggregate throughput in transactions per (simulated) second.
+pub fn throughput(reports: &[EpochReport]) -> f64 {
+    let committed: usize = reports.iter().map(|r| r.committed).sum();
+    let seconds: f64 = reports.iter().map(|r| r.sim_seconds).sum();
+    if seconds == 0.0 {
+        0.0
+    } else {
+        committed as f64 / seconds
+    }
+}
+
+fn reason_name(r: DispatchReason) -> &'static str {
+    match r {
+        DispatchReason::Payment => "payment",
+        DispatchReason::BaselineLocal => "baseline-local",
+        DispatchReason::BaselineCross => "baseline-cross",
+        DispatchReason::Unselected => "unselected",
+        DispatchReason::Unsat => "unsat",
+        DispatchReason::OwnershipPinned => "ownership",
+        DispatchReason::Unconstrained => "commutative",
+        DispatchReason::SplitFootprint => "split-footprint",
+        DispatchReason::AliasConflict => "alias",
+        DispatchReason::NotUserAddr => "not-user-addr",
+        DispatchReason::BadArguments => "bad-args",
+        DispatchReason::StrictNonceOrder => "strict-nonce",
+    }
+}

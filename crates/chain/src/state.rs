@@ -1,0 +1,82 @@
+//! Global replicated state: accounts, deployed contracts, contract storage.
+
+use crate::account::Account;
+use crate::address::Address;
+use cosplit_analysis::signature::ShardingSignature;
+use scilla::interpreter::CompiledContract;
+use scilla::state::InMemoryState;
+use scilla::value::Value;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// A deployed contract: compiled code, immutable parameters, and the
+/// (optional) sharding signature accepted at deployment.
+#[derive(Debug)]
+pub struct DeployedContract {
+    /// The contract's account address.
+    pub address: Address,
+    /// Compiled code (shared across shards).
+    pub compiled: CompiledContract,
+    /// Immutable deployment parameters.
+    pub params: Vec<(String, Value)>,
+    /// The validated sharding signature, if one was submitted.
+    pub signature: Option<ShardingSignature>,
+}
+
+impl DeployedContract {
+    /// Looks up an immutable contract parameter by name.
+    pub fn param(&self, name: &str) -> Option<&Value> {
+        self.params.iter().find(|(n, _)| n == name).map(|(_, v)| v)
+    }
+}
+
+/// The full replicated state every shard stores (Zilliqa shards execution,
+/// not storage — paper §4.1).
+#[derive(Debug, Clone, Default)]
+pub struct GlobalState {
+    /// Protocol accounts.
+    pub accounts: BTreeMap<Address, Account>,
+    /// Deployed contract code + metadata (immutable once deployed).
+    pub contracts: BTreeMap<Address, Arc<DeployedContract>>,
+    /// Mutable contract fields, per contract.
+    pub storage: BTreeMap<Address, InMemoryState>,
+}
+
+impl GlobalState {
+    /// Empty state.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The balance of an account (0 if absent).
+    pub fn balance(&self, addr: &Address) -> u128 {
+        self.accounts.get(addr).map(|a| a.balance).unwrap_or(0)
+    }
+
+    /// Is the address a contract account?
+    pub fn is_contract(&self, addr: &Address) -> bool {
+        self.contracts.contains_key(addr)
+    }
+
+    /// Credits an account, creating it if needed.
+    pub fn credit(&mut self, addr: Address, amount: u128) {
+        let acc = self.accounts.entry(addr).or_insert_with(|| Account::user(0));
+        acc.balance = acc.balance.saturating_add(amount);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn credit_creates_accounts() {
+        let mut s = GlobalState::new();
+        let a = Address::from_index(1);
+        assert_eq!(s.balance(&a), 0);
+        s.credit(a, 100);
+        s.credit(a, 50);
+        assert_eq!(s.balance(&a), 150);
+        assert!(!s.is_contract(&a));
+    }
+}

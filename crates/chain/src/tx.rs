@@ -1,0 +1,112 @@
+//! Transactions.
+
+use crate::address::Address;
+use scilla::value::Value;
+
+/// What a transaction does.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TxKind {
+    /// A user-to-user transfer of native tokens.
+    Payment {
+        /// Recipient.
+        to: Address,
+        /// Amount of native tokens.
+        amount: u128,
+    },
+    /// A single-contract transition invocation `⟨C, T, x⟩` (paper §4.3).
+    Call {
+        /// The contract's address.
+        contract: Address,
+        /// The transition name.
+        transition: String,
+        /// Transition arguments by parameter name.
+        args: Vec<(String, Value)>,
+        /// Native tokens offered (`_amount`).
+        amount: u128,
+    },
+}
+
+/// A signed transaction as submitted to the lookup nodes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Transaction {
+    /// Globally unique id (stands in for the signature hash).
+    pub id: u64,
+    /// The signer.
+    pub sender: Address,
+    /// The signer-chosen nonce (paper §4.2.1).
+    pub nonce: u64,
+    /// Gas budget.
+    pub gas_limit: u64,
+    /// Price per unit of gas, in native tokens.
+    pub gas_price: u128,
+    /// The payload.
+    pub kind: TxKind,
+}
+
+impl Transaction {
+    /// A payment transaction with default gas parameters.
+    pub fn payment(id: u64, sender: Address, nonce: u64, to: Address, amount: u128) -> Self {
+        Transaction {
+            id,
+            sender,
+            nonce,
+            gas_limit: 5_000,
+            gas_price: 1,
+            kind: TxKind::Payment { to, amount },
+        }
+    }
+
+    /// A contract call with default gas parameters.
+    pub fn call(
+        id: u64,
+        sender: Address,
+        nonce: u64,
+        contract: Address,
+        transition: impl Into<String>,
+        args: Vec<(String, Value)>,
+    ) -> Self {
+        Transaction {
+            id,
+            sender,
+            nonce,
+            gas_limit: 10_000,
+            gas_price: 1,
+            kind: TxKind::Call {
+                contract,
+                transition: transition.into(),
+                args,
+                amount: 0,
+            },
+        }
+    }
+
+    /// Attaches native tokens to a call (or overrides a payment amount).
+    pub fn with_amount(mut self, amount: u128) -> Self {
+        match &mut self.kind {
+            TxKind::Payment { amount: a, .. } | TxKind::Call { amount: a, .. } => *a = amount,
+        }
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builders_fill_defaults() {
+        let a = Address::from_index(1);
+        let b = Address::from_index(2);
+        let tx = Transaction::payment(7, a, 1, b, 50);
+        assert_eq!(tx.id, 7);
+        assert!(tx.gas_limit > 0);
+        let call = Transaction::call(8, a, 2, b, "Transfer", vec![]).with_amount(9);
+        match call.kind {
+            TxKind::Call { amount, transition, .. } => {
+                assert_eq!(amount, 9);
+                assert_eq!(transition, "Transfer");
+            }
+            _ => panic!("expected call"),
+        }
+    }
+}

@@ -1,0 +1,866 @@
+//! The effect analysis: abstract interpretation of transitions into
+//! [`TransitionSummary`]s (paper §3.2–3.4, Fig. 7).
+//!
+//! The analysis mirrors the interpreter on an abstract domain. Pure values
+//! are tracked as [`ContribType`]s; functions are tracked as *abstract
+//! closures* and applied at call sites. This realises the paper's `EFun`
+//! arrow types (which defer normalisation until arguments are known) by
+//! direct substitution — equivalent for the paper's up-to-second-order
+//! fragment, and total because the language has no recursion.
+
+use crate::domain::{ContribSource, ContribType, Op, PseudoField};
+use crate::effects::{Effect, MsgAbs, TransitionSummary};
+use scilla::ast::*;
+use scilla::typechecker::CheckedModule;
+use scilla::types::Type;
+use std::collections::{HashMap, HashSet};
+use std::rc::Rc;
+
+/// A persistent (cons-list) abstract environment: O(1) clone and extend,
+/// O(depth) lookup. Scopes in contract code are shallow, and the analysis
+/// clones environments at every statement, match clause, and closure
+/// capture — a hash map would make those clones dominate analysis time.
+#[derive(Debug, Clone, Default)]
+struct AbsEnv(Option<Rc<AbsEnvNode>>);
+
+#[derive(Debug)]
+struct AbsEnvNode {
+    name: String,
+    value: AbsVal,
+    rest: AbsEnv,
+}
+
+impl AbsEnv {
+    fn new() -> Self {
+        AbsEnv(None)
+    }
+
+    fn insert(&mut self, name: String, value: AbsVal) {
+        *self = AbsEnv(Some(Rc::new(AbsEnvNode { name, value, rest: self.clone() })));
+    }
+
+    fn get(&self, name: &str) -> Option<&AbsVal> {
+        let mut cur = self;
+        while let Some(node) = &cur.0 {
+            if node.name == name {
+                return Some(&node.value);
+            }
+            cur = &node.rest;
+        }
+        None
+    }
+
+    fn extend(&mut self, binds: impl IntoIterator<Item = (String, AbsVal)>) {
+        for (n, v) in binds {
+            self.insert(n, v);
+        }
+    }
+}
+
+/// An abstract value.
+#[derive(Debug, Clone)]
+enum AbsVal {
+    /// A first-order value summarised by its contributions.
+    Contrib(ContribType),
+    /// A function with its captured abstract environment.
+    Clo { param: String, body: Rc<Expr>, env: AbsEnv },
+    /// A type abstraction.
+    TClo { body: Rc<Expr>, env: AbsEnv },
+    /// A message literal (kept structured so `send` can be summarised).
+    Msg(MsgAbs),
+    /// A constructed value whose arguments include structured values
+    /// (messages, closures) — kept structured so matches stay precise.
+    Adt { ctor: String, args: Vec<AbsVal> },
+}
+
+impl AbsVal {
+    fn top() -> Self {
+        AbsVal::Contrib(ContribType::Top)
+    }
+
+    /// Collapses a structured value to its overall contribution.
+    fn collapse(&self) -> ContribType {
+        match self {
+            AbsVal::Contrib(t) => t.clone(),
+            AbsVal::Msg(m) => m.recipient.add(&m.amount),
+            AbsVal::Adt { args, .. } => args
+                .iter()
+                .fold(ContribType::bottom(), |acc, a| acc.add(&a.collapse())),
+            AbsVal::Clo { .. } | AbsVal::TClo { .. } => ContribType::Top,
+        }
+    }
+}
+
+/// Analyses every transition of a checked contract, producing one summary
+/// per transition (paper Fig. 8 shows the summary for `Transfer`).
+///
+/// # Examples
+///
+/// ```
+/// let src = r#"
+///   contract C ()
+///   field n : Uint128 = Uint128 0
+///   transition Bump (v : Uint128)
+///     c <- n;
+///     c2 = builtin add c v;
+///     n := c2
+///   end
+/// "#;
+/// let checked = scilla::typechecker::typecheck(scilla::parser::parse_module(src).unwrap()).unwrap();
+/// let summaries = cosplit_analysis::analysis::summarize_contract(&checked);
+/// assert_eq!(summaries[0].name, "Bump");
+/// assert!(summaries[0].effects.iter().any(|e| e.to_string().starts_with("Write(n")));
+/// ```
+pub fn summarize_contract(checked: &CheckedModule) -> Vec<TransitionSummary> {
+    let lib_env = library_env(checked);
+    checked
+        .contract()
+        .transitions
+        .iter()
+        .map(|t| summarize_transition(checked, &lib_env, t))
+        .collect()
+}
+
+fn library_env(checked: &CheckedModule) -> AbsEnv {
+    let mut env = AbsEnv::new();
+    for entry in &checked.module.library {
+        if let LibEntry::Let { name, body, .. } = entry {
+            let v = Analyzer::pure_eval(&env, body);
+            env.insert(name.name.clone(), v);
+        }
+    }
+    env
+}
+
+/// Analyses one transition against a prebuilt library environment.
+fn summarize_transition(
+    checked: &CheckedModule,
+    lib_env: &AbsEnv,
+    t: &Transition,
+) -> TransitionSummary {
+    let mut env = lib_env.clone();
+    let mut key_params: HashSet<String> = HashSet::new();
+    for implicit in ["_sender", "_origin", "_amount", "_this_address"] {
+        env.insert(implicit.into(), AbsVal::Contrib(ContribType::source(ContribSource::Param(implicit.into()))));
+    }
+    key_params.insert("_sender".into());
+    key_params.insert("_origin".into());
+    for p in &checked.contract().params {
+        env.insert(p.name.name.clone(), AbsVal::Contrib(ContribType::source(ContribSource::Param(p.name.name.clone()))));
+    }
+    for p in &t.params {
+        env.insert(p.name.name.clone(), AbsVal::Contrib(ContribType::source(ContribSource::Param(p.name.name.clone()))));
+        key_params.insert(p.name.name.clone());
+    }
+    let mut analyzer = Analyzer {
+        field_types: &checked.field_types,
+        key_params,
+        summary: TransitionSummary {
+            name: t.name.name.clone(),
+            params: t.params.iter().map(|p| p.name.name.clone()).collect(),
+            effects: Vec::new(),
+        },
+    };
+    analyzer.stmts(&env, &t.body);
+    analyzer.summary
+}
+
+struct Analyzer<'a> {
+    field_types: &'a HashMap<String, Type>,
+    /// Names usable as summarisable map keys: transition parameters plus the
+    /// implicit `_sender`/`_origin` (paper §3.3 `CanSummarise`).
+    key_params: HashSet<String>,
+    summary: TransitionSummary,
+}
+
+impl Analyzer<'_> {
+    /// `CanSummarise` (paper §3.3): keys must all be transition parameters
+    /// and the access must reach a bottom-level (non-map) value.
+    fn can_summarise(&self, field: &Ident, keys: &[Ident]) -> Option<PseudoField> {
+        if !keys.iter().all(|k| self.key_params.contains(&k.name)) {
+            return None;
+        }
+        let fty = self.field_types.get(&field.name)?;
+        let (_, value_ty) = fty.map_access(keys.len())?;
+        if matches!(value_ty, Type::Map(..)) {
+            return None;
+        }
+        Some(PseudoField::entry(&field.name, keys.iter().map(|k| k.name.clone()).collect()))
+    }
+
+    fn stmts(&mut self, env: &AbsEnv, body: &[Stmt]) -> AbsEnv {
+        let mut env = env.clone();
+        for s in body {
+            env = self.stmt(&env, s);
+        }
+        env
+    }
+
+    fn stmt(&mut self, env: &AbsEnv, s: &Stmt) -> AbsEnv {
+        let mut env = env.clone();
+        match s {
+            Stmt::Load { lhs, field } => {
+                let pf = PseudoField::whole(&field.name);
+                if self.summary.has_write(&pf) {
+                    self.summary.push(Effect::Top);
+                    env.insert(lhs.name.clone(), AbsVal::top());
+                } else {
+                    self.summary.push(Effect::Read(pf.clone()));
+                    env.insert(lhs.name.clone(), AbsVal::Contrib(ContribType::source(ContribSource::Field(pf))));
+                }
+            }
+            Stmt::Store { field, rhs } => {
+                let pf = PseudoField::whole(&field.name);
+                let t = self.lookup(&env, rhs).collapse();
+                self.summary.push(Effect::Write(pf, t));
+            }
+            Stmt::Bind { lhs, rhs } => {
+                let v = self.eval(&env, rhs);
+                env.insert(lhs.name.clone(), v);
+            }
+            Stmt::MapUpdate { map, keys, rhs } => match self.can_summarise(map, keys) {
+                Some(pf) => {
+                    let t = self.lookup(&env, rhs).collapse();
+                    self.summary.push(Effect::Write(pf, t));
+                }
+                None => self.summary.push(Effect::Top),
+            },
+            Stmt::MapGet { lhs, map, keys } => {
+                // Fig. 7 MapGet: informative only if not previously written
+                // and the keys can be summarised.
+                match self.can_summarise(map, keys) {
+                    Some(pf) if !self.summary.has_write(&pf) => {
+                        self.summary.push(Effect::Read(pf.clone()));
+                        env.insert(
+                            lhs.name.clone(),
+                            AbsVal::Contrib(ContribType::source(ContribSource::Field(pf))),
+                        );
+                    }
+                    _ => {
+                        self.summary.push(Effect::Top);
+                        env.insert(lhs.name.clone(), AbsVal::top());
+                    }
+                }
+            }
+            Stmt::MapExists { lhs, map, keys } => match self.can_summarise(map, keys) {
+                Some(pf) if !self.summary.has_write(&pf) => {
+                    self.summary.push(Effect::Read(pf.clone()));
+                    let t = ContribType::source(ContribSource::Field(pf))
+                        .with_op(Op::Builtin("exists".into()));
+                    env.insert(lhs.name.clone(), AbsVal::Contrib(t));
+                }
+                _ => {
+                    self.summary.push(Effect::Top);
+                    env.insert(lhs.name.clone(), AbsVal::top());
+                }
+            },
+            Stmt::MapDelete { map, keys } => match self.can_summarise(map, keys) {
+                // A delete is an overwriting effect whose "written value"
+                // (absence) depends on nothing: ⊥ provenance. It is still
+                // non-commutative (no self-contribution), hence owned.
+                Some(pf) => self.summary.push(Effect::Write(pf, ContribType::bottom())),
+                None => self.summary.push(Effect::Top),
+            },
+            Stmt::ReadBlockchain { lhs, .. } => {
+                // The block number is identical across shards within an
+                // epoch, so it acts as an environment constant.
+                env.insert(
+                    lhs.name.clone(),
+                    AbsVal::Contrib(ContribType::source(ContribSource::Const("BLOCKNUMBER".into()))),
+                );
+            }
+            Stmt::Match { scrutinee, clauses, .. } => {
+                let sv = self.lookup(&env, scrutinee);
+                match &sv {
+                    AbsVal::Adt { ctor, args } => {
+                        // Structured scrutinee: select the clause statically.
+                        for (pat, body) in clauses {
+                            if let Some(binds) = match_structured(pat, ctor, args) {
+                                let mut inner = env.clone();
+                                inner.extend(binds);
+                                self.stmts(&inner, body);
+                                break;
+                            }
+                        }
+                    }
+                    other => {
+                        let t = other.collapse();
+                        if t.is_top() {
+                            self.summary.push(Effect::Top);
+                        } else if !t.fields().is_empty() {
+                            self.summary.push(Effect::Condition(t.clone()));
+                        }
+                        // All clauses contribute effects; binders get Γ(x).
+                        for (pat, body) in clauses {
+                            let mut inner = env.clone();
+                            for b in pat.binders() {
+                                inner.insert(b.name.clone(), AbsVal::Contrib(t.clone()));
+                            }
+                            self.stmts(&inner, body);
+                        }
+                    }
+                }
+            }
+            Stmt::Accept(_) => self.summary.push(Effect::AcceptFunds),
+            Stmt::Send { msgs } => {
+                let v = self.lookup(&env, msgs);
+                match collect_messages(&v) {
+                    Some(list) => {
+                        for m in list {
+                            self.summary.push(Effect::SendMsg(m));
+                        }
+                    }
+                    None => self.summary.push(Effect::Top),
+                }
+            }
+            Stmt::Event { .. } | Stmt::Throw { .. } => {
+                // Events are observational; throw aborts atomically. Neither
+                // constrains sharding.
+            }
+        }
+        env
+    }
+
+    fn lookup(&self, env: &AbsEnv, id: &Ident) -> AbsVal {
+        env.get(&id.name).cloned().unwrap_or_else(AbsVal::top)
+    }
+
+    /// Abstract evaluation of a pure expression in a context with no
+    /// transition parameters (library definitions).
+    fn pure_eval(env: &AbsEnv, e: &Expr) -> AbsVal {
+        let mut dummy = Analyzer {
+            field_types: &EMPTY_FIELDS,
+            key_params: HashSet::new(),
+            summary: TransitionSummary { name: String::new(), params: vec![], effects: vec![] },
+        };
+        dummy.eval(env, e)
+    }
+
+    fn eval(&mut self, env: &AbsEnv, e: &Expr) -> AbsVal {
+        match e {
+            Expr::Lit(l, _) => AbsVal::Contrib(ContribType::source(ContribSource::Const(l.to_string()))),
+            Expr::Var(i) => self.lookup(env, i),
+            Expr::Message(entries, _) => AbsVal::Msg(self.message_abs(env, entries)),
+            Expr::Constr { name, args, .. } => {
+                let vals: Vec<AbsVal> = args.iter().map(|a| self.lookup(env, a)).collect();
+                if vals.iter().all(|v| matches!(v, AbsVal::Contrib(_))) {
+                    // Fig. 7 Constr: τ = ⊕ Γ(i).
+                    let t = vals
+                        .iter()
+                        .fold(ContribType::bottom(), |acc, v| acc.add(&v.collapse()));
+                    AbsVal::Contrib(t)
+                } else {
+                    AbsVal::Adt { ctor: name.name.clone(), args: vals }
+                }
+            }
+            Expr::Builtin { op, args } => {
+                // Fig. 7 Builtin: sum argument contributions, record the op.
+                let t = args
+                    .iter()
+                    .map(|a| self.lookup(env, a).collapse())
+                    .fold(ContribType::bottom(), |acc, t| acc.add(&t));
+                AbsVal::Contrib(t.with_op(Op::Builtin(op.name.clone())))
+            }
+            Expr::Let { bound, rhs, body, .. } => {
+                let v = self.eval(env, rhs);
+                let mut inner = env.clone();
+                inner.insert(bound.name.clone(), v);
+                self.eval(&inner, body)
+            }
+            Expr::Fun { param, body, .. } => AbsVal::Clo {
+                param: param.name.clone(),
+                body: Rc::new((**body).clone()),
+                env: env.clone(),
+            },
+            Expr::App { func, args } => {
+                let mut head = self.lookup(env, func);
+                for a in args {
+                    let arg = self.lookup(env, a);
+                    head = match head {
+                        AbsVal::Clo { param, body, env: cenv } => {
+                            let mut inner = cenv.clone();
+                            inner.insert(param, arg);
+                            self.eval(&inner, &body)
+                        }
+                        _ => AbsVal::top(),
+                    };
+                }
+                head
+            }
+            Expr::Match { scrutinee, clauses, .. } => {
+                let sv = self.lookup(env, scrutinee);
+                match &sv {
+                    AbsVal::Adt { ctor, args } => {
+                        for (pat, body) in clauses {
+                            if let Some(binds) = match_structured(pat, ctor, args) {
+                                let mut inner = env.clone();
+                                inner.extend(binds);
+                                return self.eval(&inner, body);
+                            }
+                        }
+                        AbsVal::top()
+                    }
+                    other => {
+                        let tx = other.collapse();
+                        let mut results = Vec::with_capacity(clauses.len());
+                        for (pat, body) in clauses {
+                            let mut inner = env.clone();
+                            for b in pat.binders() {
+                                inner.insert(b.name.clone(), AbsVal::Contrib(tx.clone()));
+                            }
+                            results.push(self.eval(&inner, body));
+                        }
+                        join_match_results(&tx, clauses, &results)
+                    }
+                }
+            }
+            Expr::TFun { body, .. } => {
+                AbsVal::TClo { body: Rc::new((**body).clone()), env: env.clone() }
+            }
+            Expr::Inst { target, type_args } => {
+                let mut v = self.lookup(env, target);
+                for _ in type_args {
+                    v = match v {
+                        AbsVal::TClo { body, env: cenv } => self.eval(&cenv, &body),
+                        _ => AbsVal::top(),
+                    };
+                }
+                v
+            }
+        }
+    }
+
+    fn message_abs(&mut self, env: &AbsEnv, entries: &[MsgEntry]) -> MsgAbs {
+        let mut recipient = ContribType::bottom();
+        let mut amount = ContribType::bottom();
+        let mut amount_is_zero = false;
+        let mut tag = None;
+        for en in entries {
+            let (t, zero, lit_tag) = match &en.value {
+                MsgValue::Lit(l) => (
+                    ContribType::source(ContribSource::Const(l.to_string())),
+                    literal_is_zero(l),
+                    match l {
+                        Literal::Str(s) => Some(s.clone()),
+                        _ => None,
+                    },
+                ),
+                MsgValue::Var(i) => {
+                    let t = self.lookup(env, i).collapse();
+                    let zero = contrib_is_const_zero(&t);
+                    (t, zero, None)
+                }
+            };
+            match en.key.as_str() {
+                "_recipient" => recipient = t,
+                "_amount" => {
+                    amount = t;
+                    amount_is_zero = zero;
+                }
+                "_tag" => tag = lit_tag,
+                _ => {}
+            }
+        }
+        MsgAbs { recipient, amount, amount_is_zero, tag }
+    }
+}
+
+static EMPTY_FIELDS: std::sync::LazyLock<HashMap<String, Type>> =
+    std::sync::LazyLock::new(HashMap::new);
+
+fn literal_is_zero(l: &Literal) -> bool {
+    matches!(l, Literal::Uint(_, 0) | Literal::Int(_, 0))
+}
+
+/// A contribution is *statically zero* when its only source is a zero
+/// integer literal reaching the value unchanged.
+fn contrib_is_const_zero(t: &ContribType) -> bool {
+    let Some(sources) = t.sources() else { return false };
+    sources.len() == 1
+        && sources.iter().all(|(cs, c)| {
+            c.ops.is_empty()
+                && matches!(cs, ContribSource::Const(c)
+                    if c.split_whitespace().last() == Some("0")
+                        && (c.starts_with("Uint") || c.starts_with("Int")))
+        })
+}
+
+/// Matches a structured abstract ADT value against a pattern, yielding
+/// bindings; `None` if the constructor differs.
+fn match_structured(pat: &Pattern, ctor: &str, args: &[AbsVal]) -> Option<Vec<(String, AbsVal)>> {
+    match pat {
+        Pattern::Wildcard(_) => Some(vec![]),
+        Pattern::Binder(i) => {
+            Some(vec![(i.name.clone(), AbsVal::Adt { ctor: ctor.into(), args: args.to_vec() })])
+        }
+        Pattern::Constructor(c, subs) if c.name == ctor && subs.len() == args.len() => {
+            let mut binds = Vec::new();
+            for (sub, arg) in subs.iter().zip(args) {
+                match (sub, arg) {
+                    (Pattern::Wildcard(_), _) => {}
+                    (Pattern::Binder(i), v) => binds.push((i.name.clone(), v.clone())),
+                    (Pattern::Constructor(..), AbsVal::Adt { ctor: c2, args: a2 }) => {
+                        binds.extend(match_structured(sub, c2, a2)?);
+                    }
+                    // A structured pattern over a collapsed value: bind all
+                    // pattern binders to the collapsed contribution.
+                    (Pattern::Constructor(..), other) => {
+                        for b in sub.binders() {
+                            binds.push((b.name.clone(), AbsVal::Contrib(other.collapse())));
+                        }
+                    }
+                }
+            }
+            Some(binds)
+        }
+        Pattern::Constructor(..) => None,
+    }
+}
+
+/// `MatchC` (paper §3.4): combines per-clause results for a match over an
+/// unstructured scrutinee.
+fn join_match_results(tx: &ContribType, clauses: &[(Pattern, Expr)], results: &[AbsVal]) -> AbsVal {
+    // Messages join structurally so branch-built messages stay sendable.
+    if results.iter().all(|r| matches!(r, AbsVal::Msg(_))) {
+        let msgs: Vec<&MsgAbs> = results
+            .iter()
+            .map(|r| match r {
+                AbsVal::Msg(m) => m,
+                _ => unreachable!("checked above"),
+            })
+            .collect();
+        let mut it = msgs.iter();
+        let first = (*it.next().expect("at least one clause")).clone();
+        let joined = it.fold(first, |acc, m| MsgAbs {
+            recipient: acc.recipient.join(&m.recipient),
+            amount: acc.amount.join(&m.amount),
+            amount_is_zero: acc.amount_is_zero && m.amount_is_zero,
+            tag: if acc.tag == m.tag { acc.tag } else { None },
+        });
+        return AbsVal::Msg(joined);
+    }
+    if !results.iter().all(|r| matches!(r, AbsVal::Contrib(_))) {
+        return AbsVal::top();
+    }
+    let types: Vec<ContribType> = results.iter().map(AbsVal::collapse).collect();
+    let mut joined = types[0].clone();
+    for t in &types[1..] {
+        joined = joined.join(t);
+    }
+    let cond = if is_known_op(clauses) {
+        ContribType::bottom()
+    } else {
+        tx.adapt_cond(same_vars(&types))
+    };
+    AbsVal::Contrib(cond.add(&joined))
+}
+
+/// `IsKnownOp` (paper §3.4): the match merely peels an `Option` constructor
+/// — clause patterns are `Some`/`None` (or irrefutable), so the scrutinee's
+/// content flows only through the binder, which already carries its
+/// contribution.
+fn is_known_op(clauses: &[(Pattern, Expr)]) -> bool {
+    clauses.iter().all(|(p, _)| match p {
+        Pattern::Wildcard(_) | Pattern::Binder(_) => true,
+        Pattern::Constructor(c, subs) => {
+            (c.name == "Some"
+                && subs.len() == 1
+                && matches!(subs[0], Pattern::Wildcard(_) | Pattern::Binder(_)))
+                || (c.name == "None" && subs.is_empty())
+        }
+    })
+}
+
+/// `SameVars` (paper §3.4): do all clause types draw on the same sources?
+fn same_vars(types: &[ContribType]) -> bool {
+    let keys = |t: &ContribType| -> Option<Vec<ContribSource>> {
+        t.sources().map(|s| s.keys().cloned().collect())
+    };
+    let Some(first) = keys(&types[0]) else { return false };
+    types[1..].iter().all(|t| keys(t).as_ref() == Some(&first))
+}
+
+fn collect_messages(v: &AbsVal) -> Option<Vec<MsgAbs>> {
+    match v {
+        AbsVal::Msg(m) => Some(vec![m.clone()]),
+        AbsVal::Adt { ctor, args } if ctor == "Cons" && args.len() == 2 => {
+            let mut out = collect_messages(&args[0])?;
+            out.extend(collect_messages(&args[1])?);
+            Some(out)
+        }
+        AbsVal::Adt { ctor, args } if ctor == "Nil" && args.is_empty() => Some(vec![]),
+        // `Nil {Message}` evaluates to a Contrib ⊥ (constructor of no
+        // structured args); accept the empty contribution as an empty list.
+        AbsVal::Contrib(t) if *t == ContribType::bottom() => Some(vec![]),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scilla::parser::parse_module;
+    use scilla::typechecker::typecheck;
+
+    fn summaries(src: &str) -> Vec<TransitionSummary> {
+        summarize_contract(&typecheck(parse_module(src).unwrap()).unwrap())
+    }
+
+    const TRANSFER: &str = r#"
+        library TokenLib
+        let nil_msg = Nil {Message}
+        let one_msg = fun (m : Message) => Cons {Message} m nil_msg
+        contract Token ()
+        field balances : Map ByStr20 Uint128 = Emp ByStr20 Uint128
+        transition Transfer (to : ByStr20, amount : Uint128)
+          bal_opt <- balances[_sender];
+          match bal_opt with
+          | Some bal =>
+            can_do = builtin le amount bal;
+            match can_do with
+            | True =>
+              new_from = builtin sub bal amount;
+              balances[_sender] := new_from;
+              to_opt <- balances[to];
+              new_to = match to_opt with
+                | Some b => builtin add b amount
+                | None => amount
+                end;
+              balances[to] := new_to
+            | False => throw
+            end
+          | None => throw
+          end
+        end
+    "#;
+
+    fn pf(field: &str, keys: &[&str]) -> PseudoField {
+        PseudoField::entry(field, keys.iter().map(|k| k.to_string()).collect())
+    }
+
+    #[test]
+    fn transfer_summary_matches_fig8_shape() {
+        let s = &summaries(TRANSFER)[0];
+        assert!(!s.has_top(), "{s}");
+        // Reads of both balance entries.
+        let reads: Vec<_> = s.reads().collect();
+        assert!(reads.contains(&&pf("balances", &["_sender"])), "{s}");
+        assert!(reads.contains(&&pf("balances", &["to"])), "{s}");
+        // Condition over the sender's balance.
+        assert!(
+            s.effects.iter().any(|e| matches!(e, Effect::Condition(t)
+                if t.mentions_field(&pf("balances", &["_sender"])))),
+            "{s}"
+        );
+        // Both writes present.
+        let writes: Vec<_> = s.writes().collect();
+        assert_eq!(writes.len(), 2, "{s}");
+    }
+
+    #[test]
+    fn transfer_sender_write_is_linear_sub() {
+        let s = &summaries(TRANSFER)[0];
+        let (_, t) = s
+            .writes()
+            .find(|(w, _)| **w == pf("balances", &["_sender"]))
+            .expect("write to sender's balance");
+        let c = &t.sources().unwrap()[&ContribSource::Field(pf("balances", &["_sender"]))];
+        assert_eq!(c.card, crate::domain::Cardinality::One);
+        assert_eq!(c.ops.iter().collect::<Vec<_>>(), vec![&Op::Builtin("sub".into())]);
+        assert_eq!(c.precision, crate::domain::Precision::Exact);
+    }
+
+    #[test]
+    fn transfer_recipient_write_is_linear_add_despite_option_peel() {
+        let s = &summaries(TRANSFER)[0];
+        let (_, t) = s
+            .writes()
+            .find(|(w, _)| **w == pf("balances", &["to"]))
+            .expect("write to recipient's balance");
+        let c = &t.sources().unwrap()[&ContribSource::Field(pf("balances", &["to"]))];
+        assert_eq!(c.card, crate::domain::Cardinality::One);
+        assert_eq!(c.ops.iter().collect::<Vec<_>>(), vec![&Op::Builtin("add".into())]);
+        // The option-peel keeps the *field's* contribution exact (the
+        // parameter's may degrade), which is what commutativity needs.
+        assert_eq!(c.precision, crate::domain::Precision::Exact, "{t}");
+    }
+
+    #[test]
+    fn nonlinear_use_has_cardinality_many() {
+        let src = r#"
+            contract C ()
+            field n : Uint128 = Uint128 0
+            transition Double ()
+              c <- n;
+              c2 = builtin add c c;
+              n := c2
+            end
+        "#;
+        let s = &summaries(src)[0];
+        let (_, t) = s.writes().next().unwrap();
+        let c = &t.sources().unwrap()[&ContribSource::Field(PseudoField::whole("n"))];
+        assert_eq!(c.card, crate::domain::Cardinality::Many);
+    }
+
+    #[test]
+    fn computed_map_key_gives_top() {
+        let src = r#"
+            contract C ()
+            field m : Map ByStr32 Uint128 = Emp ByStr32 Uint128
+            transition T (x : String, v : Uint128)
+              k = builtin sha256hash x;
+              m[k] := v
+            end
+        "#;
+        let s = &summaries(src)[0];
+        assert!(s.has_top());
+    }
+
+    #[test]
+    fn non_bottom_level_access_gives_top() {
+        let src = r#"
+            contract C ()
+            field m : Map ByStr20 (Map ByStr20 Uint128) = Emp ByStr20 (Map ByStr20 Uint128)
+            transition T (a : ByStr20)
+              sub_opt <- m[a];
+              match sub_opt with
+              | Some s =>
+              | None =>
+              end
+            end
+        "#;
+        let s = &summaries(src)[0];
+        assert!(s.has_top());
+    }
+
+    #[test]
+    fn send_through_library_one_msg_is_summarised() {
+        let src = r#"
+            library L
+            let nil_msg = Nil {Message}
+            let one_msg = fun (m : Message) => Cons {Message} m nil_msg
+            contract C ()
+            transition Ping (to : ByStr20)
+              zero = Uint128 0;
+              m = {_tag : "Pong"; _recipient : to; _amount : zero};
+              msgs = one_msg m;
+              send msgs
+            end
+        "#;
+        let s = &summaries(src)[0];
+        let send = s
+            .effects
+            .iter()
+            .find_map(|e| match e {
+                Effect::SendMsg(m) => Some(m),
+                _ => None,
+            })
+            .expect("send effect");
+        assert!(send.amount_is_zero);
+        assert_eq!(send.tag.as_deref(), Some("Pong"));
+        assert_eq!(
+            send.recipient,
+            ContribType::source(ContribSource::Param("to".into()))
+        );
+    }
+
+    #[test]
+    fn accept_produces_accept_funds() {
+        let src = r#"
+            contract C ()
+            transition Deposit ()
+              accept
+            end
+        "#;
+        let s = &summaries(src)[0];
+        assert_eq!(s.effects, vec![Effect::AcceptFunds]);
+    }
+
+    #[test]
+    fn delete_is_a_bottom_provenance_write() {
+        let src = r#"
+            contract C ()
+            field m : Map ByStr20 Uint128 = Emp ByStr20 Uint128
+            transition Del (k : ByStr20)
+              delete m[k]
+            end
+        "#;
+        let s = &summaries(src)[0];
+        assert!(
+            matches!(&s.effects[0], Effect::Write(w, t)
+                if *w == pf("m", &["k"]) && *t == ContribType::bottom()),
+            "{s}"
+        );
+        // …and it is not commutative: deletes need ownership.
+        let (w, t) = s.writes().next().unwrap();
+        assert!(!crate::signature::is_commutative_write(w, t));
+    }
+
+    #[test]
+    fn whole_field_counter_reads_and_writes() {
+        let src = r#"
+            contract C ()
+            field total : Uint128 = Uint128 0
+            transition Add (v : Uint128)
+              t <- total;
+              t2 = builtin add t v;
+              total := t2
+            end
+        "#;
+        let s = &summaries(src)[0];
+        assert!(s.reads().any(|r| *r == PseudoField::whole("total")));
+        let (_, t) = s.writes().next().unwrap();
+        let c = &t.sources().unwrap()[&ContribSource::Field(PseudoField::whole("total"))];
+        assert_eq!(c.card, crate::domain::Cardinality::One);
+        assert!(c.ops.contains(&Op::Builtin("add".into())));
+    }
+
+    #[test]
+    fn blocknumber_is_a_constant_source() {
+        let src = r#"
+            contract C ()
+            field deadline : BNum = BNum 10
+            transition Check ()
+              blk <- & BLOCKNUMBER;
+              d <- deadline;
+              late = builtin blt d blk;
+              match late with
+              | True => throw
+              | False =>
+              end
+            end
+        "#;
+        let s = &summaries(src)[0];
+        // The condition mentions the deadline field but BLOCKNUMBER is const.
+        let cond = s
+            .effects
+            .iter()
+            .find_map(|e| match e {
+                Effect::Condition(t) => Some(t),
+                _ => None,
+            })
+            .expect("condition");
+        assert!(cond.mentions_field(&PseudoField::whole("deadline")));
+        assert!(cond
+            .sources()
+            .unwrap()
+            .contains_key(&ContribSource::Const("BLOCKNUMBER".into())));
+    }
+
+    #[test]
+    fn read_after_write_degrades_to_top() {
+        let src = r#"
+            contract C ()
+            field m : Map ByStr20 Uint128 = Emp ByStr20 Uint128
+            transition T (k : ByStr20, v : Uint128)
+              m[k] := v;
+              x <- m[k];
+              match x with
+              | Some y => m[k] := y
+              | None =>
+              end
+            end
+        "#;
+        assert!(summaries(src)[0].has_top());
+    }
+}

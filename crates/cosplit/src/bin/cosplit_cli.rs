@@ -1,0 +1,188 @@
+//! The CoSplit command-line tool (paper Fig. 11, offline mode).
+//!
+//! A contract developer runs the analyser over a Scilla source file, asks
+//! the sharding query solver about a selection of transitions, and receives
+//! the sharding signature to submit with the deployment transaction.
+//!
+//! ```text
+//! cosplit <file.scilla | corpus:Name> [--transitions T1,T2,…]
+//!         [--weak-reads f1,f2,… | --accept-stale]
+//!         [--summaries] [--json] [--repair] [--ge]
+//! ```
+
+use cosplit_analysis::ge::ge_stats;
+use cosplit_analysis::repair::repair_contract;
+use cosplit_analysis::signature::WeakReads;
+use cosplit_analysis::solver::AnalyzedContract;
+use std::collections::BTreeSet;
+use std::process::ExitCode;
+
+struct Args {
+    source_arg: String,
+    transitions: Option<Vec<String>>,
+    weak_reads: WeakReads,
+    summaries: bool,
+    json: bool,
+    repair: bool,
+    ge: bool,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: cosplit <file.scilla | corpus:Name> [--transitions T1,T2,...]\n\
+         \x20             [--weak-reads f1,f2,... | --accept-stale]\n\
+         \x20             [--summaries] [--json] [--repair] [--ge]\n\
+         \n\
+         \x20 --transitions   transitions to shard (default: all)\n\
+         \x20 --weak-reads    fields whose reads may be stale (paper §4.2.3)\n\
+         \x20 --accept-stale  accept every weak read the algorithm requires\n\
+         \x20 --summaries     print per-transition effect summaries (Fig. 8)\n\
+         \x20 --json          print the signature's JSON wire form\n\
+         \x20 --repair        attempt the §6 compare-and-swap repair first\n\
+         \x20 --ge            print good-enough signature statistics (Fig. 13)"
+    );
+    std::process::exit(2)
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        source_arg: String::new(),
+        transitions: None,
+        weak_reads: WeakReads::Fields(BTreeSet::new()),
+        summaries: false,
+        json: false,
+        repair: false,
+        ge: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--transitions" => {
+                let v = it.next().unwrap_or_else(|| usage());
+                args.transitions = Some(v.split(',').map(|s| s.trim().to_string()).collect());
+            }
+            "--weak-reads" => {
+                let v = it.next().unwrap_or_else(|| usage());
+                args.weak_reads =
+                    WeakReads::Fields(v.split(',').map(|s| s.trim().to_string()).collect());
+            }
+            "--accept-stale" => args.weak_reads = WeakReads::AcceptAll,
+            "--summaries" => args.summaries = true,
+            "--json" => args.json = true,
+            "--repair" => args.repair = true,
+            "--ge" => args.ge = true,
+            "--help" | "-h" => usage(),
+            other if args.source_arg.is_empty() && !other.starts_with('-') => {
+                args.source_arg = other.to_string();
+            }
+            _ => usage(),
+        }
+    }
+    if args.source_arg.is_empty() {
+        usage();
+    }
+    args
+}
+
+fn load_source(arg: &str) -> Result<String, String> {
+    if let Some(name) = arg.strip_prefix("corpus:") {
+        return scilla::corpus::get(name)
+            .map(|e| e.source.to_string())
+            .ok_or_else(|| format!("unknown corpus contract '{name}'"));
+    }
+    std::fs::read_to_string(arg).map_err(|e| format!("cannot read {arg}: {e}"))
+}
+
+fn main() -> ExitCode {
+    let args = parse_args();
+    let source = match load_source(&args.source_arg) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    // The miner-side pipeline: parse → typecheck.
+    let module = match scilla::parser::parse_module(&source) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut checked = match scilla::typechecker::typecheck(module) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    if args.repair {
+        match repair_contract(&checked) {
+            Ok(outcome) => {
+                for r in &outcome.reports {
+                    for p in &r.added_params {
+                        eprintln!(
+                            "repaired {}: added parameter '{}' : {} (compare-and-swap for '{}')",
+                            r.transition, p.param, p.ty, p.replaces_binder
+                        );
+                    }
+                }
+                if outcome.reports.is_empty() {
+                    eprintln!("repair: nothing to do");
+                }
+                checked = outcome.checked;
+            }
+            Err(e) => {
+                eprintln!("error: repair produced an ill-typed contract: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let analyzed = AnalyzedContract::analyze(&checked);
+
+    if args.summaries {
+        for s in &analyzed.summaries {
+            println!("{s}");
+        }
+    }
+
+    if args.ge {
+        let stats = ge_stats(&analyzed);
+        println!("transitions:           {}", stats.transitions);
+        println!("largest GE signature:  {} {:?}", stats.largest, stats.largest_selection);
+        println!("maximal GE signatures: {}", stats.maximal_count);
+        println!("GE selections total:   {}", stats.ge_count);
+        return ExitCode::SUCCESS;
+    }
+
+    let selection = args.transitions.unwrap_or_else(|| analyzed.transition_names());
+    let signature = analyzed.query(&selection, &args.weak_reads);
+
+    if args.json {
+        println!("{}", signature.to_json());
+        return ExitCode::SUCCESS;
+    }
+
+    println!("contract {}:", analyzed.name);
+    for t in &signature.transitions {
+        println!("  transition {}:", t.name);
+        if t.constraints.is_empty() {
+            println!("    (no constraints)");
+        }
+        for c in &t.constraints {
+            println!("    {c}");
+        }
+    }
+    println!("  joins:");
+    for (f, j) in &signature.joins {
+        println!("    {f} ⊎ {j:?}");
+    }
+    if !signature.weak_reads.is_empty() {
+        println!("  weak reads required: {:?}", signature.weak_reads);
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,509 @@
+//! The CoSplit abstract domain (paper Fig. 6).
+//!
+//! Contribution types over-approximate, for every computed value, *which*
+//! parts of the initial contract state / transition parameters / constants
+//! flow into it, *how many times* (cardinality 0/1/ω), and *through which
+//! operations*. The cardinality algebra is the one in Fig. 6:
+//!
+//! ```text
+//! 0 ⊕ α = α      0 ⊔ α = α      0 ⊗ α = 0
+//! 1 ⊕ 1 = ω      1 ⊔ 1 = 1      1 ⊗ 1 = 1
+//! α ⊕ ω = ω      α ⊔ ω = ω      α ⊗ ω = ω
+//! ```
+//!
+//! Precision is tracked *per contribution source*: a source is `Exact` as
+//! long as no control-flow join merged differing operation sets for it. This
+//! is what lets the paper's §3.5 query — "is the transition's effect on `f`
+//! an addition of a constant to `f`'s old value, its only **exact**
+//! contribution being `Field f ↦ (1, Builtin add)`" — succeed for the
+//! `Transfer` example even though the option-peeling `match` makes the
+//! *parameter* contribution inexact.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// How many times a contribution source flows into a value: 0, 1, or ω
+/// ("many"). Inspired by GHC's cardinality analysis (paper footnote 4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+pub enum Cardinality {
+    /// The source does not flow into the value (but may condition it).
+    Zero,
+    /// Linear: flows in exactly once.
+    One,
+    /// Non-linear: may flow in more than once.
+    Many,
+}
+
+#[allow(clippy::should_implement_trait)] // ⊕/⊗ are the paper's partial operators, not std ops
+impl Cardinality {
+    /// `⊕` — sequential combination (both contributions happen).
+    pub fn add(self, other: Cardinality) -> Cardinality {
+        use Cardinality::*;
+        match (self, other) {
+            (Zero, a) | (a, Zero) => a,
+            _ => Many,
+        }
+    }
+
+    /// `⊔` — join of alternatives (either contribution happens).
+    pub fn join(self, other: Cardinality) -> Cardinality {
+        use Cardinality::*;
+        match (self, other) {
+            (Zero, a) | (a, Zero) => a,
+            (One, One) => One,
+            _ => Many,
+        }
+    }
+
+    /// `⊗` — multiplication (a contribution used through another).
+    pub fn mul(self, other: Cardinality) -> Cardinality {
+        use Cardinality::*;
+        match (self, other) {
+            (Zero, _) | (_, Zero) => Zero,
+            (One, One) => One,
+            _ => Many,
+        }
+    }
+}
+
+impl fmt::Display for Cardinality {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Cardinality::Zero => write!(f, "0"),
+            Cardinality::One => write!(f, "1"),
+            Cardinality::Many => write!(f, "ω"),
+        }
+    }
+}
+
+/// An operation applied to a contribution source on its way into a value.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+pub enum Op {
+    /// A builtin application (`add`, `sub`, `concat`, …).
+    Builtin(String),
+    /// Control-flow dependence introduced by a `match`.
+    Cond,
+}
+
+impl fmt::Display for Op {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Op::Builtin(b) => write!(f, "{b}"),
+            Op::Cond => write!(f, "Cond"),
+        }
+    }
+}
+
+/// A set of operations (ordered `ops1 ⊑ ops2 iff ops1 ⊂ ops2`).
+pub type Ops = BTreeSet<Op>;
+
+/// Whether the analysis lost precision for a source by joining control flows
+/// (`Exact ⊑ Inexact`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+pub enum Precision {
+    /// No over-approximation of operation sets has occurred.
+    Exact,
+    /// Joining control flows merged differing operation sets.
+    Inexact,
+}
+
+impl Precision {
+    /// `⊔` on the two-point precision lattice.
+    pub fn join(self, other: Precision) -> Precision {
+        if self == Precision::Inexact || other == Precision::Inexact {
+            Precision::Inexact
+        } else {
+            Precision::Exact
+        }
+    }
+}
+
+/// One source's contribution: cardinality, operations, and precision.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+pub struct Contribution {
+    /// How many times the source flows in.
+    pub card: Cardinality,
+    /// Which operations it passes through.
+    pub ops: Ops,
+    /// Whether `ops` is exact for this source.
+    pub precision: Precision,
+}
+
+impl Contribution {
+    /// A fresh linear contribution with no operations.
+    pub fn linear() -> Self {
+        Contribution { card: Cardinality::One, ops: Ops::new(), precision: Precision::Exact }
+    }
+
+    fn add(&self, other: &Contribution) -> Contribution {
+        Contribution {
+            card: self.card.add(other.card),
+            ops: self.ops.union(&other.ops).cloned().collect(),
+            precision: self.precision.join(other.precision),
+        }
+    }
+
+    fn join(&self, other: &Contribution) -> Contribution {
+        // Precision degrades exactly when both alternatives genuinely flow
+        // (card ≠ 0) with differing operation sets.
+        let degraded = self.card != Cardinality::Zero
+            && other.card != Cardinality::Zero
+            && self.ops != other.ops;
+        Contribution {
+            card: self.card.join(other.card),
+            ops: self.ops.union(&other.ops).cloned().collect(),
+            precision: if degraded {
+                Precision::Inexact
+            } else {
+                self.precision.join(other.precision)
+            },
+        }
+    }
+}
+
+/// A symbolic state component: a contract field, optionally indexed by map
+/// keys that are transition parameters (paper §3.3, `CanSummarise`).
+///
+/// `balances[_sender]` becomes `PseudoField { field: "balances", keys:
+/// ["_sender"] }`; the keys are *names* that dispatch instantiates with the
+/// actual transaction arguments at runtime (paper §4.3).
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+pub struct PseudoField {
+    /// Field name.
+    pub field: String,
+    /// Parameter names used as map keys, outermost first. Empty for a
+    /// whole-field access.
+    pub keys: Vec<String>,
+}
+
+impl PseudoField {
+    /// A whole-field pseudo-field.
+    pub fn whole(field: impl Into<String>) -> Self {
+        PseudoField { field: field.into(), keys: Vec::new() }
+    }
+
+    /// A map-entry pseudo-field.
+    pub fn entry(field: impl Into<String>, keys: Vec<String>) -> Self {
+        PseudoField { field: field.into(), keys }
+    }
+
+    /// Does this pseudo-field denote the entire field (no keys)?
+    pub fn is_whole_field(&self) -> bool {
+        self.keys.is_empty()
+    }
+}
+
+impl fmt::Display for PseudoField {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.field)?;
+        for k in &self.keys {
+            write!(f, "[{k}]")?;
+        }
+        Ok(())
+    }
+}
+
+/// Where a contribution ultimately comes from (paper Fig. 6, `cs`).
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+pub enum ContribSource {
+    /// The value of a state component at the start of the transition.
+    Field(PseudoField),
+    /// A literal constant (rendered), or an environment constant such as the
+    /// block number. Also covers values of fields proven constant.
+    Const(String),
+    /// A transition or contract parameter (including `_sender`, `_amount`).
+    Param(String),
+}
+
+impl fmt::Display for ContribSource {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ContribSource::Field(pf) => write!(f, "{pf}"),
+            ContribSource::Const(c) => write!(f, "const {c}"),
+            ContribSource::Param(p) => write!(f, "{p}"),
+        }
+    }
+}
+
+/// A contribution type `τ` (paper Fig. 6): a finite map from sources to
+/// [`Contribution`]s — or `⊤`, about which nothing is known.
+///
+/// `⊥` is the empty map. Function types are not represented here: the
+/// analysis propagates abstract closures instead (see `analysis`), which
+/// covers the paper's `EFun` arrow types including second-order use.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+pub enum ContribType {
+    /// A known set of contributions.
+    Known(BTreeMap<ContribSource, Contribution>),
+    /// No information (`⊤`).
+    Top,
+}
+
+impl ContribType {
+    /// `⊥` — the empty contribution.
+    pub fn bottom() -> Self {
+        ContribType::Known(BTreeMap::new())
+    }
+
+    /// A single linear source with no operations.
+    pub fn source(cs: ContribSource) -> Self {
+        let mut sources = BTreeMap::new();
+        sources.insert(cs, Contribution::linear());
+        ContribType::Known(sources)
+    }
+
+    /// Is this `⊤`?
+    pub fn is_top(&self) -> bool {
+        matches!(self, ContribType::Top)
+    }
+
+    /// The sources map, if known.
+    pub fn sources(&self) -> Option<&BTreeMap<ContribSource, Contribution>> {
+        match self {
+            ContribType::Known(sources) => Some(sources),
+            ContribType::Top => None,
+        }
+    }
+
+    /// The overall precision: the join over all sources (`None` for `⊤`).
+    pub fn precision(&self) -> Option<Precision> {
+        self.sources().map(|s| {
+            s.values().fold(Precision::Exact, |acc, c| acc.join(c.precision))
+        })
+    }
+
+    /// `⊕` — combine contributions that both flow into a value
+    /// (cardinalities added pointwise, operations unioned).
+    pub fn add(&self, other: &ContribType) -> ContribType {
+        let (ContribType::Known(a), ContribType::Known(b)) = (self, other) else {
+            return ContribType::Top;
+        };
+        let mut out = a.clone();
+        for (cs, contrib) in b {
+            match out.entry(cs.clone()) {
+                std::collections::btree_map::Entry::Vacant(e) => {
+                    e.insert(contrib.clone());
+                }
+                std::collections::btree_map::Entry::Occupied(mut e) => {
+                    *e.get_mut() = e.get().add(contrib);
+                }
+            }
+        }
+        ContribType::Known(out)
+    }
+
+    /// `⊔` — join of control-flow alternatives. A source's precision
+    /// degrades when the alternatives apply differing operation sets to it.
+    pub fn join(&self, other: &ContribType) -> ContribType {
+        let (ContribType::Known(a), ContribType::Known(b)) = (self, other) else {
+            return ContribType::Top;
+        };
+        let mut out = a.clone();
+        for (cs, contrib) in b {
+            match out.entry(cs.clone()) {
+                std::collections::btree_map::Entry::Vacant(e) => {
+                    e.insert(contrib.clone());
+                }
+                std::collections::btree_map::Entry::Occupied(mut e) => {
+                    *e.get_mut() = e.get().join(contrib);
+                }
+            }
+        }
+        ContribType::Known(out)
+    }
+
+    /// Returns a copy with `op` recorded on every source (the `Builtin`
+    /// rule in Fig. 7: `τ = τ′ with ops += blt`).
+    pub fn with_op(&self, op: Op) -> ContribType {
+        match self {
+            ContribType::Top => ContribType::Top,
+            ContribType::Known(sources) => ContribType::Known(
+                sources
+                    .iter()
+                    .map(|(cs, c)| {
+                        let mut c = c.clone();
+                        c.ops.insert(op.clone());
+                        (cs.clone(), c)
+                    })
+                    .collect(),
+            ),
+        }
+    }
+
+    /// `AdaptC` (paper §3.4): the conditioning contribution of a match
+    /// scrutinee — every source demoted to cardinality 0 with the `Cond`
+    /// operation; `Exact` iff the clause types agreed on their variables.
+    pub fn adapt_cond(&self, same_vars: bool) -> ContribType {
+        match self {
+            ContribType::Top => ContribType::Top,
+            ContribType::Known(sources) => ContribType::Known(
+                sources.keys().map(|cs| {
+                        let mut ops = Ops::new();
+                        ops.insert(Op::Cond);
+                        (
+                            cs.clone(),
+                            Contribution {
+                                card: Cardinality::Zero,
+                                ops,
+                                precision: if same_vars { Precision::Exact } else { Precision::Inexact },
+                            },
+                        )
+                    })
+                    .collect(),
+            ),
+        }
+    }
+
+    /// All `Field` sources mentioned (with any cardinality, including 0).
+    pub fn fields(&self) -> Vec<&PseudoField> {
+        match self {
+            ContribType::Top => Vec::new(),
+            ContribType::Known(sources) => sources.keys().filter_map(|cs| match cs {
+                    ContribSource::Field(pf) => Some(pf),
+                    _ => None,
+                })
+                .collect(),
+        }
+    }
+
+    /// Does the type mention `pf` as a source?
+    pub fn mentions_field(&self, pf: &PseudoField) -> bool {
+        match self {
+            // ⊤ may depend on anything.
+            ContribType::Top => true,
+            ContribType::Known(sources) => sources.contains_key(&ContribSource::Field(pf.clone())),
+        }
+    }
+}
+
+impl fmt::Display for ContribType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ContribType::Top => write!(f, "⊤"),
+            ContribType::Known(sources) => {
+                write!(f, "⟨")?;
+                for (i, (cs, c)) in sources.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{cs} ↦ ({}, {{", c.card)?;
+                    for (j, op) in c.ops.iter().enumerate() {
+                        if j > 0 {
+                            write!(f, " ")?;
+                        }
+                        write!(f, "{op}")?;
+                    }
+                    let p = if c.precision == Precision::Exact { "" } else { "~" };
+                    write!(f, "}}{p})")?;
+                }
+                write!(f, "⟩")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use Cardinality::*;
+
+    #[test]
+    fn cardinality_tables_match_fig6() {
+        // ⊕
+        assert_eq!(Zero.add(One), One);
+        assert_eq!(One.add(Zero), One);
+        assert_eq!(One.add(One), Many);
+        assert_eq!(Many.add(Zero), Many);
+        assert_eq!(One.add(Many), Many);
+        // ⊔
+        assert_eq!(Zero.join(One), One);
+        assert_eq!(One.join(One), One);
+        assert_eq!(One.join(Many), Many);
+        // ⊗
+        assert_eq!(Zero.mul(Many), Zero);
+        assert_eq!(One.mul(One), One);
+        assert_eq!(One.mul(Many), Many);
+    }
+
+    fn field(name: &str) -> ContribSource {
+        ContribSource::Field(PseudoField::whole(name))
+    }
+
+    fn ops(names: &[&str]) -> Ops {
+        names.iter().map(|n| Op::Builtin(n.to_string())).collect()
+    }
+
+    #[test]
+    fn add_sums_cardinalities_and_unions_ops() {
+        let a = ContribType::source(field("f")).with_op(Op::Builtin("add".into()));
+        let b = ContribType::source(field("f")).with_op(Op::Builtin("sub".into()));
+        let sum = a.add(&b);
+        let c = &sum.sources().unwrap()[&field("f")];
+        assert_eq!(c.card, Many);
+        assert_eq!(c.ops, ops(&["add", "sub"]));
+        assert_eq!(c.precision, Precision::Exact);
+    }
+
+    #[test]
+    fn join_keeps_exact_when_ops_agree() {
+        let a = ContribType::source(field("f")).with_op(Op::Builtin("add".into()));
+        let b = ContribType::source(field("f")).with_op(Op::Builtin("add".into()));
+        let j = a.join(&b);
+        let c = &j.sources().unwrap()[&field("f")];
+        assert_eq!(c.precision, Precision::Exact);
+        assert_eq!(c.card, One);
+    }
+
+    #[test]
+    fn join_degrades_precision_on_differing_ops() {
+        let a = ContribType::source(field("f")).with_op(Op::Builtin("add".into()));
+        let b = ContribType::source(field("f")).with_op(Op::Builtin("mul".into()));
+        let j = a.join(&b);
+        assert_eq!(j.sources().unwrap()[&field("f")].precision, Precision::Inexact);
+        assert_eq!(j.precision(), Some(Precision::Inexact));
+    }
+
+    #[test]
+    fn join_with_absent_source_stays_exact_per_source() {
+        // The option-peel pattern: `Some b => add b amount | None => amount`.
+        let amount = ContribSource::Param("amount".into());
+        let some_branch = ContribType::source(field("bal"))
+            .add(&ContribType::source(amount.clone()))
+            .with_op(Op::Builtin("add".into()));
+        let none_branch = ContribType::source(amount.clone());
+        let j = some_branch.join(&none_branch);
+        // The field's contribution stays exact (its ops agree wherever it
+        // flows), even though the parameter's becomes inexact.
+        let f = &j.sources().unwrap()[&field("bal")];
+        assert_eq!((f.card, f.precision), (One, Precision::Exact));
+        assert_eq!(f.ops, ops(&["add"]));
+        assert_eq!(j.sources().unwrap()[&amount].precision, Precision::Inexact);
+    }
+
+    #[test]
+    fn top_is_absorbing() {
+        let a = ContribType::source(field("f"));
+        assert!(a.add(&ContribType::Top).is_top());
+        assert!(ContribType::Top.join(&a).is_top());
+        assert!(ContribType::Top.with_op(Op::Cond).is_top());
+    }
+
+    #[test]
+    fn adapt_cond_zeroes_cardinalities() {
+        let a = ContribType::source(field("f"));
+        let c = a.adapt_cond(true);
+        let contrib = &c.sources().unwrap()[&field("f")];
+        assert_eq!(contrib.card, Zero);
+        assert!(contrib.ops.contains(&Op::Cond));
+        assert_eq!(contrib.precision, Precision::Exact);
+        assert_eq!(a.adapt_cond(false).precision(), Some(Precision::Inexact));
+    }
+
+    #[test]
+    fn display_round_trips_shape() {
+        let pf = PseudoField::entry("balances", vec!["_sender".into()]);
+        assert_eq!(pf.to_string(), "balances[_sender]");
+        assert!(!pf.is_whole_field());
+        assert!(PseudoField::whole("x").is_whole_field());
+    }
+}

@@ -1,0 +1,135 @@
+//! Transition effects and summaries (paper §3.2–3.3, Fig. 8).
+
+use crate::domain::{ContribType, PseudoField};
+use std::fmt;
+
+/// An abstract message observed at a `send` (the payload of `SendMsg(τ)`).
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct MsgAbs {
+    /// Contribution of the `_recipient` entry.
+    pub recipient: ContribType,
+    /// Contribution of the `_amount` entry.
+    pub amount: ContribType,
+    /// Whether the `_amount` is statically the constant zero.
+    pub amount_is_zero: bool,
+    /// The `_tag`, when it is a string literal.
+    pub tag: Option<String>,
+}
+
+/// One effect of a transition (paper Fig. 6, `ε`).
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum Effect {
+    /// The transition may read this state component's initial value.
+    Read(PseudoField),
+    /// The transition may write this state component; `τ` describes the
+    /// written value's provenance.
+    Write(PseudoField, ContribType),
+    /// Control flow depends on this contribution.
+    Condition(ContribType),
+    /// `accept` ran: the contract's and sender's native balances change.
+    AcceptFunds,
+    /// `send` ran with this abstract message.
+    SendMsg(MsgAbs),
+    /// Nothing is known (unsummarisable access, unknown message, …).
+    Top,
+}
+
+impl fmt::Display for Effect {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Effect::Read(pf) => write!(f, "Read({pf})"),
+            Effect::Write(pf, t) => write!(f, "Write({pf}, {t})"),
+            Effect::Condition(t) => write!(f, "Condition({t})"),
+            Effect::AcceptFunds => write!(f, "AcceptFunds"),
+            Effect::SendMsg(m) => {
+                let funds = if m.amount_is_zero { "zero".to_string() } else { m.amount.to_string() };
+                write!(f, "SendMsg(funds = {funds}; destination = {})", m.recipient)
+            }
+            Effect::Top => write!(f, "⊤"),
+        }
+    }
+}
+
+/// The effect summary of one transition.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct TransitionSummary {
+    /// The transition's name.
+    pub name: String,
+    /// The transition's declared parameter names, in order (used by
+    /// dispatch to instantiate pseudo-field keys).
+    pub params: Vec<String>,
+    /// The effects, in a canonical order with duplicates removed.
+    pub effects: Vec<Effect>,
+}
+
+impl TransitionSummary {
+    /// Appends an effect, dropping exact duplicates.
+    pub fn push(&mut self, e: Effect) {
+        if !self.effects.contains(&e) {
+            self.effects.push(e);
+        }
+    }
+
+    /// Does the summary contain the uninformative `⊤` effect?
+    pub fn has_top(&self) -> bool {
+        self.effects.iter().any(|e| matches!(e, Effect::Top))
+    }
+
+    /// Does the summary contain a `Write` to a pseudo-field with the given
+    /// field name and keys? (Used by the `MapGet` rule's `b` condition.)
+    pub fn has_write(&self, pf: &PseudoField) -> bool {
+        self.effects.iter().any(|e| matches!(e, Effect::Write(w, _) if w == pf))
+    }
+
+    /// All pseudo-fields read.
+    pub fn reads(&self) -> impl Iterator<Item = &PseudoField> {
+        self.effects.iter().filter_map(|e| match e {
+            Effect::Read(pf) => Some(pf),
+            _ => None,
+        })
+    }
+
+    /// All writes with their contribution types.
+    pub fn writes(&self) -> impl Iterator<Item = (&PseudoField, &ContribType)> {
+        self.effects.iter().filter_map(|e| match e {
+            Effect::Write(pf, t) => Some((pf, t)),
+            _ => None,
+        })
+    }
+}
+
+impl fmt::Display for TransitionSummary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "transition {}:", self.name)?;
+        for e in &self.effects {
+            writeln!(f, "  {e}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_dedupes() {
+        let mut s = TransitionSummary { name: "T".into(), params: vec![], effects: vec![] };
+        let pf = PseudoField::whole("f");
+        s.push(Effect::Read(pf.clone()));
+        s.push(Effect::Read(pf.clone()));
+        assert_eq!(s.effects.len(), 1);
+        assert!(!s.has_top());
+        s.push(Effect::Top);
+        assert!(s.has_top());
+    }
+
+    #[test]
+    fn has_write_matches_exact_pseudofield() {
+        let mut s = TransitionSummary { name: "T".into(), params: vec![], effects: vec![] };
+        let pf = PseudoField::entry("m", vec!["k".into()]);
+        s.push(Effect::Write(pf.clone(), ContribType::bottom()));
+        assert!(s.has_write(&pf));
+        assert!(!s.has_write(&PseudoField::entry("m", vec!["other".into()])));
+    }
+}

@@ -1,0 +1,298 @@
+//! Good-enough sharding signatures (paper §5.1.2, Defs. 5.1–5.3).
+//!
+//! A signature is *good enough* (GE) when some contract state exists in
+//! which all its selected transitions can run in parallel in different
+//! shards; the paper quantifies analysis efficacy by the size of the largest
+//! GE signature and the number of *maximal* GE signatures per contract
+//! (Fig. 13a/b).
+
+use crate::signature::{ShardingSignature, WeakReads};
+use crate::solver::AnalyzedContract;
+use std::collections::{BTreeSet, HashSet};
+
+/// Is `sig` good enough for its selection (paper Def. 5.2)?
+///
+/// * `k = 1`: the single transition must be shardable and hog no field.
+/// * `k > 1`: every field is hogged by at most one transition (an
+///   unsatisfiable transition counts as hogging every field).
+pub fn is_good_enough(sig: &ShardingSignature, all_fields: &[String]) -> bool {
+    match sig.transitions.len() {
+        0 => false,
+        1 => {
+            let t = &sig.transitions[0];
+            t.is_shardable() && t.hogged_fields(all_fields).is_empty()
+        }
+        _ => {
+            let mut hogged_by_one: BTreeSet<String> = BTreeSet::new();
+            for t in &sig.transitions {
+                // An unsatisfiable transition cannot run in any shard, so no
+                // state exists in which the whole selection runs in parallel.
+                if !t.is_shardable() {
+                    return false;
+                }
+                for f in t.hogged_fields(all_fields) {
+                    if !hogged_by_one.insert(f) {
+                        return false;
+                    }
+                }
+            }
+            true
+        }
+    }
+}
+
+/// The GE statistics the paper reports per contract (Fig. 13).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GeStats {
+    /// Number of transitions in the contract.
+    pub transitions: usize,
+    /// Size of the largest good-enough signature (0 if none exists).
+    pub largest: usize,
+    /// One selection witnessing `largest` (empty if none).
+    pub largest_selection: Vec<String>,
+    /// Number of maximal GE signatures (Def. 5.3).
+    pub maximal_count: usize,
+    /// Total number of GE selections.
+    pub ge_count: usize,
+}
+
+/// Enumerates all `Σ (n choose k)` transition selections of a contract and
+/// computes its GE statistics (the offline computation of paper §5.1.2; the
+/// paper notes this is impractical at mining time, which is why deployers do
+/// it offline).
+///
+/// Weak reads are taken as accepted for every field — the most permissive
+/// deployer, matching the paper's evaluation setting.
+///
+/// # Panics
+///
+/// Panics if the contract has more than 24 transitions (the paper's corpus
+/// maximum is 18; the enumeration is exponential by design).
+pub fn ge_stats(contract: &AnalyzedContract) -> GeStats {
+    let names = contract.transition_names();
+    let n = names.len();
+    assert!(n <= 24, "GE enumeration is exponential; {n} transitions is beyond the corpus scale");
+
+    let mut ge_masks: HashSet<u32> = HashSet::new();
+    let mut largest: u32 = 0;
+    let mut largest_mask: u32 = 0;
+    for mask in 1u32..(1 << n) {
+        let selection: Vec<String> = (0..n)
+            .filter(|i| mask & (1 << i) != 0)
+            .map(|i| names[i].clone())
+            .collect();
+        let sig = contract.query(&selection, &WeakReads::AcceptAll);
+        if is_good_enough(&sig, &contract.field_names) {
+            ge_masks.insert(mask);
+            if mask.count_ones() > largest {
+                largest = mask.count_ones();
+                largest_mask = mask;
+            }
+        }
+    }
+
+    let maximal_count = ge_masks
+        .iter()
+        .filter(|&&mask| {
+            (0..n).all(|i| {
+                let sup = mask | (1 << i);
+                sup == mask || !ge_masks.contains(&sup)
+            })
+        })
+        .count();
+
+    GeStats {
+        transitions: n,
+        largest: largest as usize,
+        largest_selection: (0..n)
+            .filter(|i| largest_mask & (1 << i) != 0)
+            .map(|i| names[i].clone())
+            .collect(),
+        maximal_count,
+        ge_count: ge_masks.len(),
+    }
+}
+
+/// Chooses the best *maximal* GE selection under an expected workload
+/// (paper §5.1.2: "a larger GE signature might perform worse under
+/// real-world load than one with a smaller k, which shards different but
+/// more frequently used transitions").
+///
+/// `usage` maps transition names to expected relative frequencies (missing
+/// transitions count as 0). Returns the maximal GE selection with the
+/// highest covered usage, ties broken towards more transitions, then
+/// lexicographically for determinism; `None` when the contract has no GE
+/// selection at all.
+pub fn best_selection_for_usage(
+    contract: &AnalyzedContract,
+    usage: &std::collections::BTreeMap<String, f64>,
+) -> Option<Vec<String>> {
+    let names = contract.transition_names();
+    let n = names.len();
+    assert!(n <= 24, "GE enumeration is exponential; {n} transitions is beyond the corpus scale");
+    let mut ge_masks: HashSet<u32> = HashSet::new();
+    for mask in 1u32..(1 << n) {
+        let selection: Vec<String> =
+            (0..n).filter(|i| mask & (1 << i) != 0).map(|i| names[i].clone()).collect();
+        let sig = contract.query(&selection, &WeakReads::AcceptAll);
+        if is_good_enough(&sig, &contract.field_names) {
+            ge_masks.insert(mask);
+        }
+    }
+    let maximal = ge_masks.iter().copied().filter(|&mask| {
+        (0..n).all(|i| {
+            let sup = mask | (1 << i);
+            sup == mask || !ge_masks.contains(&sup)
+        })
+    });
+    let score = |mask: u32| -> f64 {
+        (0..n)
+            .filter(|i| mask & (1 << i) != 0)
+            .map(|i| usage.get(&names[i]).copied().unwrap_or(0.0))
+            .sum()
+    };
+    let selection_of = |mask: u32| -> Vec<String> {
+        (0..n).filter(|i| mask & (1 << i) != 0).map(|i| names[i].clone()).collect()
+    };
+    maximal
+        .map(|mask| (mask, score(mask)))
+        .max_by(|(ma, sa), (mb, sb)| {
+            sa.partial_cmp(sb)
+                .expect("usage scores are finite")
+                .then(ma.count_ones().cmp(&mb.count_ones()))
+                .then_with(|| selection_of(*mb).cmp(&selection_of(*ma)))
+        })
+        .map(|(mask, _)| selection_of(mask))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scilla::parser::parse_module;
+    use scilla::typechecker::typecheck;
+
+    fn analyzed(src: &str) -> AnalyzedContract {
+        AnalyzedContract::analyze(&typecheck(parse_module(src).unwrap()).unwrap())
+    }
+
+    #[test]
+    fn disjoint_transitions_are_all_ge() {
+        let src = r#"
+            contract C ()
+            field a : Map ByStr20 Uint128 = Emp ByStr20 Uint128
+            field b : Map ByStr20 Uint128 = Emp ByStr20 Uint128
+            transition PutA (k : ByStr20, v : Uint128)
+              a[k] := v
+            end
+            transition PutB (k : ByStr20, v : Uint128)
+              b[k] := v
+            end
+        "#;
+        let stats = ge_stats(&analyzed(src));
+        assert_eq!(stats.largest, 2);
+        assert_eq!(stats.maximal_count, 1);
+        assert_eq!(stats.ge_count, 3); // {PutA}, {PutB}, {PutA, PutB}
+    }
+
+    #[test]
+    fn two_hoggers_of_same_field_cannot_combine() {
+        let src = r#"
+            contract C ()
+            field total : Uint128 = Uint128 0
+            transition SetA (v : Uint128)
+              total := v
+            end
+            transition SetB (v : Uint128)
+              total := v
+            end
+        "#;
+        let stats = ge_stats(&analyzed(src));
+        // Each alone hogs `total`, so not GE at k = 1 either.
+        assert_eq!(stats.largest, 0);
+        assert_eq!(stats.ge_count, 0);
+        assert_eq!(stats.maximal_count, 0);
+    }
+
+    #[test]
+    fn hogger_plus_entrywise_writer_is_ge_at_two() {
+        let src = r#"
+            contract C ()
+            field total : Uint128 = Uint128 0
+            field m : Map ByStr20 Uint128 = Emp ByStr20 Uint128
+            transition SetTotal (v : Uint128)
+              total := v
+            end
+            transition Put (k : ByStr20, v : Uint128)
+              m[k] := v
+            end
+        "#;
+        let stats = ge_stats(&analyzed(src));
+        assert_eq!(stats.largest, 2);
+        // {Put} and {SetTotal, Put} are GE; {SetTotal} alone hogs.
+        assert_eq!(stats.ge_count, 2);
+        assert_eq!(stats.maximal_count, 1);
+    }
+
+    #[test]
+    fn usage_weights_pick_between_maximal_selections() {
+        // FungibleToken has two maximal GE selections: one with Mint, one
+        // with ChangeMinter. Usage decides which wins.
+        let entry = scilla::corpus::get("FungibleToken").unwrap();
+        let a = analyzed(entry.source);
+
+        let mut minting_heavy = std::collections::BTreeMap::new();
+        minting_heavy.insert("Mint".to_string(), 10.0);
+        minting_heavy.insert("Transfer".to_string(), 5.0);
+        let best = best_selection_for_usage(&a, &minting_heavy).unwrap();
+        assert!(best.contains(&"Mint".to_string()), "{best:?}");
+        assert!(!best.contains(&"ChangeMinter".to_string()));
+
+        let mut admin_heavy = std::collections::BTreeMap::new();
+        admin_heavy.insert("ChangeMinter".to_string(), 10.0);
+        admin_heavy.insert("Transfer".to_string(), 5.0);
+        let best = best_selection_for_usage(&a, &admin_heavy).unwrap();
+        assert!(best.contains(&"ChangeMinter".to_string()), "{best:?}");
+        assert!(!best.contains(&"Mint".to_string()));
+    }
+
+    #[test]
+    fn usage_selection_none_when_nothing_is_ge() {
+        let src = r#"
+            contract C ()
+            field total : Uint128 = Uint128 0
+            transition Set (v : Uint128)
+              total := v
+            end
+        "#;
+        let a = analyzed(src);
+        assert_eq!(best_selection_for_usage(&a, &Default::default()), None);
+    }
+
+    #[test]
+    fn selection_dependence_of_hogging() {
+        // Reader of `cfg` hogs it only when a writer of `cfg` is co-selected.
+        let src = r#"
+            contract C ()
+            field cfg : Uint128 = Uint128 5
+            field m : Map ByStr20 Uint128 = Emp ByStr20 Uint128
+            transition UseCfg (k : ByStr20)
+              c <- cfg;
+              m[k] := c
+            end
+            transition SetCfg (v : Uint128)
+              cfg := v
+            end
+        "#;
+        let a = analyzed(src);
+        let alone = a.query(&["UseCfg".into()], &WeakReads::AcceptAll);
+        assert!(is_good_enough(&alone, &a.field_names));
+        let both = a.query(&["UseCfg".into(), "SetCfg".into()], &WeakReads::AcceptAll);
+        // Both hog cfg (reader must own it, writer must own it) → not GE.
+        assert!(!is_good_enough(&both, &a.field_names));
+        let stats = ge_stats(&a);
+        // Only {UseCfg} is GE: SetCfg hogs cfg even alone.
+        assert_eq!(stats.largest, 1);
+        assert_eq!(stats.maximal_count, 1);
+        assert_eq!(stats.ge_count, 1);
+    }
+}

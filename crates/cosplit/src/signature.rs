@@ -1,0 +1,708 @@
+//! Sharding signatures and their derivation (paper §3.5, Algorithm 3.1,
+//! Fig. 9).
+//!
+//! A signature is the wire-format artefact a contract deployer submits
+//! alongside the contract: per-transition ownership constraints `oc` plus a
+//! per-field join operation `⊎f`. The blockchain's lookup nodes evaluate the
+//! constraints at dispatch time (paper §4.3), and the DS committee uses the
+//! joins to merge per-shard state deltas.
+
+use crate::domain::{Cardinality, ContribSource, ContribType, Op, Precision, PseudoField};
+use crate::effects::{Effect, TransitionSummary};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// A per-field join operation `⊎f` (paper Fig. 9 top).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum Join {
+    /// Strategy 1: entries are disjointly owned; merging overwrites the
+    /// owner's values.
+    OwnOverwrite,
+    /// Strategy 2: concurrent integer updates merge by summing deltas.
+    IntMerge,
+}
+
+/// A runtime-checkable ownership constraint (paper Fig. 9 top, `oc`).
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
+pub enum Constraint {
+    /// The executing shard must own this (symbolic) state component.
+    Owns(PseudoField),
+    /// The named parameter must hold a user (non-contract) address.
+    UserAddr(String),
+    /// The two key tuples must not alias at runtime.
+    NoAliases(Vec<String>, Vec<String>),
+    /// The executing shard must own the sender's account (the transition
+    /// accepts funds).
+    SenderShard,
+    /// The executing shard must own the contract's account (the transition
+    /// sends funds out).
+    ContractShard,
+    /// Unsatisfiable: the transition must be processed sequentially by the
+    /// DS committee.
+    Unsat,
+}
+
+impl fmt::Display for Constraint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Constraint::Owns(pf) => write!(f, "Owns({pf})"),
+            Constraint::UserAddr(p) => write!(f, "UserAddr({p})"),
+            Constraint::NoAliases(a, b) => write!(f, "NoAliases([{}], [{}])", a.join(","), b.join(",")),
+            Constraint::SenderShard => write!(f, "SenderShard"),
+            Constraint::ContractShard => write!(f, "ContractShard"),
+            Constraint::Unsat => write!(f, "⊥"),
+        }
+    }
+}
+
+/// The constraints of one sharded transition.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct TransitionConstraints {
+    /// Transition name.
+    pub name: String,
+    /// Declared parameter names (dispatch resolves pseudo-field keys and
+    /// `UserAddr` arguments against these plus `_sender`/`_origin`).
+    pub params: Vec<String>,
+    /// The constraint set; contains [`Constraint::Unsat`] if the transition
+    /// cannot be sharded.
+    pub constraints: BTreeSet<Constraint>,
+}
+
+impl TransitionConstraints {
+    /// Is this transition shardable at all?
+    pub fn is_shardable(&self) -> bool {
+        !self.constraints.contains(&Constraint::Unsat)
+    }
+
+    /// Fields fully owned ("hogged", paper Def. 5.1) by this transition: a
+    /// whole-field `Owns`, or everything when unsatisfiable.
+    pub fn hogged_fields(&self, all_fields: &[String]) -> BTreeSet<String> {
+        if !self.is_shardable() {
+            return all_fields.iter().cloned().collect();
+        }
+        self.constraints
+            .iter()
+            .filter_map(|c| match c {
+                Constraint::Owns(pf) if pf.is_whole_field() => Some(pf.field.clone()),
+                _ => None,
+            })
+            .collect()
+    }
+}
+
+/// A complete sharding signature for a selection of transitions.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct ShardingSignature {
+    /// Constraints per selected transition.
+    pub transitions: Vec<TransitionConstraints>,
+    /// Join operation per written field. Fields commutatively written by all
+    /// writers get [`Join::IntMerge`]; everything else [`Join::OwnOverwrite`].
+    pub joins: BTreeMap<String, Join>,
+    /// Fields whose reads the deployer accepted as possibly stale
+    /// (paper §4.2.3).
+    pub weak_reads: BTreeSet<String>,
+}
+
+impl ShardingSignature {
+    /// Looks up the constraints for a transition, if selected.
+    pub fn transition(&self, name: &str) -> Option<&TransitionConstraints> {
+        self.transitions.iter().find(|t| t.name == name)
+    }
+
+    /// Serialises to the JSON wire format exchanged with the blockchain
+    /// nodes (the paper's CoSplit↔Zilliqa JSON-RPC boundary).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("signature serialises")
+    }
+
+    /// Parses the JSON wire format.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying `serde_json` error on malformed input.
+    pub fn from_json(s: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(s)
+    }
+}
+
+/// Which reads the deployer accepts as weak (possibly stale, §4.2.3).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WeakReads {
+    /// Accept staleness on every field the algorithm requires.
+    AcceptAll,
+    /// Accept staleness only on the listed fields.
+    Fields(BTreeSet<String>),
+}
+
+impl WeakReads {
+    fn accepts(&self, field: &str) -> bool {
+        match self {
+            WeakReads::AcceptAll => true,
+            WeakReads::Fields(fs) => fs.contains(field),
+        }
+    }
+}
+
+/// The commutative operations mergeable by [`Join::IntMerge`]: additions and
+/// subtractions of values independent of the written field (deltas compose
+/// in any order).
+fn is_merge_op(op: &Op) -> bool {
+    matches!(op, Op::Builtin(b) if b == "add" || b == "sub")
+}
+
+/// Is this write commutative (paper §3.4)? The written value's only *field*
+/// contribution must be the written component itself, linearly (cardinality
+/// 1), through `add`/`sub` only, with exact precision; all other sources
+/// must be constants or parameters.
+pub fn is_commutative_write(pf: &PseudoField, t: &ContribType) -> bool {
+    let ContribType::Known(sources) = t else { return false };
+    let mut has_self = false;
+    for (cs, c) in sources {
+        match cs {
+            ContribSource::Field(f) => {
+                if f != pf
+                    || c.card != Cardinality::One
+                    || c.precision != Precision::Exact
+                    || c.ops.is_empty()
+                    || !c.ops.iter().all(is_merge_op)
+                {
+                    return false;
+                }
+                has_self = true;
+            }
+            ContribSource::Const(_) | ContribSource::Param(_) => {}
+        }
+    }
+    has_self
+}
+
+/// Derives a sharding signature for `selected` transitions out of the
+/// contract's `summaries` (paper Algorithm 3.1).
+///
+/// Transitions whose summaries contain `⊤` get the unsatisfiable constraint
+/// (they are always routed to the DS committee, where they run sequentially
+/// after the shard deltas merge, so they do not constrain the other
+/// transitions' joins).
+///
+/// If the deployer declines a required weak read, the corresponding field's
+/// `IntMerge` join is revoked and the derivation re-runs, falling back to
+/// ownership for that field.
+pub fn derive_signature(
+    summaries: &[TransitionSummary],
+    selected: &[String],
+    weak_reads: &WeakReads,
+) -> ShardingSignature {
+    let chosen: Vec<&TransitionSummary> = selected
+        .iter()
+        .filter_map(|name| summaries.iter().find(|s| s.name == *name))
+        .collect();
+
+    let mut merge_excluded: BTreeSet<String> = BTreeSet::new();
+    loop {
+        let result = derive_once(&chosen, &merge_excluded);
+        // StaleReads: remaining reads of IntMerge fields may be stale; the
+        // deployer must accept each such field as weakly read.
+        let stale: BTreeSet<String> = result
+            .stale_fields
+            .iter()
+            .filter(|f| !weak_reads.accepts(f))
+            .cloned()
+            .collect();
+        if stale.is_empty() {
+            return result.signature;
+        }
+        merge_excluded.extend(stale);
+    }
+}
+
+struct Derivation {
+    signature: ShardingSignature,
+    stale_fields: BTreeSet<String>,
+}
+
+fn derive_once(chosen: &[&TransitionSummary], merge_excluded: &BTreeSet<String>) -> Derivation {
+    let usable: Vec<&&TransitionSummary> = chosen.iter().filter(|s| !s.has_top()).collect();
+
+    // --- GetConstantFields: fields written by no usable selected transition.
+    let written_fields: BTreeSet<String> = usable
+        .iter()
+        .flat_map(|s| s.writes().map(|(pf, _)| pf.field.clone()))
+        .collect();
+
+    // --- Per-summary rewritten effect lists with constant fields folded in.
+    let rewritten: Vec<Vec<Effect>> = usable
+        .iter()
+        .map(|s| {
+            s.effects
+                .iter()
+                .filter_map(|e| rewrite_effect(e, &written_fields))
+                .collect()
+        })
+        .collect();
+
+    // --- GetTransitionCommWrites: per summary, locally-commutative writes.
+    let local_cws: Vec<BTreeSet<PseudoField>> = rewritten
+        .iter()
+        .map(|effects| {
+            effects
+                .iter()
+                .filter_map(|e| match e {
+                    Effect::Write(pf, t)
+                        if is_commutative_write(pf, t) && !merge_excluded.contains(&pf.field) =>
+                    {
+                        Some(pf.clone())
+                    }
+                    _ => None,
+                })
+                .collect()
+        })
+        .collect();
+
+    // --- TryConsolidateJoinsGlobally: a field is mergeable only if *every*
+    // write to it (in every usable selected transition) is commutative.
+    let candidates: BTreeSet<String> =
+        local_cws.iter().flatten().map(|pf| pf.field.clone()).collect();
+    let mergeable: BTreeSet<String> = candidates
+        .into_iter()
+        .filter(|f| {
+            rewritten.iter().zip(&local_cws).all(|(effects, cws)| {
+                effects.iter().all(|e| match e {
+                    Effect::Write(pf, _) if pf.field == *f => cws.contains(pf),
+                    _ => true,
+                })
+            })
+        })
+        .collect();
+    let cws: Vec<BTreeSet<PseudoField>> = local_cws
+        .iter()
+        .map(|set| set.iter().filter(|pf| mergeable.contains(&pf.field)).cloned().collect())
+        .collect();
+
+    // --- Joins: IntMerge for mergeable fields, OwnOverwrite for the rest.
+    let joins: BTreeMap<String, Join> = written_fields
+        .iter()
+        .map(|f| {
+            let j = if mergeable.contains(f) { Join::IntMerge } else { Join::OwnOverwrite };
+            (f.clone(), j)
+        })
+        .collect();
+
+    // --- RemoveSpuriousReads + constraint generation per transition.
+    let mut transitions = Vec::with_capacity(chosen.len());
+    let mut stale_fields = BTreeSet::new();
+    let mut usable_idx = 0;
+    for s in chosen {
+        if s.has_top() {
+            transitions.push(TransitionConstraints {
+                name: s.name.clone(),
+                params: s.params.clone(),
+                constraints: BTreeSet::from([Constraint::Unsat]),
+            });
+            continue;
+        }
+        let effects = &rewritten[usable_idx];
+        let my_cws = &cws[usable_idx];
+        usable_idx += 1;
+
+        let mut constraints = BTreeSet::new();
+        for e in effects {
+            match e {
+                Effect::AcceptFunds => {
+                    constraints.insert(Constraint::SenderShard);
+                }
+                Effect::SendMsg(m) => {
+                    if !m.amount_is_zero {
+                        constraints.insert(Constraint::ContractShard);
+                    }
+                    match sole_param(&m.recipient) {
+                        Some(p) => {
+                            constraints.insert(Constraint::UserAddr(p));
+                        }
+                        None => {
+                            constraints.insert(Constraint::Unsat);
+                        }
+                    }
+                }
+                Effect::Top => {
+                    constraints.insert(Constraint::Unsat);
+                }
+                _ => {}
+            }
+        }
+
+        // Ownership of reads that are not spurious. A read is spurious when
+        // its field merges (IntMerge) and its value flows only into this
+        // transition's commutative writes (paper: RemoveSpuriousReads).
+        for e in effects {
+            if let Effect::Read(pf) = e {
+                let spurious = mergeable.contains(&pf.field) && !flows_elsewhere(pf, effects, my_cws);
+                if spurious {
+                    continue;
+                }
+                if mergeable.contains(&pf.field) {
+                    stale_fields.insert(pf.field.clone());
+                }
+                constraints.insert(Constraint::Owns(pf.clone()));
+            }
+        }
+
+        // Ownership of non-commutative writes.
+        for e in effects {
+            if let Effect::Write(pf, _) = e {
+                if !my_cws.contains(pf) {
+                    constraints.insert(Constraint::Owns(pf.clone()));
+                }
+            }
+        }
+
+        // NoAliases between distinct key tuples over the same map (analysis
+        // soundness precondition, paper §3.5).
+        let mut accesses: BTreeMap<&str, BTreeSet<&Vec<String>>> = BTreeMap::new();
+        for e in effects {
+            let pf = match e {
+                Effect::Read(pf) | Effect::Write(pf, _) => pf,
+                _ => continue,
+            };
+            if !pf.keys.is_empty() {
+                accesses.entry(&pf.field).or_default().insert(&pf.keys);
+            }
+        }
+        for tuples in accesses.values() {
+            let v: Vec<_> = tuples.iter().collect();
+            for i in 0..v.len() {
+                for j in (i + 1)..v.len() {
+                    if v[i].len() == v[j].len() {
+                        constraints
+                            .insert(Constraint::NoAliases((*v[i]).clone(), (*v[j]).clone()));
+                    }
+                }
+            }
+        }
+
+        transitions.push(TransitionConstraints {
+            name: s.name.clone(),
+            params: s.params.clone(),
+            constraints,
+        });
+    }
+
+    Derivation {
+        signature: ShardingSignature { transitions, joins, weak_reads: stale_fields.clone() },
+        stale_fields,
+    }
+}
+
+/// Rewrites an effect for a selection where `written_fields` are the only
+/// non-constant fields: reads of constant fields disappear, and their
+/// contribution sources become constants (Algorithm 3.1's
+/// `MarkConstantsInTypes`).
+fn rewrite_effect(e: &Effect, written_fields: &BTreeSet<String>) -> Option<Effect> {
+    let mark = |t: &ContribType| mark_constants(t, written_fields);
+    match e {
+        Effect::Read(pf) if !written_fields.contains(&pf.field) => None,
+        Effect::Read(pf) => Some(Effect::Read(pf.clone())),
+        Effect::Write(pf, t) => Some(Effect::Write(pf.clone(), mark(t))),
+        Effect::Condition(t) => {
+            let t = mark(t);
+            // A condition over constants no longer constrains anything.
+            if t.fields().is_empty() && !t.is_top() {
+                None
+            } else {
+                Some(Effect::Condition(t))
+            }
+        }
+        Effect::SendMsg(m) => {
+            let mut m = m.clone();
+            m.recipient = mark(&m.recipient);
+            m.amount = mark(&m.amount);
+            Some(Effect::SendMsg(m))
+        }
+        Effect::AcceptFunds => Some(Effect::AcceptFunds),
+        Effect::Top => Some(Effect::Top),
+    }
+}
+
+fn mark_constants(t: &ContribType, written_fields: &BTreeSet<String>) -> ContribType {
+    let ContribType::Known(sources) = t else { return ContribType::Top };
+    let mut out = ContribType::bottom();
+    for (cs, c) in sources {
+        let key = match cs {
+            ContribSource::Field(pf) if !written_fields.contains(&pf.field) => {
+                ContribSource::Const(format!("field {pf}"))
+            }
+            other => other.clone(),
+        };
+        let mut single = BTreeMap::new();
+        single.insert(key, c.clone());
+        out = out.add(&ContribType::Known(single));
+    }
+    out
+}
+
+/// Does the value of `pf` flow anywhere besides this transition's
+/// commutative writes — another write's value, a condition, or a message?
+fn flows_elsewhere(pf: &PseudoField, effects: &[Effect], cws: &BTreeSet<PseudoField>) -> bool {
+    effects.iter().any(|e| match e {
+        Effect::Write(w, t) => !cws.contains(w) && t.mentions_field(pf),
+        Effect::Condition(t) => t.mentions_field(pf),
+        Effect::SendMsg(m) => m.recipient.mentions_field(pf) || m.amount.mentions_field(pf),
+        _ => false,
+    })
+}
+
+/// If `t` is exactly one parameter used linearly with no operations, returns
+/// that parameter's name.
+fn sole_param(t: &ContribType) -> Option<String> {
+    let sources = t.sources()?;
+    if sources.len() != 1 {
+        return None;
+    }
+    match sources.iter().next() {
+        Some((ContribSource::Param(p), c))
+            if c.card == Cardinality::One && c.ops.is_empty() && c.precision == Precision::Exact =>
+        {
+            Some(p.clone())
+        }
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::summarize_contract;
+    use scilla::parser::parse_module;
+    use scilla::typechecker::typecheck;
+
+    fn summaries(src: &str) -> Vec<TransitionSummary> {
+        summarize_contract(&typecheck(parse_module(src).unwrap()).unwrap())
+    }
+
+    const TRANSFER: &str = r#"
+        contract Token ()
+        field balances : Map ByStr20 Uint128 = Emp ByStr20 Uint128
+        transition Transfer (to : ByStr20, amount : Uint128)
+          bal_opt <- balances[_sender];
+          match bal_opt with
+          | Some bal =>
+            can_do = builtin le amount bal;
+            match can_do with
+            | True =>
+              new_from = builtin sub bal amount;
+              balances[_sender] := new_from;
+              to_opt <- balances[to];
+              new_to = match to_opt with
+                | Some b => builtin add b amount
+                | None => amount
+                end;
+              balances[to] := new_to
+            | False => throw
+            end
+          | None => throw
+          end
+        end
+        transition Mint (to : ByStr20, amount : Uint128)
+          to_opt <- balances[to];
+          new_to = match to_opt with
+            | Some b => builtin add b amount
+            | None => amount
+            end;
+          balances[to] := new_to
+        end
+    "#;
+
+    fn pf(field: &str, keys: &[&str]) -> PseudoField {
+        PseudoField::entry(field, keys.iter().map(|k| k.to_string()).collect())
+    }
+
+    #[test]
+    fn transfer_gets_intmerge_and_minimal_ownership() {
+        let sig = derive_signature(
+            &summaries(TRANSFER),
+            &["Transfer".into(), "Mint".into()],
+            &WeakReads::AcceptAll,
+        );
+        assert_eq!(sig.joins["balances"], Join::IntMerge);
+        assert_eq!(sig.weak_reads, BTreeSet::from(["balances".to_string()]));
+
+        let t = sig.transition("Transfer").unwrap();
+        assert!(t.is_shardable());
+        // The sender's balance is owned (it feeds the overdraft condition)…
+        assert!(t.constraints.contains(&Constraint::Owns(pf("balances", &["_sender"]))));
+        // …but the recipient's is not (spurious read into a commutative write).
+        assert!(!t.constraints.contains(&Constraint::Owns(pf("balances", &["to"]))));
+        // Keys must not alias.
+        assert!(t.constraints.contains(&Constraint::NoAliases(
+            vec!["_sender".into()],
+            vec!["to".into()]
+        )));
+
+        // Mint needs no ownership at all.
+        let m = sig.transition("Mint").unwrap();
+        assert!(m.is_shardable());
+        assert!(m.constraints.iter().all(|c| !matches!(c, Constraint::Owns(_))));
+    }
+
+    #[test]
+    fn declining_weak_reads_falls_back_to_ownership() {
+        let sig = derive_signature(
+            &summaries(TRANSFER),
+            &["Transfer".into(), "Mint".into()],
+            &WeakReads::Fields(BTreeSet::new()),
+        );
+        assert_eq!(sig.joins["balances"], Join::OwnOverwrite);
+        let t = sig.transition("Transfer").unwrap();
+        // Both entries now need ownership.
+        assert!(t.constraints.contains(&Constraint::Owns(pf("balances", &["_sender"]))));
+        assert!(t.constraints.contains(&Constraint::Owns(pf("balances", &["to"]))));
+        assert!(sig.weak_reads.is_empty());
+    }
+
+    #[test]
+    fn overwriting_transition_revokes_field_merge() {
+        let src = r#"
+            contract C ()
+            field m : Map ByStr20 Uint128 = Emp ByStr20 Uint128
+            transition Add (k : ByStr20, v : Uint128)
+              o <- m[k];
+              nv = match o with
+                | Some x => builtin add x v
+                | None => v
+                end;
+              m[k] := nv
+            end
+            transition Set (k : ByStr20, v : Uint128)
+              m[k] := v
+            end
+        "#;
+        let ss = summaries(src);
+        // Alone, Add merges.
+        let alone = derive_signature(&ss, &["Add".into()], &WeakReads::AcceptAll);
+        assert_eq!(alone.joins["m"], Join::IntMerge);
+        // With the overwriting Set selected too, the merge is revoked.
+        let both = derive_signature(&ss, &["Add".into(), "Set".into()], &WeakReads::AcceptAll);
+        assert_eq!(both.joins["m"], Join::OwnOverwrite);
+        let add = both.transition("Add").unwrap();
+        assert!(add.constraints.contains(&Constraint::Owns(pf("m", &["k"]))));
+    }
+
+    #[test]
+    fn constant_field_reads_impose_no_ownership() {
+        let src = r#"
+            contract C ()
+            field paused : Bool = False
+            field m : Map ByStr20 Uint128 = Emp ByStr20 Uint128
+            transition Put (k : ByStr20, v : Uint128)
+              p <- paused;
+              match p with
+              | True => throw
+              | False => m[k] := v
+              end
+            end
+            transition Pause ()
+              t = True;
+              paused := t
+            end
+        "#;
+        let ss = summaries(src);
+        // Pause not selected: paused is a constant field for this selection.
+        let sig = derive_signature(&ss, &["Put".into()], &WeakReads::AcceptAll);
+        let t = sig.transition("Put").unwrap();
+        assert!(t.is_shardable());
+        assert_eq!(
+            t.constraints.iter().filter(|c| matches!(c, Constraint::Owns(_))).count(),
+            1,
+            "{t:?}"
+        );
+        assert!(t.constraints.contains(&Constraint::Owns(pf("m", &["k"]))));
+
+        // Selecting Pause as well makes paused non-constant: Put must own it.
+        let sig2 = derive_signature(&ss, &["Put".into(), "Pause".into()], &WeakReads::AcceptAll);
+        let t2 = sig2.transition("Put").unwrap();
+        assert!(t2.constraints.contains(&Constraint::Owns(PseudoField::whole("paused"))));
+    }
+
+    #[test]
+    fn accept_and_sends_translate_to_environment_constraints() {
+        let src = r#"
+            library L
+            let nil_msg = Nil {Message}
+            let one_msg = fun (m : Message) => Cons {Message} m nil_msg
+            contract C ()
+            field pot : Uint128 = Uint128 0
+            transition Donate ()
+              accept;
+              p <- pot;
+              np = builtin add p _amount;
+              pot := np
+            end
+            transition Refund (to : ByStr20, amt : Uint128)
+              m = {_tag : "Refund"; _recipient : to; _amount : amt};
+              msgs = one_msg m;
+              send msgs
+            end
+        "#;
+        let ss = summaries(src);
+        let sig = derive_signature(&ss, &["Donate".into(), "Refund".into()], &WeakReads::AcceptAll);
+        let donate = sig.transition("Donate").unwrap();
+        assert!(donate.constraints.contains(&Constraint::SenderShard));
+        let refund = sig.transition("Refund").unwrap();
+        assert!(refund.constraints.contains(&Constraint::ContractShard));
+        assert!(refund.constraints.contains(&Constraint::UserAddr("to".into())));
+    }
+
+    #[test]
+    fn top_summary_is_unsat_but_does_not_poison_others() {
+        let src = r#"
+            contract C ()
+            field m : Map ByStr32 Uint128 = Emp ByStr32 Uint128
+            field n : Map ByStr20 Uint128 = Emp ByStr20 Uint128
+            transition Opaque (x : String, v : Uint128)
+              k = builtin sha256hash x;
+              m[k] := v
+            end
+            transition Fine (k : ByStr20, v : Uint128)
+              n[k] := v
+            end
+        "#;
+        let ss = summaries(src);
+        let sig = derive_signature(&ss, &["Opaque".into(), "Fine".into()], &WeakReads::AcceptAll);
+        assert!(!sig.transition("Opaque").unwrap().is_shardable());
+        assert!(sig.transition("Fine").unwrap().is_shardable());
+    }
+
+    #[test]
+    fn signature_json_roundtrips() {
+        let sig = derive_signature(&summaries(TRANSFER), &["Transfer".into()], &WeakReads::AcceptAll);
+        let json = sig.to_json();
+        let back = ShardingSignature::from_json(&json).unwrap();
+        assert_eq!(sig, back);
+    }
+
+    #[test]
+    fn hogged_fields_per_definition_5_1() {
+        let src = r#"
+            contract C ()
+            field total : Uint128 = Uint128 0
+            field m : Map ByStr20 Uint128 = Emp ByStr20 Uint128
+            transition Overwrite (v : Uint128)
+              t <- total;
+              c = builtin lt t v;
+              match c with
+              | True => total := v
+              | False =>
+              end
+            end
+            transition Entry (k : ByStr20, v : Uint128)
+              m[k] := v
+            end
+        "#;
+        let ss = summaries(src);
+        let all: Vec<String> = vec!["total".into(), "m".into()];
+        let sig = derive_signature(&ss, &["Overwrite".into(), "Entry".into()], &WeakReads::AcceptAll);
+        let hog = sig.transition("Overwrite").unwrap().hogged_fields(&all);
+        assert_eq!(hog, BTreeSet::from(["total".to_string()]));
+        let none = sig.transition("Entry").unwrap().hogged_fields(&all);
+        assert!(none.is_empty());
+    }
+}

@@ -1,0 +1,163 @@
+//! The analysis through higher-order library code (paper §3.4: "our
+//! approach supports up to second-order Scilla functions"). Abstract
+//! closures realise the `EFun` arrow types, so cardinalities and operations
+//! track correctly even when functions are passed as arguments.
+
+use cosplit_analysis::domain::{Cardinality, ContribSource, PseudoField};
+use cosplit_analysis::signature::{is_commutative_write, WeakReads};
+use cosplit_analysis::solver::AnalyzedContract;
+
+fn analyzed(src: &str) -> AnalyzedContract {
+    let checked = scilla::typechecker::typecheck(scilla::parser::parse_module(src).unwrap()).unwrap();
+    AnalyzedContract::analyze(&checked)
+}
+
+fn field_entry(f: &str, k: &str) -> ContribSource {
+    ContribSource::Field(PseudoField::entry(f, vec![k.to_string()]))
+}
+
+#[test]
+fn second_order_apply_once_keeps_linearity() {
+    // `apply` is second-order: it takes the update function as an argument.
+    // The analysis must see through it and keep the balance linear (+add).
+    let src = r#"
+        library L
+        let apply =
+          fun (f : Uint128 -> Uint128) =>
+          fun (x : Uint128) =>
+            f x
+        contract C ()
+        field bal : Map ByStr20 Uint128 = Emp ByStr20 Uint128
+        transition Bump (amount : Uint128)
+          cur_opt <- bal[_sender];
+          cur = match cur_opt with
+            | Some c => c
+            | None => amount
+            end;
+          add_amount = fun (x : Uint128) => builtin add x amount;
+          nb = apply add_amount cur;
+          bal[_sender] := nb
+        end
+    "#;
+    let a = analyzed(src);
+    let s = a.summary("Bump").unwrap();
+    let (pf, t) = s.writes().next().expect("one write");
+    let c = &t.sources().unwrap()[&field_entry("bal", "_sender")];
+    assert_eq!(c.card, Cardinality::One, "{t}");
+    assert!(is_commutative_write(pf, t), "{t}");
+}
+
+#[test]
+fn second_order_apply_twice_detects_nonlinearity() {
+    // `twice f x = f (f x)` duplicates nothing, but `double x = x + x`
+    // passed through it makes the field contribution non-linear: the write
+    // must not be considered commutative (the paper's f(x)=x+x+1 example).
+    let src = r#"
+        library L
+        let twice =
+          fun (f : Uint128 -> Uint128) =>
+          fun (x : Uint128) =>
+            let y = f x in
+            f y
+        contract C ()
+        field bal : Map ByStr20 Uint128 = Emp ByStr20 Uint128
+        transition Bump (amount : Uint128)
+          cur_opt <- bal[_sender];
+          cur = match cur_opt with
+            | Some c => c
+            | None => amount
+            end;
+          add_amount = fun (x : Uint128) => builtin add x amount;
+          nb = twice add_amount cur;
+          bal[_sender] := nb
+        end
+        transition Double (amount : Uint128)
+          cur_opt <- bal[_sender];
+          cur = match cur_opt with
+            | Some c => c
+            | None => amount
+            end;
+          dbl = fun (x : Uint128) => builtin add x x;
+          nb = dbl cur;
+          bal[_sender] := nb
+        end
+    "#;
+    let a = analyzed(src);
+
+    // twice(+amount) is still a pure delta: +2·amount, field stays linear.
+    let s = a.summary("Bump").unwrap();
+    let (pf, t) = s.writes().next().expect("one write");
+    let c = &t.sources().unwrap()[&field_entry("bal", "_sender")];
+    assert_eq!(c.card, Cardinality::One, "{t}");
+    assert!(is_commutative_write(pf, t), "{t}");
+
+    // x + x is non-linear in the field: not commutative.
+    let s = a.summary("Double").unwrap();
+    let (pf, t) = s.writes().next().expect("one write");
+    let c = &t.sources().unwrap()[&field_entry("bal", "_sender")];
+    assert_eq!(c.card, Cardinality::Many, "{t}");
+    assert!(!is_commutative_write(pf, t), "{t}");
+}
+
+#[test]
+fn curried_library_combinators_compose() {
+    let src = r#"
+        library L
+        let compose =
+          fun (f : Uint128 -> Uint128) =>
+          fun (g : Uint128 -> Uint128) =>
+          fun (x : Uint128) =>
+            let y = g x in
+            f y
+        contract C ()
+        field total : Uint128 = Uint128 0
+        transition T (a : Uint128, b : Uint128)
+          t <- total;
+          add_a = fun (x : Uint128) => builtin add x a;
+          sub_b = fun (x : Uint128) => builtin sub x b;
+          both = compose add_a sub_b;
+          nt = both t;
+          total := nt
+        end
+    "#;
+    let a = analyzed(src);
+    let s = a.summary("T").unwrap();
+    let (pf, t) = s.writes().next().expect("one write");
+    // (t − b) + a: the field flows through exactly once with {add, sub}.
+    let c = &t.sources().unwrap()[&ContribSource::Field(PseudoField::whole("total"))];
+    assert_eq!(c.card, Cardinality::One, "{t}");
+    assert!(is_commutative_write(pf, t), "{t}");
+
+    // And the signature grants T a merge with no ownership.
+    let sig = a.query(&["T".into()], &WeakReads::AcceptAll);
+    let tc = sig.transition("T").unwrap();
+    assert!(tc.constraints.is_empty(), "{tc:?}");
+}
+
+#[test]
+fn function_stored_in_branch_degrades_safely() {
+    // Choosing a function via control flow collapses to ⊤ — the analysis
+    // must stay sound (no commutativity claimed).
+    let src = r#"
+        library L
+        let pick =
+          fun (b : Bool) =>
+          fun (x : Uint128) =>
+            match b with
+            | True => builtin add x x
+            | False => x
+            end
+        contract C ()
+        field total : Uint128 = Uint128 0
+        transition T (flag : Bool)
+          t <- total;
+          chooser = pick flag;
+          nt = chooser t;
+          total := nt
+        end
+    "#;
+    let a = analyzed(src);
+    let s = a.summary("T").unwrap();
+    let (pf, t) = s.writes().next().expect("one write");
+    assert!(!is_commutative_write(pf, t), "{t}");
+}

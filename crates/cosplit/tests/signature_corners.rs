@@ -1,0 +1,213 @@
+//! Corner cases of signature derivation that the paper's Fig. 9 table
+//! implies but the main tests don't exercise.
+
+use cosplit_analysis::domain::PseudoField;
+use cosplit_analysis::signature::{Constraint, Join, WeakReads};
+use cosplit_analysis::solver::AnalyzedContract;
+
+fn analyzed(src: &str) -> AnalyzedContract {
+    let checked = scilla::typechecker::typecheck(scilla::parser::parse_module(src).unwrap()).unwrap();
+    AnalyzedContract::analyze(&checked)
+}
+
+#[test]
+fn contract_parameter_recipients_are_user_addr_constraints() {
+    // Sending to an immutable contract parameter (e.g. the campaign owner)
+    // resolves like any parameter — dispatch looks it up in the deployment.
+    let src = r#"
+        library L
+        let nil_msg = Nil {Message}
+        let one_msg = fun (m : Message) => Cons {Message} m nil_msg
+        contract C (beneficiary : ByStr20)
+        field pot : Uint128 = Uint128 0
+        transition Sweep (amount : Uint128)
+          msg = {_tag : "AddFunds"; _recipient : beneficiary; _amount : amount};
+          msgs = one_msg msg;
+          send msgs
+        end
+    "#;
+    let sig = analyzed(src).query(&["Sweep".into()], &WeakReads::AcceptAll);
+    let t = sig.transition("Sweep").unwrap();
+    assert!(t.is_shardable(), "{t:?}");
+    assert!(t.constraints.contains(&Constraint::UserAddr("beneficiary".into())));
+    // A non-zero amount moves contract funds: pinned to the contract shard.
+    assert!(t.constraints.contains(&Constraint::ContractShard));
+}
+
+#[test]
+fn computed_recipient_is_unsatisfiable() {
+    // A recipient that is not a single clean parameter (here: chosen by
+    // control flow between two parameters) cannot be checked at dispatch.
+    let src = r#"
+        library L
+        let nil_msg = Nil {Message}
+        let one_msg = fun (m : Message) => Cons {Message} m nil_msg
+        let zero = Uint128 0
+        contract C ()
+        transition Route (flag : Bool, a : ByStr20, b : ByStr20)
+          to = match flag with
+            | True => a
+            | False => b
+            end;
+          msg = {_tag : "Ping"; _recipient : to; _amount : zero};
+          msgs = one_msg msg;
+          send msgs
+        end
+    "#;
+    let sig = analyzed(src).query(&["Route".into()], &WeakReads::AcceptAll);
+    assert!(!sig.transition("Route").unwrap().is_shardable());
+}
+
+#[test]
+fn exists_check_conditions_require_ownership() {
+    // `exists` reads the key-set; branching on it conditions the write.
+    let src = r#"
+        contract C ()
+        field claims : Map ByStr20 Uint128 = Emp ByStr20 Uint128
+        transition Claim (amount : Uint128)
+          taken <- exists claims[_sender];
+          match taken with
+          | True => throw
+          | False => claims[_sender] := amount
+          end
+        end
+    "#;
+    let sig = analyzed(src).query(&["Claim".into()], &WeakReads::AcceptAll);
+    let t = sig.transition("Claim").unwrap();
+    assert!(t.constraints.contains(&Constraint::Owns(PseudoField::entry(
+        "claims",
+        vec!["_sender".into()]
+    ))));
+}
+
+#[test]
+fn exists_result_never_merges_commutatively() {
+    // A write whose value flows through `exists` is not a delta.
+    let src = r#"
+        library L
+        let true_v = True
+        contract C ()
+        field seen : Map ByStr20 Bool = Emp ByStr20 Bool
+        field mirror : Map ByStr20 Bool = Emp ByStr20 Bool
+        transition Mirror (who : ByStr20)
+          s <- exists seen[who];
+          mirror[who] := s
+        end
+        transition Mark (who : ByStr20)
+          seen[who] := true_v
+        end
+    "#;
+    let a = analyzed(src);
+
+    // Alone, `seen` is constant for the selection: only the mirror entry is
+    // owned (GetConstantFields in Algorithm 3.1).
+    let solo = a.query(&["Mirror".into()], &WeakReads::AcceptAll);
+    let t = solo.transition("Mirror").unwrap();
+    assert_eq!(solo.joins["mirror"], Join::OwnOverwrite);
+    assert!(t.constraints.contains(&Constraint::Owns(PseudoField::entry("mirror", vec!["who".into()]))));
+    assert!(!t.constraints.iter().any(|c| matches!(c, Constraint::Owns(pf) if pf.field == "seen")));
+
+    // With a writer of `seen` co-selected, the exists-read needs ownership.
+    let both = a.query(&["Mirror".into(), "Mark".into()], &WeakReads::AcceptAll);
+    let t = both.transition("Mirror").unwrap();
+    assert!(
+        t.constraints.contains(&Constraint::Owns(PseudoField::entry("seen", vec!["who".into()]))),
+        "{t:?}"
+    );
+}
+
+#[test]
+fn multiplied_deltas_are_not_commutative() {
+    // f := f * 2 does not commute with f := f + 1.
+    let src = r#"
+        contract C ()
+        field total : Uint128 = Uint128 1
+        transition Double ()
+          two = Uint128 2;
+          t <- total;
+          t2 = builtin mul t two;
+          total := t2
+        end
+    "#;
+    let sig = analyzed(src).query(&["Double".into()], &WeakReads::AcceptAll);
+    assert_eq!(sig.joins["total"], Join::OwnOverwrite);
+    let t = sig.transition("Double").unwrap();
+    assert!(t.constraints.contains(&Constraint::Owns(PseudoField::whole("total"))));
+}
+
+#[test]
+fn mixed_add_sub_across_transitions_still_merge() {
+    // add in one transition, sub in another: deltas compose either way.
+    let src = r#"
+        contract C ()
+        field score : Map ByStr20 Uint128 = Emp ByStr20 Uint128
+        transition Up (who : ByStr20, by : Uint128)
+          s <- score[who];
+          ns = match s with
+            | Some v => builtin add v by
+            | None => by
+            end;
+          score[who] := ns
+        end
+        transition Down (who : ByStr20, by : Uint128)
+          s_opt <- score[who];
+          match s_opt with
+          | Some s =>
+            ok = builtin le by s;
+            match ok with
+            | True =>
+              ns = builtin sub s by;
+              score[who] := ns
+            | False => throw
+            end
+          | None => throw
+          end
+        end
+    "#;
+    let sig = analyzed(src).query(&["Up".into(), "Down".into()], &WeakReads::AcceptAll);
+    assert_eq!(sig.joins["score"], Join::IntMerge, "{sig:?}");
+    // Up has no condition on the score: no ownership at all.
+    assert!(sig.transition("Up").unwrap().constraints.is_empty());
+    // Down's bounds check needs the entry.
+    assert!(sig
+        .transition("Down")
+        .unwrap()
+        .constraints
+        .contains(&Constraint::Owns(PseudoField::entry("score", vec!["who".into()]))));
+}
+
+#[test]
+fn accept_alone_is_sender_shard_only() {
+    let src = r#"
+        contract C ()
+        transition Deposit ()
+          accept
+        end
+    "#;
+    let sig = analyzed(src).query(&["Deposit".into()], &WeakReads::AcceptAll);
+    let t = sig.transition("Deposit").unwrap();
+    assert_eq!(t.constraints.len(), 1);
+    assert!(t.constraints.contains(&Constraint::SenderShard));
+}
+
+#[test]
+fn three_way_alias_constraints_cover_all_pairs() {
+    let src = r#"
+        contract C ()
+        field m : Map ByStr20 Uint128 = Emp ByStr20 Uint128
+        transition T (a : ByStr20, b : ByStr20, c : ByStr20, v : Uint128)
+          m[a] := v;
+          m[b] := v;
+          m[c] := v
+        end
+    "#;
+    let sig = analyzed(src).query(&["T".into()], &WeakReads::AcceptAll);
+    let aliases = sig
+        .transition("T")
+        .unwrap()
+        .constraints
+        .iter()
+        .filter(|ct| matches!(ct, Constraint::NoAliases(..)))
+        .count();
+    assert_eq!(aliases, 3, "3 distinct key tuples → 3 pairs");
+}

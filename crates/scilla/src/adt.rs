@@ -1,0 +1,222 @@
+//! Algebraic data type registry: built-in ADTs plus user declarations.
+
+use crate::ast::{CtorDef, LibEntry};
+use crate::error::TypeError;
+use crate::span::Span;
+use crate::types::Type;
+use std::collections::HashMap;
+
+/// One ADT: its type parameters and constructors.
+#[derive(Debug, Clone)]
+pub struct AdtDef {
+    /// Type name (`Option`, `Bool`, user types…).
+    pub name: String,
+    /// Type parameter names (empty for monomorphic types).
+    pub tvars: Vec<String>,
+    /// Constructors: name and argument types (which may mention `tvars`).
+    pub ctors: Vec<(String, Vec<Type>)>,
+}
+
+/// Registry resolving type names and constructor names.
+#[derive(Debug, Clone)]
+pub struct AdtRegistry {
+    by_type: HashMap<String, AdtDef>,
+    ctor_to_type: HashMap<String, String>,
+}
+
+impl AdtRegistry {
+    /// A registry containing only the built-in ADTs
+    /// (`Bool`, `Option`, `List`, `Pair`, `Unit`).
+    pub fn builtin() -> Self {
+        let mut reg = AdtRegistry { by_type: HashMap::new(), ctor_to_type: HashMap::new() };
+        let a = || Type::TypeVar("A".into());
+        let b = || Type::TypeVar("B".into());
+        reg.insert_def(AdtDef {
+            name: "Bool".into(),
+            tvars: vec![],
+            ctors: vec![("True".into(), vec![]), ("False".into(), vec![])],
+        });
+        reg.insert_def(AdtDef {
+            name: "Option".into(),
+            tvars: vec!["A".into()],
+            ctors: vec![("Some".into(), vec![a()]), ("None".into(), vec![])],
+        });
+        reg.insert_def(AdtDef {
+            name: "List".into(),
+            tvars: vec!["A".into()],
+            ctors: vec![
+                ("Cons".into(), vec![a(), Type::Adt("List".into(), vec![a()])]),
+                ("Nil".into(), vec![]),
+            ],
+        });
+        reg.insert_def(AdtDef {
+            name: "Pair".into(),
+            tvars: vec!["A".into(), "B".into()],
+            ctors: vec![("Pair".into(), vec![a(), b()])],
+        });
+        reg.insert_def(AdtDef {
+            name: "Unit".into(),
+            tvars: vec![],
+            ctors: vec![("Unit".into(), vec![])],
+        });
+        reg
+    }
+
+    /// Builds a registry from the built-ins plus the `type` declarations in a
+    /// library.
+    ///
+    /// # Errors
+    ///
+    /// Rejects duplicate type or constructor names.
+    pub fn with_library(entries: &[LibEntry]) -> Result<Self, TypeError> {
+        let mut reg = Self::builtin();
+        for entry in entries {
+            if let LibEntry::TypeDef { name, ctors } = entry {
+                reg.declare(&name.name, ctors, name.span)?;
+            }
+        }
+        Ok(reg)
+    }
+
+    fn insert_def(&mut self, def: AdtDef) {
+        for (c, _) in &def.ctors {
+            self.ctor_to_type.insert(c.clone(), def.name.clone());
+        }
+        self.by_type.insert(def.name.clone(), def);
+    }
+
+    /// Declares a user (monomorphic) ADT.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`TypeError`] if the type or any constructor is already
+    /// declared.
+    pub fn declare(&mut self, name: &str, ctors: &[CtorDef], span: Span) -> Result<(), TypeError> {
+        if self.by_type.contains_key(name) {
+            return Err(TypeError { span, message: format!("type '{name}' is already declared") });
+        }
+        for c in ctors {
+            if self.ctor_to_type.contains_key(&c.name.name) {
+                return Err(TypeError {
+                    span: c.name.span,
+                    message: format!("constructor '{}' is already declared", c.name.name),
+                });
+            }
+        }
+        self.insert_def(AdtDef {
+            name: name.to_string(),
+            tvars: vec![],
+            ctors: ctors.iter().map(|c| (c.name.name.clone(), c.arg_types.clone())).collect(),
+        });
+        Ok(())
+    }
+
+    /// Looks up an ADT by type name.
+    pub fn adt(&self, name: &str) -> Option<&AdtDef> {
+        self.by_type.get(name)
+    }
+
+    /// Resolves a constructor name to its ADT definition.
+    pub fn adt_of_ctor(&self, ctor: &str) -> Option<&AdtDef> {
+        self.ctor_to_type.get(ctor).and_then(|t| self.by_type.get(t))
+    }
+
+    /// The declared argument types of `ctor`, instantiated with `type_args`
+    /// for the owning ADT's parameters, together with the resulting ADT type.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`TypeError`] if the constructor is unknown or the number of
+    /// type arguments does not match.
+    pub fn instantiate_ctor(
+        &self,
+        ctor: &str,
+        type_args: &[Type],
+        span: Span,
+    ) -> Result<(Vec<Type>, Type), TypeError> {
+        let def = self.adt_of_ctor(ctor).ok_or_else(|| TypeError {
+            span,
+            message: format!("unknown constructor '{ctor}'"),
+        })?;
+        if type_args.len() != def.tvars.len() {
+            return Err(TypeError {
+                span,
+                message: format!(
+                    "constructor '{ctor}' of type '{}' expects {} type argument(s), got {}",
+                    def.name,
+                    def.tvars.len(),
+                    type_args.len()
+                ),
+            });
+        }
+        let (_, declared) = def
+            .ctors
+            .iter()
+            .find(|(c, _)| c == ctor)
+            .expect("ctor_to_type is consistent with by_type");
+        let subst_all = |t: &Type| {
+            def.tvars
+                .iter()
+                .zip(type_args)
+                .fold(t.clone(), |acc, (tv, arg)| acc.subst(tv, arg))
+        };
+        let args = declared.iter().map(subst_all).collect();
+        let result = Type::Adt(def.name.clone(), type_args.to_vec());
+        Ok((args, result))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::Ident;
+
+    #[test]
+    fn builtins_are_registered() {
+        let reg = AdtRegistry::builtin();
+        assert!(reg.adt("Option").is_some());
+        assert_eq!(reg.adt_of_ctor("Cons").unwrap().name, "List");
+        assert!(reg.adt("Nat").is_none());
+    }
+
+    #[test]
+    fn instantiate_some() {
+        let reg = AdtRegistry::builtin();
+        let (args, result) = reg.instantiate_ctor("Some", &[Type::Uint(128)], Span::dummy()).unwrap();
+        assert_eq!(args, vec![Type::Uint(128)]);
+        assert_eq!(result, Type::option(Type::Uint(128)));
+    }
+
+    #[test]
+    fn instantiate_cons_substitutes_recursively() {
+        let reg = AdtRegistry::builtin();
+        let (args, _) = reg.instantiate_ctor("Cons", &[Type::Str], Span::dummy()).unwrap();
+        assert_eq!(args, vec![Type::Str, Type::list(Type::Str)]);
+    }
+
+    #[test]
+    fn wrong_type_arg_count_is_an_error() {
+        let reg = AdtRegistry::builtin();
+        assert!(reg.instantiate_ctor("Some", &[], Span::dummy()).is_err());
+    }
+
+    #[test]
+    fn duplicate_ctor_rejected() {
+        let mut reg = AdtRegistry::builtin();
+        let ctors = vec![CtorDef { name: Ident::new("Some"), arg_types: vec![] }];
+        assert!(reg.declare("MyType", &ctors, Span::dummy()).is_err());
+    }
+
+    #[test]
+    fn user_type_declares_and_resolves() {
+        let mut reg = AdtRegistry::builtin();
+        let ctors = vec![
+            CtorDef { name: Ident::new("Buy"), arg_types: vec![Type::Uint(128)] },
+            CtorDef { name: Ident::new("Sell"), arg_types: vec![Type::Uint(128)] },
+        ];
+        reg.declare("Order", &ctors, Span::dummy()).unwrap();
+        let (args, result) = reg.instantiate_ctor("Buy", &[], Span::dummy()).unwrap();
+        assert_eq!(args, vec![Type::Uint(128)]);
+        assert_eq!(result, Type::Adt("Order".into(), vec![]));
+    }
+}

@@ -1,0 +1,155 @@
+//! The contract corpus used throughout the paper's evaluation.
+//!
+//! Contains the five contracts of §5.2 (FungibleToken, Crowdfunding,
+//! NonfungibleToken, ProofIPFS, UD registry) plus the 49-contract
+//! mainnet/testnet sample of §5.1 (Fig. 12/13), re-written in this crate's
+//! Scilla subset under their original names.
+
+/// One corpus contract: its name and source text.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CorpusEntry {
+    /// Contract name (matches the bars of paper Fig. 12).
+    pub name: &'static str,
+    /// Scilla source.
+    pub source: &'static str,
+    /// Whether the contract belongs to the 49-contract mainnet/testnet
+    /// sample (Fig. 12/13). The eval-only contracts of §5.2 that are not in
+    /// the sample (Crowdfunding, NonfungibleToken) have this `false`.
+    pub mainnet_sample: bool,
+}
+
+macro_rules! corpus {
+    ($(($name:literal, $sample:expr)),* $(,)?) => {
+        &[$(CorpusEntry {
+            name: $name,
+            source: include_str!(concat!("../corpus/", $name, ".scilla")),
+            mainnet_sample: $sample,
+        }),*]
+    };
+}
+
+/// Every corpus contract. The five §5.2 evaluation contracts come first.
+pub fn all() -> &'static [CorpusEntry] {
+    corpus![
+        // §5.2 evaluation contracts.
+        ("FungibleToken", true),
+        ("Crowdfunding", false),
+        ("NonfungibleToken", false),
+        ("ProofIPFS", true),
+        ("UD_registry", true),
+        // The remaining mainnet/testnet sample (Fig. 12), largest first.
+        ("Blackjack", true),
+        ("XSGD", true),
+        ("CelebrityNFT", true),
+        ("DBond", true),
+        ("Map_cornercases", true),
+        ("Oracle", true),
+        ("Superplayer_token", true),
+        ("DPSTokenHub", true),
+        ("OTS200", true),
+        ("Hybrid_Euro", true),
+        ("Zeecash", true),
+        ("HTLC", true),
+        ("Multisig", true),
+        ("OceanRumble_minion_token", true),
+        ("AuctionRegistrar", true),
+        ("SwapContract", true),
+        ("DinoMighty", true),
+        ("LandMRToken", true),
+        ("ProxyContract", true),
+        ("MyRewardsToken", true),
+        ("OceanRumble_crate", true),
+        ("SimpleBondingCurve", true),
+        ("ZKToken", true),
+        ("SocialPay", true),
+        ("LUY_Cambodia", true),
+        ("RoadDamage", true),
+        ("IOU", true),
+        ("HydraXSettlement", true),
+        ("PayRespect", true),
+        ("Bookstore", true),
+        ("UD_operator_contract", true),
+        ("UD_resolver", true),
+        ("UD_primitive_version", true),
+        ("UD_escrow", true),
+        ("LikeMaster", true),
+        ("BoltAnalytics", true),
+        ("Voting", true),
+        ("LoveZilliqa", true),
+        ("Quizbot", true),
+        ("BunkeringLog", true),
+        ("Soundario", true),
+        ("HelloWorld", true),
+        ("Schnorr", true),
+        ("FirstContract", true),
+        ("GoFundMi", true),
+        // Testnet-only harness contract, not part of the mainnet sample.
+        ("TestSender", false),
+        ("Cryptoman", true),
+    ]
+}
+
+/// Looks up a corpus contract by name.
+pub fn get(name: &str) -> Option<&'static CorpusEntry> {
+    all().iter().find(|e| e.name == name)
+}
+
+/// The 49-contract mainnet/testnet sample of §5.1 (Fig. 12/13).
+pub fn mainnet_sample() -> impl Iterator<Item = &'static CorpusEntry> {
+    all().iter().filter(|e| e.mainnet_sample)
+}
+
+/// The five evaluation contracts of §5.2, in table order.
+pub fn evaluation_contracts() -> [&'static CorpusEntry; 5] {
+    [
+        get("FungibleToken").expect("in corpus"),
+        get("Crowdfunding").expect("in corpus"),
+        get("NonfungibleToken").expect("in corpus"),
+        get("ProofIPFS").expect("in corpus"),
+        get("UD_registry").expect("in corpus"),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mainnet_sample_has_49_contracts() {
+        assert_eq!(mainnet_sample().count(), 49);
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let mut names: Vec<_> = all().iter().map(|e| e.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), all().len());
+    }
+
+    #[test]
+    fn every_contract_parses_typechecks_and_compiles() {
+        for entry in all() {
+            let compiled = crate::compile_str(entry.source)
+                .unwrap_or_else(|e| panic!("{} failed: {e}", entry.name));
+            assert!(!compiled.contract().name.name.is_empty());
+        }
+    }
+
+    #[test]
+    fn evaluation_contracts_match_paper_transition_counts() {
+        // Paper §5.2 table: #transitions per contract.
+        let expected = [
+            ("FungibleToken", 10),
+            ("Crowdfunding", 3),
+            ("NonfungibleToken", 5),
+            ("ProofIPFS", 10),
+            ("UD_registry", 11),
+        ];
+        for (entry, (name, count)) in evaluation_contracts().iter().zip(expected) {
+            assert_eq!(entry.name, name);
+            let m = crate::parser::parse_module(entry.source).unwrap();
+            assert_eq!(m.contract.transitions.len(), count, "{name}");
+        }
+    }
+}

@@ -1,0 +1,129 @@
+//! Error types for the language pipeline.
+
+use crate::span::Span;
+use std::fmt;
+
+/// An error produced while lexing contract source.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LexError {
+    /// Where the offending character sequence starts.
+    pub span: Span,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lex error at {}: {}", self.span, self.message)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// An error produced while parsing a token stream into an AST.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Location of the unexpected token.
+    pub span: Span,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at {}: {}", self.span, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<LexError> for ParseError {
+    fn from(e: LexError) -> Self {
+        ParseError { span: e.span, message: e.message }
+    }
+}
+
+/// An error produced by the type checker.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TypeError {
+    /// Location of the ill-typed construct.
+    pub span: Span,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for TypeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "type error at {}: {}", self.span, self.message)
+    }
+}
+
+impl std::error::Error for TypeError {}
+
+/// A runtime failure while executing a transition.
+///
+/// Scilla transitions are atomic: any [`ExecError`] rolls the whole
+/// transaction back (the caller discards the scratch state).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExecError {
+    /// `throw` was executed, possibly with an exception message.
+    Thrown(String),
+    /// An arithmetic builtin overflowed, underflowed, or divided by zero.
+    Arith(String),
+    /// The transaction ran out of gas.
+    OutOfGas,
+    /// An identifier was unbound, a field missing, or a value had the wrong
+    /// shape — indicates a type-checker gap rather than user error.
+    Internal(String),
+    /// A pattern match had no applicable clause.
+    MatchFailure(String),
+    /// A transition/contract lookup failed (unknown transition name, message
+    /// to a non-contract, ...).
+    BadInvocation(String),
+    /// `accept`/`send` could not move funds (insufficient balance).
+    InsufficientFunds(String),
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecError::Thrown(m) => write!(f, "exception thrown: {m}"),
+            ExecError::Arith(m) => write!(f, "arithmetic error: {m}"),
+            ExecError::OutOfGas => write!(f, "out of gas"),
+            ExecError::Internal(m) => write!(f, "internal error: {m}"),
+            ExecError::MatchFailure(m) => write!(f, "match failure: {m}"),
+            ExecError::BadInvocation(m) => write!(f, "bad invocation: {m}"),
+            ExecError::InsufficientFunds(m) => write!(f, "insufficient funds: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_nonempty_and_lowercase() {
+        let errs: Vec<Box<dyn std::error::Error>> = vec![
+            Box::new(LexError { span: Span::dummy(), message: "bad char".into() }),
+            Box::new(ParseError { span: Span::dummy(), message: "unexpected".into() }),
+            Box::new(TypeError { span: Span::dummy(), message: "mismatch".into() }),
+            Box::new(ExecError::OutOfGas),
+        ];
+        for e in errs {
+            let s = e.to_string();
+            assert!(!s.is_empty());
+            assert!(s.chars().next().unwrap().is_lowercase());
+        }
+    }
+
+    #[test]
+    fn lex_error_converts_to_parse_error() {
+        let le = LexError { span: Span::new(1, 2, 1, 2), message: "x".into() };
+        let pe: ParseError = le.clone().into();
+        assert_eq!(pe.span, le.span);
+        assert_eq!(pe.message, le.message);
+    }
+}

@@ -1,0 +1,684 @@
+//! Definitional interpreter for the Scilla subset.
+//!
+//! Executes one transition at a time against a [`StateStore`], mirroring the
+//! way Zilliqa drives the reference Scilla interpreter (paper §2.4): pure
+//! expressions evaluate in an environment, the small set of effectful
+//! statements touch the blockchain state, and all inter-contract interaction
+//! is by returned messages.
+
+use crate::ast::*;
+use crate::builtins::{empty_map, eval_builtin};
+use crate::error::ExecError;
+use crate::gas::{self, GasMeter};
+use crate::state::StateStore;
+use crate::typechecker::CheckedModule;
+use crate::value::{Closure, Env, TypeClosure, Value};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Blockchain-supplied context for a single transition invocation.
+#[derive(Debug, Clone)]
+pub struct TransitionContext {
+    /// The immediate sender (`_sender`).
+    pub sender: [u8; 20],
+    /// The original transaction signer (`_origin`).
+    pub origin: [u8; 20],
+    /// Native tokens sent along (`_amount`).
+    pub amount: u128,
+    /// The contract's own address (`_this_address`).
+    pub this_address: [u8; 20],
+    /// Current block number (`& BLOCKNUMBER`).
+    pub block_number: u64,
+}
+
+impl TransitionContext {
+    /// A context with every address zeroed — convenient for tests.
+    pub fn zeroed() -> Self {
+        TransitionContext {
+            sender: [0; 20],
+            origin: [0; 20],
+            amount: 0,
+            this_address: [0; 20],
+            block_number: 0,
+        }
+    }
+}
+
+/// An outgoing message produced by `send`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OutMsg {
+    /// Destination address (`_recipient`).
+    pub recipient: [u8; 20],
+    /// Native token amount attached (`_amount`).
+    pub amount: u128,
+    /// Transition tag (`_tag`).
+    pub tag: String,
+    /// Remaining payload entries.
+    pub params: BTreeMap<String, Value>,
+}
+
+/// The observable result of executing a transition.
+#[derive(Debug, Clone, Default)]
+pub struct TransitionOutcome {
+    /// Whether `accept` ran (the incoming `_amount` moves to the contract).
+    pub accepted: bool,
+    /// Messages emitted by `send`, in order.
+    pub messages: Vec<OutMsg>,
+    /// Events emitted by `event`, in order.
+    pub events: Vec<Value>,
+    /// Gas consumed.
+    pub gas_used: u64,
+}
+
+/// A contract ready to execute: type-checked module plus its evaluated
+/// library environment.
+#[derive(Debug, Clone)]
+pub struct CompiledContract {
+    checked: CheckedModule,
+    lib_env: Env,
+}
+
+impl CompiledContract {
+    /// Evaluates the library definitions of a checked module.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any [`ExecError`] raised while evaluating library `let`s
+    /// (which are pure, so this only fails on e.g. arithmetic overflow in a
+    /// constant).
+    pub fn compile(checked: CheckedModule) -> Result<Self, ExecError> {
+        let mut gas = GasMeter::unlimited();
+        let mut env = Env::new();
+        for entry in &checked.module.library {
+            if let LibEntry::Let { name, body, .. } = entry {
+                let v = eval_expr(&env, body, &mut gas)?;
+                env = env.bind(name.name.clone(), v);
+            }
+        }
+        Ok(CompiledContract { checked, lib_env: env })
+    }
+
+    /// The underlying checked module.
+    pub fn checked(&self) -> &CheckedModule {
+        &self.checked
+    }
+
+    /// The contract definition.
+    pub fn contract(&self) -> &Contract {
+        &self.checked.module.contract
+    }
+
+    /// Evaluates the field initialisers for a fresh deployment, with the
+    /// immutable contract parameters bound to `params`.
+    ///
+    /// # Errors
+    ///
+    /// Fails if a parameter is missing or an initialiser raises.
+    pub fn init_fields(
+        &self,
+        params: &[(String, Value)],
+    ) -> Result<BTreeMap<String, Value>, ExecError> {
+        let mut gas = GasMeter::unlimited();
+        let env = self.param_env(params)?;
+        let mut fields = BTreeMap::new();
+        for f in &self.contract().fields {
+            let v = eval_expr(&env, &f.init, &mut gas)?;
+            fields.insert(f.name.name.clone(), v);
+        }
+        Ok(fields)
+    }
+
+    fn param_env(&self, params: &[(String, Value)]) -> Result<Env, ExecError> {
+        let mut env = self.lib_env.clone();
+        for p in &self.contract().params {
+            let v = params
+                .iter()
+                .find(|(n, _)| *n == p.name.name)
+                .map(|(_, v)| v.clone())
+                .ok_or_else(|| {
+                    ExecError::BadInvocation(format!("missing contract parameter '{}'", p.name.name))
+                })?;
+            env = env.bind(p.name.name.clone(), v);
+        }
+        Ok(env)
+    }
+
+    /// Executes `transition` with the given arguments against `store`.
+    ///
+    /// Transitions are atomic: on error the caller must discard any writes
+    /// `store` observed (use a scratch overlay).
+    ///
+    /// # Errors
+    ///
+    /// Any [`ExecError`] aborts the transaction; `gas.used()` remains valid.
+    pub fn execute(
+        &self,
+        store: &mut dyn StateStore,
+        transition: &str,
+        args: &[(String, Value)],
+        contract_params: &[(String, Value)],
+        ctx: &TransitionContext,
+        gas: &mut GasMeter,
+    ) -> Result<TransitionOutcome, ExecError> {
+        let t = self
+            .contract()
+            .transition(transition)
+            .ok_or_else(|| ExecError::BadInvocation(format!("unknown transition '{transition}'")))?;
+        gas.charge(gas::COST_TX_BASE)?;
+        let mut env = self.param_env(contract_params)?;
+        env = env.bind("_sender", Value::address(ctx.sender));
+        env = env.bind("_origin", Value::address(ctx.origin));
+        env = env.bind("_amount", Value::Uint(128, ctx.amount));
+        env = env.bind("_this_address", Value::address(ctx.this_address));
+        for p in &t.params {
+            let v = args
+                .iter()
+                .find(|(n, _)| *n == p.name.name)
+                .map(|(_, v)| v.clone())
+                .ok_or_else(|| {
+                    ExecError::BadInvocation(format!(
+                        "missing argument '{}' for transition '{transition}'",
+                        p.name.name
+                    ))
+                })?;
+            env = env.bind(p.name.name.clone(), v);
+        }
+        let mut exec = Exec { store, ctx, outcome: TransitionOutcome::default() };
+        exec.run_stmts(env, &t.body, gas)?;
+        let mut outcome = exec.outcome;
+        outcome.gas_used = gas.used();
+        Ok(outcome)
+    }
+}
+
+struct Exec<'a> {
+    store: &'a mut dyn StateStore,
+    ctx: &'a TransitionContext,
+    outcome: TransitionOutcome,
+}
+
+impl Exec<'_> {
+    fn run_stmts(&mut self, mut env: Env, stmts: &[Stmt], gas: &mut GasMeter) -> Result<(), ExecError> {
+        for s in stmts {
+            env = self.run_stmt(env, s, gas)?;
+        }
+        Ok(())
+    }
+
+    fn key_values(&self, env: &Env, keys: &[Ident]) -> Result<Vec<Value>, ExecError> {
+        keys.iter().map(|k| lookup(env, k)).collect()
+    }
+
+    fn run_stmt(&mut self, env: Env, s: &Stmt, gas: &mut GasMeter) -> Result<Env, ExecError> {
+        gas.charge(gas::COST_STMT)?;
+        match s {
+            Stmt::Load { lhs, field } => {
+                gas.charge(gas::COST_FIELD)?;
+                let v = self.store.load(&field.name).ok_or_else(|| {
+                    ExecError::Internal(format!("field '{}' missing from state", field.name))
+                })?;
+                Ok(env.bind(lhs.name.clone(), v))
+            }
+            Stmt::Store { field, rhs } => {
+                gas.charge(gas::COST_FIELD)?;
+                let v = lookup(&env, rhs)?;
+                self.store.store(&field.name, v);
+                Ok(env)
+            }
+            Stmt::Bind { lhs, rhs } => {
+                let v = eval_expr(&env, rhs, gas)?;
+                Ok(env.bind(lhs.name.clone(), v))
+            }
+            Stmt::MapUpdate { map, keys, rhs } => {
+                gas.charge(gas::COST_MAP_KEY * keys.len() as u64)?;
+                let ks = self.key_values(&env, keys)?;
+                let v = lookup(&env, rhs)?;
+                self.store.map_update(&map.name, &ks, v);
+                Ok(env)
+            }
+            Stmt::MapGet { lhs, map, keys } => {
+                gas.charge(gas::COST_MAP_KEY * keys.len() as u64)?;
+                let ks = self.key_values(&env, keys)?;
+                let v = match self.store.map_get(&map.name, &ks) {
+                    Some(v) => Value::some(v),
+                    None => Value::none(),
+                };
+                Ok(env.bind(lhs.name.clone(), v))
+            }
+            Stmt::MapExists { lhs, map, keys } => {
+                gas.charge(gas::COST_MAP_KEY * keys.len() as u64)?;
+                let ks = self.key_values(&env, keys)?;
+                let b = self.store.map_exists(&map.name, &ks);
+                Ok(env.bind(lhs.name.clone(), Value::bool(b)))
+            }
+            Stmt::MapDelete { map, keys } => {
+                gas.charge(gas::COST_MAP_KEY * keys.len() as u64)?;
+                let ks = self.key_values(&env, keys)?;
+                self.store.map_delete(&map.name, &ks);
+                Ok(env)
+            }
+            Stmt::ReadBlockchain { lhs, .. } => {
+                gas.charge(gas::COST_FIELD)?;
+                Ok(env.bind(lhs.name.clone(), Value::BNum(self.ctx.block_number)))
+            }
+            Stmt::Match { scrutinee, clauses, .. } => {
+                let v = lookup(&env, scrutinee)?;
+                for (pat, body) in clauses {
+                    if let Some(binds) = match_pattern(pat, &v) {
+                        let mut inner = env.clone();
+                        for (n, bv) in binds {
+                            inner = inner.bind(n, bv);
+                        }
+                        self.run_stmts(inner, body, gas)?;
+                        return Ok(env);
+                    }
+                }
+                Err(ExecError::MatchFailure(format!("no clause matched {v}")))
+            }
+            Stmt::Accept(_) => {
+                self.outcome.accepted = true;
+                Ok(env)
+            }
+            Stmt::Send { msgs } => {
+                let v = lookup(&env, msgs)?;
+                for m in flatten_messages(&v)? {
+                    gas.charge(gas::COST_MESSAGE)?;
+                    self.outcome.messages.push(parse_out_msg(&m)?);
+                }
+                Ok(env)
+            }
+            Stmt::Event { event } => {
+                gas.charge(gas::COST_MESSAGE)?;
+                let v = lookup(&env, event)?;
+                if !matches!(v, Value::Msg(_)) {
+                    return Err(ExecError::Internal("event payload must be a message".into()));
+                }
+                self.outcome.events.push(v);
+                Ok(env)
+            }
+            Stmt::Throw { exception, .. } => {
+                let detail = match exception {
+                    Some(e) => lookup(&env, e)?.to_string(),
+                    None => "unspecified".into(),
+                };
+                Err(ExecError::Thrown(detail))
+            }
+        }
+    }
+}
+
+fn lookup(env: &Env, id: &Ident) -> Result<Value, ExecError> {
+    env.lookup(&id.name)
+        .cloned()
+        .ok_or_else(|| ExecError::Internal(format!("unbound identifier '{}'", id.name)))
+}
+
+fn literal_value(lit: &Literal) -> Value {
+    match lit {
+        Literal::Int(w, v) => Value::Int(*w, *v),
+        Literal::Uint(w, v) => Value::Uint(*w, *v),
+        Literal::Str(s) => Value::Str(s.clone()),
+        Literal::ByStr(bs) => Value::ByStr(bs.clone()),
+        Literal::BNum(n) => Value::BNum(*n),
+        Literal::EmpMap(..) => empty_map(),
+    }
+}
+
+/// Evaluates a pure expression.
+///
+/// # Errors
+///
+/// Fails on arithmetic errors in builtins, failed matches, out-of-gas, or
+/// internal shape mismatches (which a passed type check rules out).
+pub fn eval_expr(env: &Env, e: &Expr, gas: &mut GasMeter) -> Result<Value, ExecError> {
+    gas.charge(gas::COST_EXPR)?;
+    match e {
+        Expr::Lit(l, _) => Ok(literal_value(l)),
+        Expr::Var(i) => lookup(env, i),
+        Expr::Message(entries, _) => {
+            let mut m = BTreeMap::new();
+            for en in entries {
+                let v = match &en.value {
+                    MsgValue::Var(i) => lookup(env, i)?,
+                    MsgValue::Lit(l) => literal_value(l),
+                };
+                m.insert(en.key.clone(), v);
+            }
+            Ok(Value::Msg(m))
+        }
+        Expr::Constr { name, args, .. } => {
+            let vals: Result<Vec<Value>, _> = args.iter().map(|a| lookup(env, a)).collect();
+            Ok(Value::Adt { ctor: name.name.clone(), args: vals? })
+        }
+        Expr::Builtin { op, args } => {
+            gas.charge(if op.name.ends_with("hash") { gas::COST_HASH } else { gas::COST_BUILTIN })?;
+            let vals: Result<Vec<Value>, _> = args.iter().map(|a| lookup(env, a)).collect();
+            eval_builtin(&op.name, &vals?)
+        }
+        Expr::Let { bound, rhs, body, .. } => {
+            let v = eval_expr(env, rhs, gas)?;
+            let inner = env.bind(bound.name.clone(), v);
+            eval_expr(&inner, body, gas)
+        }
+        Expr::Fun { param, param_type, body } => Ok(Value::Clo(Arc::new(Closure {
+            param: param.clone(),
+            param_type: param_type.clone(),
+            body: Arc::new((**body).clone()),
+            env: env.clone(),
+        }))),
+        Expr::App { func, args } => {
+            let mut f = lookup(env, func)?;
+            for a in args {
+                let arg = lookup(env, a)?;
+                f = apply(f, arg, gas)?;
+            }
+            Ok(f)
+        }
+        Expr::Match { scrutinee, clauses, .. } => {
+            let v = lookup(env, scrutinee)?;
+            for (pat, body) in clauses {
+                if let Some(binds) = match_pattern(pat, &v) {
+                    let mut inner = env.clone();
+                    for (n, bv) in binds {
+                        inner = inner.bind(n, bv);
+                    }
+                    return eval_expr(&inner, body, gas);
+                }
+            }
+            Err(ExecError::MatchFailure(format!("no clause matched {v}")))
+        }
+        Expr::TFun { tvar, body, .. } => Ok(Value::TClo(Arc::new(TypeClosure {
+            tvar: tvar.clone(),
+            body: Arc::new((**body).clone()),
+            env: env.clone(),
+        }))),
+        Expr::Inst { target, type_args } => {
+            // Types are erased at runtime: instantiation just unwraps the
+            // type closure once per type argument.
+            let mut v = lookup(env, target)?;
+            for _ in type_args {
+                match v {
+                    Value::TClo(tc) => v = eval_expr(&tc.env, &tc.body, gas)?,
+                    other => {
+                        return Err(ExecError::Internal(format!(
+                            "cannot type-instantiate non-tfun value {other}"
+                        )))
+                    }
+                }
+            }
+            Ok(v)
+        }
+    }
+}
+
+/// Applies a closure to one argument.
+fn apply(f: Value, arg: Value, gas: &mut GasMeter) -> Result<Value, ExecError> {
+    match f {
+        Value::Clo(c) => {
+            let inner = c.env.bind(c.param.name.clone(), arg);
+            eval_expr(&inner, &c.body, gas)
+        }
+        other => Err(ExecError::Internal(format!("cannot apply non-function value {other}"))),
+    }
+}
+
+/// Matches `v` against `pat`, returning the bindings on success.
+pub fn match_pattern(pat: &Pattern, v: &Value) -> Option<Vec<(String, Value)>> {
+    match pat {
+        Pattern::Wildcard(_) => Some(vec![]),
+        Pattern::Binder(i) => Some(vec![(i.name.clone(), v.clone())]),
+        Pattern::Constructor(c, subs) => match v {
+            Value::Adt { ctor, args } if *ctor == c.name && args.len() == subs.len() => {
+                let mut binds = Vec::new();
+                for (sub, av) in subs.iter().zip(args) {
+                    binds.extend(match_pattern(sub, av)?);
+                }
+                Some(binds)
+            }
+            _ => None,
+        },
+    }
+}
+
+fn flatten_messages(v: &Value) -> Result<Vec<Value>, ExecError> {
+    match v {
+        Value::Msg(_) => Ok(vec![v.clone()]),
+        Value::Adt { ctor, args } if ctor == "Cons" && args.len() == 2 => {
+            let mut out = flatten_messages(&args[0])?;
+            out.extend(flatten_messages(&args[1])?);
+            Ok(out)
+        }
+        Value::Adt { ctor, args } if ctor == "Nil" && args.is_empty() => Ok(vec![]),
+        other => Err(ExecError::Internal(format!("send expects messages, got {other}"))),
+    }
+}
+
+fn parse_out_msg(v: &Value) -> Result<OutMsg, ExecError> {
+    let Value::Msg(m) = v else {
+        return Err(ExecError::Internal("not a message".into()));
+    };
+    let recipient = m
+        .get("_recipient")
+        .and_then(Value::as_address)
+        .ok_or_else(|| ExecError::Internal("message lacks a ByStr20 '_recipient'".into()))?;
+    let amount = m
+        .get("_amount")
+        .and_then(Value::as_uint)
+        .ok_or_else(|| ExecError::Internal("message lacks a Uint '_amount'".into()))?;
+    let tag = match m.get("_tag") {
+        Some(Value::Str(s)) => s.clone(),
+        _ => return Err(ExecError::Internal("message lacks a String '_tag'".into())),
+    };
+    let params = m
+        .iter()
+        .filter(|(k, _)| !k.starts_with('_'))
+        .map(|(k, v)| (k.clone(), v.clone()))
+        .collect();
+    Ok(OutMsg { recipient, amount, tag, params })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_module;
+    use crate::state::InMemoryState;
+    use crate::typechecker::typecheck;
+
+    fn compile(src: &str) -> CompiledContract {
+        CompiledContract::compile(typecheck(parse_module(src).unwrap()).unwrap()).unwrap()
+    }
+
+    fn addr(b: u8) -> [u8; 20] {
+        [b; 20]
+    }
+
+    const TOKEN: &str = r#"
+        library TokenLib
+        let nil_msg = Nil {Message}
+        let one_msg = fun (m : Message) => Cons {Message} m nil_msg
+        contract Token (owner : ByStr20)
+        field balances : Map ByStr20 Uint128 = Emp ByStr20 Uint128
+        transition Mint (to : ByStr20, amount : Uint128)
+          balances[to] := amount
+        end
+        transition Transfer (to : ByStr20, amount : Uint128)
+          bal_opt <- balances[_sender];
+          match bal_opt with
+          | Some bal =>
+            ok = builtin le amount bal;
+            match ok with
+            | True =>
+              new_bal = builtin sub bal amount;
+              balances[_sender] := new_bal;
+              to_opt <- balances[to];
+              new_to = match to_opt with
+                | Some b => builtin add b amount
+                | None => amount
+                end;
+              balances[to] := new_to
+            | False => throw
+            end
+          | None => throw
+          end
+        end
+    "#;
+
+    fn run(
+        c: &CompiledContract,
+        store: &mut InMemoryState,
+        transition: &str,
+        sender: [u8; 20],
+        args: &[(String, Value)],
+    ) -> Result<TransitionOutcome, ExecError> {
+        let ctx = TransitionContext { sender, ..TransitionContext::zeroed() };
+        let mut gas = GasMeter::new(1_000_000);
+        let params = vec![("owner".to_string(), Value::address(addr(99)))];
+        c.execute(store, transition, args, &params, &ctx, &mut gas)
+    }
+
+    #[test]
+    fn mint_then_transfer_moves_balances() {
+        let c = compile(TOKEN);
+        let mut store = InMemoryState::from_fields(c.init_fields(&[("owner".into(), Value::address(addr(99)))]).unwrap());
+        run(&c, &mut store, "Mint", addr(99), &[
+            ("to".into(), Value::address(addr(1))),
+            ("amount".into(), Value::Uint(128, 100)),
+        ])
+        .unwrap();
+        run(&c, &mut store, "Transfer", addr(1), &[
+            ("to".into(), Value::address(addr(2))),
+            ("amount".into(), Value::Uint(128, 30)),
+        ])
+        .unwrap();
+        assert_eq!(store.map_get("balances", &[Value::address(addr(1))]), Some(Value::Uint(128, 70)));
+        assert_eq!(store.map_get("balances", &[Value::address(addr(2))]), Some(Value::Uint(128, 30)));
+    }
+
+    #[test]
+    fn overdraft_throws() {
+        let c = compile(TOKEN);
+        let mut store = InMemoryState::from_fields(c.init_fields(&[("owner".into(), Value::address(addr(99)))]).unwrap());
+        let err = run(&c, &mut store, "Transfer", addr(1), &[
+            ("to".into(), Value::address(addr(2))),
+            ("amount".into(), Value::Uint(128, 30)),
+        ])
+        .unwrap_err();
+        assert!(matches!(err, ExecError::Thrown(_)));
+    }
+
+    #[test]
+    fn out_of_gas_aborts() {
+        let c = compile(TOKEN);
+        let mut store = InMemoryState::from_fields(c.init_fields(&[("owner".into(), Value::address(addr(99)))]).unwrap());
+        let ctx = TransitionContext { sender: addr(99), ..TransitionContext::zeroed() };
+        let mut gas = GasMeter::new(10);
+        let params = vec![("owner".to_string(), Value::address(addr(99)))];
+        let err = c
+            .execute(&mut store, "Mint", &[
+                ("to".into(), Value::address(addr(1))),
+                ("amount".into(), Value::Uint(128, 1)),
+            ], &params, &ctx, &mut gas)
+            .unwrap_err();
+        assert_eq!(err, ExecError::OutOfGas);
+    }
+
+    #[test]
+    fn send_produces_parsed_messages() {
+        let src = r#"
+            library L
+            let nil_msg = Nil {Message}
+            let one_msg = fun (m : Message) => Cons {Message} m nil_msg
+            contract C ()
+            transition Notify (to : ByStr20)
+              zero = Uint128 0;
+              m = {_tag : "Ping"; _recipient : to; _amount : zero; note : "hi"};
+              msgs = one_msg m;
+              send msgs
+            end
+        "#;
+        let c = compile(src);
+        let mut store = InMemoryState::new();
+        let ctx = TransitionContext::zeroed();
+        let mut gas = GasMeter::new(100_000);
+        let out = c
+            .execute(&mut store, "Notify", &[("to".into(), Value::address(addr(5)))], &[], &ctx, &mut gas)
+            .unwrap();
+        assert_eq!(out.messages.len(), 1);
+        let m = &out.messages[0];
+        assert_eq!(m.recipient, addr(5));
+        assert_eq!(m.tag, "Ping");
+        assert_eq!(m.params["note"], Value::Str("hi".into()));
+    }
+
+    #[test]
+    fn accept_sets_flag() {
+        let src = r#"
+            contract C ()
+            transition Deposit ()
+              accept
+            end
+        "#;
+        let c = compile(src);
+        let mut store = InMemoryState::new();
+        let mut gas = GasMeter::new(100_000);
+        let out = c
+            .execute(&mut store, "Deposit", &[], &[], &TransitionContext::zeroed(), &mut gas)
+            .unwrap();
+        assert!(out.accepted);
+    }
+
+    #[test]
+    fn blockchain_read_sees_block_number() {
+        let src = r#"
+            contract C ()
+            field last : BNum = BNum 0
+            transition Touch ()
+              b <- & BLOCKNUMBER;
+              last := b
+            end
+        "#;
+        let c = compile(src);
+        let mut store = InMemoryState::from_fields(c.init_fields(&[]).unwrap());
+        let ctx = TransitionContext { block_number: 77, ..TransitionContext::zeroed() };
+        let mut gas = GasMeter::new(100_000);
+        c.execute(&mut store, "Touch", &[], &[], &ctx, &mut gas).unwrap();
+        assert_eq!(store.load("last"), Some(Value::BNum(77)));
+    }
+
+    #[test]
+    fn polymorphic_library_function_executes() {
+        let src = r#"
+            library L
+            let tid = tfun 'A => fun (x : 'A) => x
+            contract C ()
+            field n : Uint128 = Uint128 0
+            transition T (v : Uint128)
+              idu = @tid Uint128;
+              v2 = idu v;
+              n := v2
+            end
+        "#;
+        let c = compile(src);
+        let mut store = InMemoryState::from_fields(c.init_fields(&[]).unwrap());
+        let mut gas = GasMeter::new(100_000);
+        c.execute(&mut store, "T", &[("v".into(), Value::Uint(128, 42))], &[], &TransitionContext::zeroed(), &mut gas)
+            .unwrap();
+        assert_eq!(store.load("n"), Some(Value::Uint(128, 42)));
+    }
+
+    #[test]
+    fn events_collected() {
+        let src = r#"
+            contract C ()
+            transition E ()
+              ev = {_eventname : "Fired"};
+              event ev
+            end
+        "#;
+        let c = compile(src);
+        let mut store = InMemoryState::new();
+        let mut gas = GasMeter::new(100_000);
+        let out = c.execute(&mut store, "E", &[], &[], &TransitionContext::zeroed(), &mut gas).unwrap();
+        assert_eq!(out.events.len(), 1);
+    }
+}

@@ -1,0 +1,521 @@
+//! Hand-written lexer for the Scilla subset.
+
+use crate::error::LexError;
+use crate::span::Span;
+use std::fmt;
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    /// Lower-case-initial identifier (variables, fields, builtins).
+    LIdent(String),
+    /// Upper-case-initial identifier (constructors, types, transitions).
+    CIdent(String),
+    /// Identifier starting with `_` (`_sender`, `_amount`, message keys).
+    SpecialIdent(String),
+    /// Decimal integer literal (sign handled by the parser via typed literals).
+    IntLit(i128),
+    /// String literal (unescaped contents).
+    StrLit(String),
+    /// Hex byte-string literal `0x…`.
+    HexLit(Vec<u8>),
+    /// A type variable `'A`.
+    TypeVar(String),
+    // Keywords.
+    Contract,
+    Library,
+    Transition,
+    Procedure,
+    Field,
+    Fun,
+    TFun,
+    Let,
+    In,
+    Match,
+    With,
+    End,
+    Builtin,
+    Accept,
+    Send,
+    Event,
+    Throw,
+    Delete,
+    Exists,
+    Type,
+    Of,
+    Emp,
+    // Punctuation.
+    LParen,
+    RParen,
+    LBracket,
+    RBracket,
+    LBrace,
+    RBrace,
+    Semi,
+    Colon,
+    Assign,    // :=
+    LeftArrow, // <-
+    FatArrow,  // =>
+    ThinArrow, // ->
+    Eq,        // =
+    Comma,
+    Bar,
+    Amp,
+    At,
+    Underscore,
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tok::LIdent(s) | Tok::CIdent(s) | Tok::SpecialIdent(s) => write!(f, "{s}"),
+            Tok::IntLit(n) => write!(f, "{n}"),
+            Tok::StrLit(s) => write!(f, "{s:?}"),
+            Tok::HexLit(bs) => {
+                write!(f, "0x")?;
+                for b in bs {
+                    write!(f, "{b:02x}")?;
+                }
+                Ok(())
+            }
+            Tok::TypeVar(v) => write!(f, "'{v}"),
+            Tok::Contract => write!(f, "contract"),
+            Tok::Library => write!(f, "library"),
+            Tok::Transition => write!(f, "transition"),
+            Tok::Procedure => write!(f, "procedure"),
+            Tok::Field => write!(f, "field"),
+            Tok::Fun => write!(f, "fun"),
+            Tok::TFun => write!(f, "tfun"),
+            Tok::Let => write!(f, "let"),
+            Tok::In => write!(f, "in"),
+            Tok::Match => write!(f, "match"),
+            Tok::With => write!(f, "with"),
+            Tok::End => write!(f, "end"),
+            Tok::Builtin => write!(f, "builtin"),
+            Tok::Accept => write!(f, "accept"),
+            Tok::Send => write!(f, "send"),
+            Tok::Event => write!(f, "event"),
+            Tok::Throw => write!(f, "throw"),
+            Tok::Delete => write!(f, "delete"),
+            Tok::Exists => write!(f, "exists"),
+            Tok::Type => write!(f, "type"),
+            Tok::Of => write!(f, "of"),
+            Tok::Emp => write!(f, "Emp"),
+            Tok::LParen => write!(f, "("),
+            Tok::RParen => write!(f, ")"),
+            Tok::LBracket => write!(f, "["),
+            Tok::RBracket => write!(f, "]"),
+            Tok::LBrace => write!(f, "{{"),
+            Tok::RBrace => write!(f, "}}"),
+            Tok::Semi => write!(f, ";"),
+            Tok::Colon => write!(f, ":"),
+            Tok::Assign => write!(f, ":="),
+            Tok::LeftArrow => write!(f, "<-"),
+            Tok::FatArrow => write!(f, "=>"),
+            Tok::ThinArrow => write!(f, "->"),
+            Tok::Eq => write!(f, "="),
+            Tok::Comma => write!(f, ","),
+            Tok::Bar => write!(f, "|"),
+            Tok::Amp => write!(f, "&"),
+            Tok::At => write!(f, "@"),
+            Tok::Underscore => write!(f, "_"),
+        }
+    }
+}
+
+/// A token together with its source span.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// The token kind and payload.
+    pub tok: Tok,
+    /// Where it occurred.
+    pub span: Span,
+}
+
+/// Tokenises `src` completely.
+///
+/// Comments are `(* … *)` (nesting allowed, as in OCaml/Scilla).
+///
+/// # Errors
+///
+/// Returns a [`LexError`] on an unterminated string/comment, a malformed hex
+/// literal, or an unexpected character.
+pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
+    Lexer::new(src).run()
+}
+
+struct Lexer<'s> {
+    src: &'s str,
+    bytes: &'s [u8],
+    pos: usize,
+    line: u32,
+    col: u32,
+}
+
+impl<'s> Lexer<'s> {
+    fn new(src: &'s str) -> Self {
+        Lexer { src, bytes: src.as_bytes(), pos: 0, line: 1, col: 1 }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn peek2(&self) -> Option<u8> {
+        self.bytes.get(self.pos + 1).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        if b == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(b)
+    }
+
+    fn here(&self) -> (usize, u32, u32) {
+        (self.pos, self.line, self.col)
+    }
+
+    fn err(&self, start: (usize, u32, u32), msg: impl Into<String>) -> LexError {
+        LexError { span: Span::new(start.0, self.pos, start.1, start.2), message: msg.into() }
+    }
+
+    fn run(mut self) -> Result<Vec<Token>, LexError> {
+        let mut out = Vec::new();
+        loop {
+            self.skip_trivia()?;
+            let start = self.here();
+            let Some(b) = self.peek() else { break };
+            let tok = match b {
+                b'(' => {
+                    self.bump();
+                    Tok::LParen
+                }
+                b')' => {
+                    self.bump();
+                    Tok::RParen
+                }
+                b'[' => {
+                    self.bump();
+                    Tok::LBracket
+                }
+                b']' => {
+                    self.bump();
+                    Tok::RBracket
+                }
+                b'{' => {
+                    self.bump();
+                    Tok::LBrace
+                }
+                b'}' => {
+                    self.bump();
+                    Tok::RBrace
+                }
+                b';' => {
+                    self.bump();
+                    Tok::Semi
+                }
+                b',' => {
+                    self.bump();
+                    Tok::Comma
+                }
+                b'|' => {
+                    self.bump();
+                    Tok::Bar
+                }
+                b'&' => {
+                    self.bump();
+                    Tok::Amp
+                }
+                b'@' => {
+                    self.bump();
+                    Tok::At
+                }
+                b':' => {
+                    self.bump();
+                    if self.peek() == Some(b'=') {
+                        self.bump();
+                        Tok::Assign
+                    } else {
+                        Tok::Colon
+                    }
+                }
+                b'<' => {
+                    self.bump();
+                    if self.peek() == Some(b'-') {
+                        self.bump();
+                        Tok::LeftArrow
+                    } else {
+                        return Err(self.err(start, "expected '-' after '<'"));
+                    }
+                }
+                b'=' => {
+                    self.bump();
+                    if self.peek() == Some(b'>') {
+                        self.bump();
+                        Tok::FatArrow
+                    } else {
+                        Tok::Eq
+                    }
+                }
+                b'-' => {
+                    self.bump();
+                    match self.peek() {
+                        Some(b'>') => {
+                            self.bump();
+                            Tok::ThinArrow
+                        }
+                        Some(d) if d.is_ascii_digit() => {
+                            let n = self.lex_decimal(start)?;
+                            Tok::IntLit(-n)
+                        }
+                        _ => return Err(self.err(start, "expected '>' or digit after '-'")),
+                    }
+                }
+                b'\'' => {
+                    self.bump();
+                    let name = self.lex_ident_chars();
+                    if name.is_empty() {
+                        return Err(self.err(start, "expected type variable name after \"'\""));
+                    }
+                    Tok::TypeVar(name)
+                }
+                b'"' => {
+                    self.bump();
+                    let mut s = String::new();
+                    loop {
+                        match self.bump() {
+                            Some(b'"') => break,
+                            Some(b'\\') => match self.bump() {
+                                Some(b'n') => s.push('\n'),
+                                Some(b't') => s.push('\t'),
+                                Some(b'"') => s.push('"'),
+                                Some(b'\\') => s.push('\\'),
+                                _ => return Err(self.err(start, "bad escape in string")),
+                            },
+                            Some(c) => s.push(c as char),
+                            None => return Err(self.err(start, "unterminated string literal")),
+                        }
+                    }
+                    Tok::StrLit(s)
+                }
+                b'0' if self.peek2() == Some(b'x') || self.peek2() == Some(b'X') => {
+                    self.bump();
+                    self.bump();
+                    let hex_start = self.pos;
+                    while self.peek().is_some_and(|c| c.is_ascii_hexdigit()) {
+                        self.bump();
+                    }
+                    let hex = &self.src[hex_start..self.pos];
+                    if hex.is_empty() || !hex.len().is_multiple_of(2) {
+                        return Err(self.err(start, "hex literal must have an even number of digits"));
+                    }
+                    let bytes = (0..hex.len())
+                        .step_by(2)
+                        .map(|i| u8::from_str_radix(&hex[i..i + 2], 16).expect("hex digits"))
+                        .collect();
+                    Tok::HexLit(bytes)
+                }
+                d if d.is_ascii_digit() => Tok::IntLit(self.lex_decimal(start)?),
+                b'_' => {
+                    self.bump();
+                    let rest = self.lex_ident_chars();
+                    if rest.is_empty() {
+                        Tok::Underscore
+                    } else {
+                        Tok::SpecialIdent(format!("_{rest}"))
+                    }
+                }
+                c if c.is_ascii_alphabetic() => {
+                    let word = self.lex_ident_chars();
+                    keyword(&word).unwrap_or_else(|| {
+                        if word.chars().next().is_some_and(|ch| ch.is_ascii_uppercase()) {
+                            Tok::CIdent(word)
+                        } else {
+                            Tok::LIdent(word)
+                        }
+                    })
+                }
+                other => {
+                    return Err(self.err(start, format!("unexpected character {:?}", other as char)))
+                }
+            };
+            out.push(Token { tok, span: Span::new(start.0, self.pos, start.1, start.2) });
+        }
+        Ok(out)
+    }
+
+    fn lex_decimal(&mut self, start: (usize, u32, u32)) -> Result<i128, LexError> {
+        let num_start = self.pos;
+        while self.peek().is_some_and(|c| c.is_ascii_digit() || c == b'_') {
+            self.bump();
+        }
+        let text: String = self.src[num_start..self.pos].chars().filter(|c| *c != '_').collect();
+        text.parse::<i128>().map_err(|_| self.err(start, "integer literal out of range"))
+    }
+
+    fn lex_ident_chars(&mut self) -> String {
+        let start = self.pos;
+        while self.peek().is_some_and(|c| c.is_ascii_alphanumeric() || c == b'_') {
+            self.bump();
+        }
+        self.src[start..self.pos].to_string()
+    }
+
+    fn skip_trivia(&mut self) -> Result<(), LexError> {
+        loop {
+            match self.peek() {
+                Some(c) if c.is_ascii_whitespace() => {
+                    self.bump();
+                }
+                Some(b'(') if self.peek2() == Some(b'*') => {
+                    let start = self.here();
+                    self.bump();
+                    self.bump();
+                    let mut depth = 1u32;
+                    loop {
+                        match self.peek() {
+                            None => return Err(self.err(start, "unterminated comment")),
+                            Some(b'(') if self.peek2() == Some(b'*') => {
+                                self.bump();
+                                self.bump();
+                                depth += 1;
+                            }
+                            Some(b'*') if self.peek2() == Some(b')') => {
+                                self.bump();
+                                self.bump();
+                                depth -= 1;
+                                if depth == 0 {
+                                    break;
+                                }
+                            }
+                            _ => {
+                                self.bump();
+                            }
+                        }
+                    }
+                }
+                _ => return Ok(()),
+            }
+        }
+    }
+}
+
+fn keyword(word: &str) -> Option<Tok> {
+    Some(match word {
+        "contract" => Tok::Contract,
+        "library" => Tok::Library,
+        "transition" => Tok::Transition,
+        "procedure" => Tok::Procedure,
+        "field" => Tok::Field,
+        "fun" => Tok::Fun,
+        "tfun" => Tok::TFun,
+        "let" => Tok::Let,
+        "in" => Tok::In,
+        "match" => Tok::Match,
+        "with" => Tok::With,
+        "end" => Tok::End,
+        "builtin" => Tok::Builtin,
+        "accept" => Tok::Accept,
+        "send" => Tok::Send,
+        "event" => Tok::Event,
+        "throw" => Tok::Throw,
+        "delete" => Tok::Delete,
+        "exists" => Tok::Exists,
+        "type" => Tok::Type,
+        "of" => Tok::Of,
+        "Emp" => Tok::Emp,
+        _ => return None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|t| t.tok).collect()
+    }
+
+    #[test]
+    fn lexes_statement_forms() {
+        assert_eq!(
+            toks("x <- balances[_sender]; balances[to] := v"),
+            vec![
+                Tok::LIdent("x".into()),
+                Tok::LeftArrow,
+                Tok::LIdent("balances".into()),
+                Tok::LBracket,
+                Tok::SpecialIdent("_sender".into()),
+                Tok::RBracket,
+                Tok::Semi,
+                Tok::LIdent("balances".into()),
+                Tok::LBracket,
+                Tok::LIdent("to".into()),
+                Tok::RBracket,
+                Tok::Assign,
+                Tok::LIdent("v".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn distinguishes_eq_and_fat_arrow() {
+        assert_eq!(toks("= =>"), vec![Tok::Eq, Tok::FatArrow]);
+    }
+
+    #[test]
+    fn lexes_typed_int_literals() {
+        assert_eq!(
+            toks("Uint128 10"),
+            vec![Tok::CIdent("Uint128".into()), Tok::IntLit(10)]
+        );
+        assert_eq!(toks("-42"), vec![Tok::IntLit(-42)]);
+    }
+
+    #[test]
+    fn lexes_hex_addresses() {
+        assert_eq!(toks("0xDEADbeef"), vec![Tok::HexLit(vec![0xde, 0xad, 0xbe, 0xef])]);
+        assert!(lex("0x123").is_err());
+    }
+
+    #[test]
+    fn skips_nested_comments() {
+        assert_eq!(toks("(* outer (* inner *) still *) x"), vec![Tok::LIdent("x".into())]);
+        assert!(lex("(* unterminated").is_err());
+    }
+
+    #[test]
+    fn strings_support_escapes() {
+        assert_eq!(toks(r#""a\nb""#), vec![Tok::StrLit("a\nb".into())]);
+        assert!(lex("\"open").is_err());
+    }
+
+    #[test]
+    fn underscore_alone_vs_special_ident() {
+        assert_eq!(toks("_ _sender"), vec![Tok::Underscore, Tok::SpecialIdent("_sender".into())]);
+    }
+
+    #[test]
+    fn keywords_are_not_idents() {
+        assert_eq!(toks("match with end"), vec![Tok::Match, Tok::With, Tok::End]);
+    }
+
+    #[test]
+    fn spans_track_lines() {
+        let tokens = lex("a\n  b").unwrap();
+        assert_eq!(tokens[0].span.line, 1);
+        assert_eq!(tokens[1].span.line, 2);
+        assert_eq!(tokens[1].span.col, 3);
+    }
+
+    #[test]
+    fn type_vars_lex() {
+        assert_eq!(toks("'A"), vec![Tok::TypeVar("A".into())]);
+    }
+}

@@ -1,0 +1,78 @@
+//! Source locations.
+//!
+//! Every token and AST node carries a [`Span`] so that diagnostics from the
+//! type checker and the CoSplit analysis can point back into contract source.
+
+use std::fmt;
+
+/// A half-open byte range `[start, end)` into a source file, plus the
+/// 1-based line/column of its start for human-readable diagnostics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, serde::Serialize, serde::Deserialize)]
+pub struct Span {
+    /// Byte offset of the first character.
+    pub start: usize,
+    /// Byte offset one past the last character.
+    pub end: usize,
+    /// 1-based line number of `start`.
+    pub line: u32,
+    /// 1-based column number of `start`.
+    pub col: u32,
+}
+
+impl Span {
+    /// Creates a span covering `[start, end)` at the given line/column.
+    pub fn new(start: usize, end: usize, line: u32, col: u32) -> Self {
+        Span { start, end, line, col }
+    }
+
+    /// A zero-width placeholder span for synthesised nodes.
+    pub fn dummy() -> Self {
+        Span { start: 0, end: 0, line: 0, col: 0 }
+    }
+
+    /// Returns the smallest span covering both `self` and `other`.
+    ///
+    /// The line/column of the merged span is taken from whichever operand
+    /// starts first.
+    pub fn merge(self, other: Span) -> Span {
+        let (first, _) = if self.start <= other.start { (self, other) } else { (other, self) };
+        Span {
+            start: self.start.min(other.start),
+            end: self.end.max(other.end),
+            line: first.line,
+            col: first.col,
+        }
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_takes_extremes() {
+        let a = Span::new(5, 10, 1, 6);
+        let b = Span::new(8, 20, 2, 3);
+        let m = a.merge(b);
+        assert_eq!((m.start, m.end), (5, 20));
+        assert_eq!((m.line, m.col), (1, 6));
+    }
+
+    #[test]
+    fn merge_is_commutative() {
+        let a = Span::new(5, 10, 1, 6);
+        let b = Span::new(8, 20, 2, 3);
+        assert_eq!(a.merge(b), b.merge(a));
+    }
+
+    #[test]
+    fn display_is_line_col() {
+        assert_eq!(Span::new(0, 1, 3, 7).to_string(), "3:7");
+    }
+}

@@ -1,0 +1,187 @@
+//! Contract state storage abstraction.
+//!
+//! The interpreter manipulates contract fields through the [`StateStore`]
+//! trait so that the blockchain layer can interpose overlays (per-shard
+//! scratch states, write logs for state-delta computation) without the
+//! interpreter knowing.
+
+use crate::value::Value;
+use std::collections::BTreeMap;
+
+/// Mutable access to a contract's fields.
+///
+/// Nested map entries are addressed by a field name plus a key path; a key
+/// path shorter than the map's nesting depth addresses a whole sub-map.
+pub trait StateStore {
+    /// Reads a whole field. `None` if the field does not exist.
+    fn load(&self, field: &str) -> Option<Value>;
+
+    /// Overwrites a whole field.
+    fn store(&mut self, field: &str, value: Value);
+
+    /// Reads one (possibly nested) map entry.
+    fn map_get(&self, field: &str, keys: &[Value]) -> Option<Value>;
+
+    /// Writes one (possibly nested) map entry, materialising intermediate
+    /// maps as needed.
+    fn map_update(&mut self, field: &str, keys: &[Value], value: Value);
+
+    /// Tests whether a map entry exists.
+    fn map_exists(&self, field: &str, keys: &[Value]) -> bool {
+        self.map_get(field, keys).is_some()
+    }
+
+    /// Deletes one (possibly nested) map entry. No-op if absent.
+    fn map_delete(&mut self, field: &str, keys: &[Value]);
+}
+
+/// Walks `keys` through nested maps, returning the addressed value.
+pub fn descend<'v>(mut value: &'v Value, keys: &[Value]) -> Option<&'v Value> {
+    for k in keys {
+        match value {
+            Value::Map(m) => value = m.get(k)?,
+            _ => return None,
+        }
+    }
+    Some(value)
+}
+
+/// Inserts `new` at the nested key path inside `root`, creating intermediate
+/// maps as needed. `root` must be a map if `keys` is non-empty.
+pub fn insert_at(root: &mut Value, keys: &[Value], new: Value) {
+    match keys.split_first() {
+        None => *root = new,
+        Some((k, rest)) => {
+            let Value::Map(m) = root else {
+                // Type checker guarantees map shape; recover by replacing.
+                *root = Value::Map(BTreeMap::new());
+                return insert_at(root, keys, new);
+            };
+            let entry = m.entry(k.clone()).or_insert_with(|| Value::Map(BTreeMap::new()));
+            insert_at(entry, rest, new);
+        }
+    }
+}
+
+/// Removes the entry at the nested key path inside `root`. No-op if any
+/// prefix is missing.
+pub fn delete_at(root: &mut Value, keys: &[Value]) {
+    let Some((k, rest)) = keys.split_first() else { return };
+    let Value::Map(m) = root else { return };
+    if rest.is_empty() {
+        m.remove(k);
+    } else if let Some(child) = m.get_mut(k) {
+        delete_at(child, rest);
+    }
+}
+
+/// A plain in-memory field store.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct InMemoryState {
+    fields: BTreeMap<String, Value>,
+}
+
+impl InMemoryState {
+    /// An empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds a store from initial field values.
+    pub fn from_fields(fields: BTreeMap<String, Value>) -> Self {
+        InMemoryState { fields }
+    }
+
+    /// All fields, by name.
+    pub fn fields(&self) -> &BTreeMap<String, Value> {
+        &self.fields
+    }
+
+    /// Consumes the store, returning the fields.
+    pub fn into_fields(self) -> BTreeMap<String, Value> {
+        self.fields
+    }
+
+    /// Removes a whole field. Used by transaction journals to undo a store
+    /// into a previously-nonexistent field.
+    pub fn remove_field(&mut self, field: &str) {
+        self.fields.remove(field);
+    }
+}
+
+impl StateStore for InMemoryState {
+    fn load(&self, field: &str) -> Option<Value> {
+        self.fields.get(field).cloned()
+    }
+
+    fn store(&mut self, field: &str, value: Value) {
+        self.fields.insert(field.to_string(), value);
+    }
+
+    fn map_get(&self, field: &str, keys: &[Value]) -> Option<Value> {
+        descend(self.fields.get(field)?, keys).cloned()
+    }
+
+    fn map_update(&mut self, field: &str, keys: &[Value], value: Value) {
+        let root = self
+            .fields
+            .entry(field.to_string())
+            .or_insert_with(|| Value::Map(BTreeMap::new()));
+        insert_at(root, keys, value);
+    }
+
+    fn map_delete(&mut self, field: &str, keys: &[Value]) {
+        if let Some(root) = self.fields.get_mut(field) {
+            delete_at(root, keys);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn addr(b: u8) -> Value {
+        Value::address([b; 20])
+    }
+
+    #[test]
+    fn nested_update_creates_intermediate_maps() {
+        let mut s = InMemoryState::new();
+        s.store("allow", Value::Map(BTreeMap::new()));
+        s.map_update("allow", &[addr(1), addr(2)], Value::Uint(128, 9));
+        assert_eq!(s.map_get("allow", &[addr(1), addr(2)]), Some(Value::Uint(128, 9)));
+        assert!(s.map_exists("allow", &[addr(1)]));
+        assert!(!s.map_exists("allow", &[addr(3)]));
+    }
+
+    #[test]
+    fn delete_removes_only_target() {
+        let mut s = InMemoryState::new();
+        s.map_update("m", &[addr(1)], Value::Uint(128, 1));
+        s.map_update("m", &[addr(2)], Value::Uint(128, 2));
+        s.map_delete("m", &[addr(1)]);
+        assert_eq!(s.map_get("m", &[addr(1)]), None);
+        assert_eq!(s.map_get("m", &[addr(2)]), Some(Value::Uint(128, 2)));
+        // Deleting a missing path is a no-op.
+        s.map_delete("m", &[addr(9), addr(9)]);
+    }
+
+    #[test]
+    fn partial_key_path_returns_submap() {
+        let mut s = InMemoryState::new();
+        s.map_update("m", &[addr(1), addr(2)], Value::Uint(128, 7));
+        match s.map_get("m", &[addr(1)]) {
+            Some(Value::Map(sub)) => assert_eq!(sub.len(), 1),
+            other => panic!("expected submap, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn whole_field_load_store() {
+        let mut s = InMemoryState::new();
+        s.store("n", Value::Uint(128, 3));
+        assert_eq!(s.load("n"), Some(Value::Uint(128, 3)));
+        assert_eq!(s.load("missing"), None);
+    }
+}

@@ -1,0 +1,197 @@
+//! The type language of the Scilla subset.
+
+use std::fmt;
+
+/// Types (paper Fig. 4: `t ::= int | string | unit | bool | map t t | t → t | …`).
+///
+/// Integer types carry their signedness and bit width so the interpreter can
+/// implement checked wrap-free arithmetic exactly like Scilla's `Uint128` etc.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum Type {
+    /// `IntN` for N ∈ {32, 64, 128, 256}.
+    Int(u32),
+    /// `UintN` for N ∈ {32, 64, 128, 256}.
+    Uint(u32),
+    /// `String`.
+    Str,
+    /// `ByStrN` — fixed-width byte string; `ByStr20` is an address.
+    ByStr(u32),
+    /// `BNum` — block numbers.
+    BNum,
+    /// `Message` — the type of message literals.
+    Message,
+    /// `Map kt vt`.
+    Map(Box<Type>, Box<Type>),
+    /// `t1 -> t2`.
+    Fun(Box<Type>, Box<Type>),
+    /// An applied (possibly nullary) ADT: `Bool`, `Option t`, `List t`,
+    /// `Pair a b`, or a user-declared type.
+    Adt(String, Vec<Type>),
+    /// A type variable `'A` inside a `tfun`.
+    TypeVar(String),
+    /// The type of a `tfun 'A => e` — universally quantified. Produced only
+    /// by the type checker; there is no surface syntax for it.
+    Forall(String, Box<Type>),
+}
+
+impl Type {
+    /// Convenience constructor for `Bool`.
+    pub fn bool() -> Type {
+        Type::Adt("Bool".into(), vec![])
+    }
+
+    /// Convenience constructor for `Option t`.
+    pub fn option(t: Type) -> Type {
+        Type::Adt("Option".into(), vec![t])
+    }
+
+    /// Convenience constructor for `List t`.
+    pub fn list(t: Type) -> Type {
+        Type::Adt("List".into(), vec![t])
+    }
+
+    /// Convenience constructor for the canonical address type `ByStr20`.
+    pub fn address() -> Type {
+        Type::ByStr(20)
+    }
+
+    /// Is this one of the integer types (signed or unsigned)?
+    pub fn is_integral(&self) -> bool {
+        matches!(self, Type::Int(_) | Type::Uint(_))
+    }
+
+    /// Is this a ground (monomorphic, fully-applied) storable type — i.e.
+    /// something that may appear in a contract field?
+    pub fn is_storable(&self) -> bool {
+        match self {
+            Type::Fun(..) | Type::TypeVar(_) | Type::Message | Type::Forall(..) => false,
+            Type::Map(k, v) => k.is_storable() && v.is_storable(),
+            Type::Adt(_, args) => args.iter().all(Type::is_storable),
+            _ => true,
+        }
+    }
+
+    /// Substitutes `tvar` by `replacement` throughout.
+    pub fn subst(&self, tvar: &str, replacement: &Type) -> Type {
+        match self {
+            Type::TypeVar(v) if v == tvar => replacement.clone(),
+            Type::Map(k, v) => {
+                Type::Map(Box::new(k.subst(tvar, replacement)), Box::new(v.subst(tvar, replacement)))
+            }
+            Type::Fun(a, b) => {
+                Type::Fun(Box::new(a.subst(tvar, replacement)), Box::new(b.subst(tvar, replacement)))
+            }
+            Type::Adt(n, args) => {
+                Type::Adt(n.clone(), args.iter().map(|a| a.subst(tvar, replacement)).collect())
+            }
+            Type::Forall(v, body) if v != tvar => {
+                Type::Forall(v.clone(), Box::new(body.subst(tvar, replacement)))
+            }
+            other => other.clone(),
+        }
+    }
+
+    /// For a map type, returns the value type reached after indexing with
+    /// `depth` keys, along with the key types consumed; `None` if the type
+    /// has fewer than `depth` map layers.
+    pub fn map_access(&self, depth: usize) -> Option<(Vec<&Type>, &Type)> {
+        let mut keys = Vec::with_capacity(depth);
+        let mut cur = self;
+        for _ in 0..depth {
+            match cur {
+                Type::Map(k, v) => {
+                    keys.push(k.as_ref());
+                    cur = v;
+                }
+                _ => return None,
+            }
+        }
+        Some((keys, cur))
+    }
+}
+
+impl fmt::Display for Type {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fn atomic(t: &Type) -> bool {
+            match t {
+                Type::Map(..) | Type::Fun(..) => false,
+                Type::Adt(_, args) => args.is_empty(),
+                _ => true,
+            }
+        }
+        fn write_atom(t: &Type, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            if atomic(t) {
+                write!(f, "{t}")
+            } else {
+                write!(f, "({t})")
+            }
+        }
+        match self {
+            Type::Int(w) => write!(f, "Int{w}"),
+            Type::Uint(w) => write!(f, "Uint{w}"),
+            Type::Str => write!(f, "String"),
+            Type::ByStr(w) => write!(f, "ByStr{w}"),
+            Type::BNum => write!(f, "BNum"),
+            Type::Message => write!(f, "Message"),
+            Type::Map(k, v) => {
+                write!(f, "Map ")?;
+                write_atom(k, f)?;
+                write!(f, " ")?;
+                write_atom(v, f)
+            }
+            Type::Fun(a, b) => {
+                write_atom(a, f)?;
+                write!(f, " -> {b}")
+            }
+            Type::Adt(n, args) => {
+                write!(f, "{n}")?;
+                for a in args {
+                    write!(f, " ")?;
+                    write_atom(a, f)?;
+                }
+                Ok(())
+            }
+            Type::TypeVar(v) => write!(f, "'{v}"),
+            Type::Forall(v, body) => write!(f, "forall '{v}. {body}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_parenthesises_nested_maps() {
+        let t = Type::Map(
+            Box::new(Type::address()),
+            Box::new(Type::Map(Box::new(Type::address()), Box::new(Type::Uint(128)))),
+        );
+        assert_eq!(t.to_string(), "Map ByStr20 (Map ByStr20 Uint128)");
+    }
+
+    #[test]
+    fn map_access_peels_layers() {
+        let t = Type::Map(
+            Box::new(Type::address()),
+            Box::new(Type::Map(Box::new(Type::Str), Box::new(Type::Uint(32)))),
+        );
+        let (keys, v) = t.map_access(2).unwrap();
+        assert_eq!(keys.len(), 2);
+        assert_eq!(*v, Type::Uint(32));
+        assert!(t.map_access(3).is_none());
+    }
+
+    #[test]
+    fn subst_replaces_type_vars() {
+        let t = Type::Fun(Box::new(Type::TypeVar("A".into())), Box::new(Type::option(Type::TypeVar("A".into()))));
+        let s = t.subst("A", &Type::Uint(128));
+        assert_eq!(s.to_string(), "Uint128 -> Option Uint128");
+    }
+
+    #[test]
+    fn storability_excludes_functions() {
+        assert!(Type::Map(Box::new(Type::address()), Box::new(Type::Uint(128))).is_storable());
+        assert!(!Type::Fun(Box::new(Type::Str), Box::new(Type::Str)).is_storable());
+    }
+}

@@ -1,0 +1,345 @@
+//! Runtime values and environments.
+
+use crate::ast::{Expr, Ident};
+use crate::types::Type;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// A closure: a function literal together with its captured environment.
+#[derive(Debug, Clone)]
+pub struct Closure {
+    /// Formal parameter name.
+    pub param: Ident,
+    /// Declared parameter type.
+    pub param_type: Type,
+    /// Function body.
+    pub body: Arc<Expr>,
+    /// Captured environment.
+    pub env: Env,
+}
+
+/// A type closure produced by `tfun`.
+#[derive(Debug, Clone)]
+pub struct TypeClosure {
+    /// Bound type variable.
+    pub tvar: String,
+    /// Body.
+    pub body: Arc<Expr>,
+    /// Captured environment.
+    pub env: Env,
+}
+
+/// A runtime value.
+///
+/// Comparison: all first-order values compare structurally; closures compare
+/// by identity (allocation address). Well-typed programs never use closures
+/// or messages as map keys, so the identity fallback only exists to make
+/// `BTreeMap<Value, Value>` total.
+#[derive(Debug, Clone)]
+pub enum Value {
+    /// Signed integer with bit width.
+    Int(u32, i128),
+    /// Unsigned integer with bit width.
+    Uint(u32, u128),
+    /// String.
+    Str(String),
+    /// Byte string (address when 20 bytes long).
+    ByStr(Vec<u8>),
+    /// Block number.
+    BNum(u64),
+    /// A (possibly nested) map.
+    Map(BTreeMap<Value, Value>),
+    /// A constructed ADT value; type arguments are erased at runtime.
+    Adt {
+        /// Constructor name (`Some`, `True`, `Cons`, …).
+        ctor: String,
+        /// Constructor arguments.
+        args: Vec<Value>,
+    },
+    /// A message (for `send`/`event`/`throw`): key → payload.
+    Msg(BTreeMap<String, Value>),
+    /// A function closure.
+    Clo(Arc<Closure>),
+    /// A type-abstraction closure.
+    TClo(Arc<TypeClosure>),
+}
+
+impl Value {
+    /// The canonical `True`/`False` values.
+    pub fn bool(b: bool) -> Value {
+        Value::Adt { ctor: if b { "True" } else { "False" }.into(), args: vec![] }
+    }
+
+    /// `Some v`.
+    pub fn some(v: Value) -> Value {
+        Value::Adt { ctor: "Some".into(), args: vec![v] }
+    }
+
+    /// `None`.
+    pub fn none() -> Value {
+        Value::Adt { ctor: "None".into(), args: vec![] }
+    }
+
+    /// Extracts a boolean, if this is a `Bool` value.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Adt { ctor, args } if args.is_empty() => match ctor.as_str() {
+                "True" => Some(true),
+                "False" => Some(false),
+                _ => None,
+            },
+            _ => None,
+        }
+    }
+
+    /// Extracts the unsigned payload, if this is a `Uint` of any width.
+    pub fn as_uint(&self) -> Option<u128> {
+        match self {
+            Value::Uint(_, v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Extracts the address bytes, if this is a 20-byte `ByStr`.
+    pub fn as_address(&self) -> Option<[u8; 20]> {
+        match self {
+            Value::ByStr(bs) if bs.len() == 20 => {
+                let mut a = [0u8; 20];
+                a.copy_from_slice(bs);
+                Some(a)
+            }
+            _ => None,
+        }
+    }
+
+    /// Builds a `ByStr20` value from address bytes.
+    pub fn address(bytes: [u8; 20]) -> Value {
+        Value::ByStr(bytes.to_vec())
+    }
+
+    /// A small integer tag used to order values of different shapes.
+    fn shape_tag(&self) -> u8 {
+        match self {
+            Value::Int(..) => 0,
+            Value::Uint(..) => 1,
+            Value::Str(_) => 2,
+            Value::ByStr(_) => 3,
+            Value::BNum(_) => 4,
+            Value::Map(_) => 5,
+            Value::Adt { .. } => 6,
+            Value::Msg(_) => 7,
+            Value::Clo(_) => 8,
+            Value::TClo(_) => 9,
+        }
+    }
+
+    /// Is this value first-order (no closures anywhere inside)?
+    pub fn is_first_order(&self) -> bool {
+        match self {
+            Value::Clo(_) | Value::TClo(_) => false,
+            Value::Map(m) => m.iter().all(|(k, v)| k.is_first_order() && v.is_first_order()),
+            Value::Adt { args, .. } => args.iter().all(Value::is_first_order),
+            Value::Msg(m) => m.values().all(Value::is_first_order),
+            _ => true,
+        }
+    }
+}
+
+impl PartialEq for Value {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == std::cmp::Ordering::Equal
+    }
+}
+
+impl Eq for Value {}
+
+impl PartialOrd for Value {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Value {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        use Value::*;
+        match (self, other) {
+            (Int(w1, v1), Int(w2, v2)) => (w1, v1).cmp(&(w2, v2)),
+            (Uint(w1, v1), Uint(w2, v2)) => (w1, v1).cmp(&(w2, v2)),
+            (Str(a), Str(b)) => a.cmp(b),
+            (ByStr(a), ByStr(b)) => a.cmp(b),
+            (BNum(a), BNum(b)) => a.cmp(b),
+            (Map(a), Map(b)) => a.cmp(b),
+            (Adt { ctor: c1, args: a1 }, Adt { ctor: c2, args: a2 }) => {
+                c1.cmp(c2).then_with(|| a1.cmp(a2))
+            }
+            (Msg(a), Msg(b)) => a.cmp(b),
+            (Clo(a), Clo(b)) => (Arc::as_ptr(a) as usize).cmp(&(Arc::as_ptr(b) as usize)),
+            (TClo(a), TClo(b)) => (Arc::as_ptr(a) as usize).cmp(&(Arc::as_ptr(b) as usize)),
+            (a, b) => a.shape_tag().cmp(&b.shape_tag()),
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(w, v) => write!(f, "Int{w} {v}"),
+            Value::Uint(w, v) => write!(f, "Uint{w} {v}"),
+            Value::Str(s) => write!(f, "{s:?}"),
+            Value::ByStr(bs) => {
+                write!(f, "0x")?;
+                for b in bs {
+                    write!(f, "{b:02x}")?;
+                }
+                Ok(())
+            }
+            Value::BNum(n) => write!(f, "BNum {n}"),
+            Value::Map(m) => {
+                write!(f, "{{")?;
+                for (i, (k, v)) in m.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{k} => {v}")?;
+                }
+                write!(f, "}}")
+            }
+            Value::Adt { ctor, args } => {
+                write!(f, "{ctor}")?;
+                for a in args {
+                    write!(f, " ({a})")?;
+                }
+                Ok(())
+            }
+            Value::Msg(m) => {
+                write!(f, "Msg{{")?;
+                for (i, (k, v)) in m.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, "; ")?;
+                    }
+                    write!(f, "{k}: {v}")?;
+                }
+                write!(f, "}}")
+            }
+            Value::Clo(_) => write!(f, "<closure>"),
+            Value::TClo(_) => write!(f, "<tclosure>"),
+        }
+    }
+}
+
+/// A persistent (cons-list) environment binding identifiers to values.
+///
+/// Cloning is O(1); extension is O(1); lookup is O(depth). This makes
+/// closure capture cheap, which matters because contract libraries define
+/// many small combinators.
+#[derive(Debug, Clone, Default)]
+pub struct Env(Option<Arc<EnvNode>>);
+
+#[derive(Debug)]
+struct EnvNode {
+    name: String,
+    value: Value,
+    rest: Env,
+}
+
+impl Env {
+    /// The empty environment.
+    pub fn new() -> Env {
+        Env(None)
+    }
+
+    /// Returns an environment extended with `name → value`.
+    pub fn bind(&self, name: impl Into<String>, value: Value) -> Env {
+        Env(Some(Arc::new(EnvNode { name: name.into(), value, rest: self.clone() })))
+    }
+
+    /// Looks up the innermost binding of `name`.
+    pub fn lookup(&self, name: &str) -> Option<&Value> {
+        let mut cur = self;
+        while let Some(node) = &cur.0 {
+            if node.name == name {
+                return Some(&node.value);
+            }
+            cur = &node.rest;
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn env_shadows_innermost() {
+        let e = Env::new().bind("x", Value::Uint(128, 1)).bind("x", Value::Uint(128, 2));
+        assert_eq!(e.lookup("x"), Some(&Value::Uint(128, 2)));
+        assert_eq!(e.lookup("y"), None);
+    }
+
+    #[test]
+    fn env_extension_does_not_mutate_parent() {
+        let base = Env::new().bind("x", Value::Uint(128, 1));
+        let _child = base.bind("x", Value::Uint(128, 2));
+        assert_eq!(base.lookup("x"), Some(&Value::Uint(128, 1)));
+    }
+
+    #[test]
+    fn value_ordering_is_total_over_shapes() {
+        let vals = [
+            Value::Int(32, -1),
+            Value::Uint(128, 0),
+            Value::Str("a".into()),
+            Value::ByStr(vec![1]),
+            Value::BNum(0),
+            Value::bool(true),
+        ];
+        for a in &vals {
+            for b in &vals {
+                // Must not panic, and must be antisymmetric.
+                let ab = a.cmp(b);
+                let ba = b.cmp(a);
+                assert_eq!(ab.reverse(), ba);
+            }
+        }
+    }
+
+    #[test]
+    fn bool_helpers_roundtrip() {
+        assert_eq!(Value::bool(true).as_bool(), Some(true));
+        assert_eq!(Value::bool(false).as_bool(), Some(false));
+        assert_eq!(Value::Uint(128, 1).as_bool(), None);
+    }
+
+    #[test]
+    fn address_roundtrip() {
+        let a = [7u8; 20];
+        assert_eq!(Value::address(a).as_address(), Some(a));
+        assert_eq!(Value::ByStr(vec![1, 2]).as_address(), None);
+    }
+
+    #[test]
+    fn maps_use_structural_keys() {
+        let mut m = BTreeMap::new();
+        m.insert(Value::Str("k".into()), Value::Uint(128, 5));
+        let v = Value::Map(m);
+        if let Value::Map(m) = &v {
+            assert_eq!(m.get(&Value::Str("k".into())), Some(&Value::Uint(128, 5)));
+        }
+    }
+
+    #[test]
+    fn first_order_check_descends() {
+        let clo = Value::Clo(Arc::new(Closure {
+            param: Ident::new("x"),
+            param_type: Type::Str,
+            body: Arc::new(Expr::Var(Ident::new("x"))),
+            env: Env::new(),
+        }));
+        assert!(!clo.is_first_order());
+        let nested = Value::Adt { ctor: "Some".into(), args: vec![clo] };
+        assert!(!nested.is_first_order());
+        assert!(Value::Uint(128, 3).is_first_order());
+    }
+}

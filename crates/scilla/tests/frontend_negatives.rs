@@ -1,0 +1,168 @@
+//! Negative tests over the frontend: each rejected program pins down one
+//! diagnostic the pipeline must produce (and keep producing).
+
+use scilla::parser::{parse_expr, parse_module};
+use scilla::typechecker::typecheck;
+
+fn type_error(src: &str) -> String {
+    typecheck(parse_module(src).expect("parses")).expect_err("must be ill-typed").message
+}
+
+fn parse_error(src: &str) -> String {
+    parse_module(src).expect_err("must not parse").message
+}
+
+// ------------------------------------------------------------------ parser
+
+#[test]
+fn transition_requires_end() {
+    let e = parse_error("contract C () transition T () accept");
+    assert!(e.contains("end") || e.contains("unexpected"), "{e}");
+}
+
+#[test]
+fn map_update_requires_identifier_rhs() {
+    // ANF: the stored value must be a name, not an expression.
+    let e = parse_error(
+        "contract C () field m : Map ByStr20 Uint128 = Emp ByStr20 Uint128\n\
+         transition T (k : ByStr20)\n  m[k] := builtin add k k\nend",
+    );
+    assert!(!e.is_empty());
+}
+
+#[test]
+fn statements_are_not_expressions() {
+    assert!(parse_expr("accept").is_err());
+    assert!(parse_expr("x <- f").is_err());
+}
+
+#[test]
+fn message_entries_need_values() {
+    let e = parse_error(
+        "contract C () transition T ()\n  m = {_tag : }\nend",
+    );
+    assert!(!e.is_empty());
+}
+
+#[test]
+fn library_types_need_constructors() {
+    let e = parse_error("library L\ntype Empty =\ncontract C ()");
+    assert!(e.contains("constructor"), "{e}");
+}
+
+// ------------------------------------------------------------- typechecker
+
+#[test]
+fn unknown_builtin_is_rejected() {
+    let e = type_error(
+        "contract C ()\ntransition T (x : Uint128)\n  y = builtin frobnicate x\nend",
+    );
+    assert!(e.contains("unknown builtin"), "{e}");
+}
+
+#[test]
+fn map_depth_is_checked() {
+    let e = type_error(
+        "contract C ()\nfield m : Map ByStr20 Uint128 = Emp ByStr20 Uint128\n\
+         transition T (a : ByStr20, b : ByStr20, v : Uint128)\n  m[a][b] := v\nend",
+    );
+    assert!(e.contains("indexed"), "{e}");
+}
+
+#[test]
+fn send_of_non_message_rejected() {
+    let e = type_error(
+        "contract C ()\ntransition T (x : Uint128)\n  send x\nend",
+    );
+    assert!(e.contains("send expects"), "{e}");
+}
+
+#[test]
+fn event_of_non_message_rejected() {
+    let e = type_error(
+        "contract C ()\ntransition T (x : Uint128)\n  event x\nend",
+    );
+    assert!(e.contains("event expects"), "{e}");
+}
+
+#[test]
+fn application_of_non_function_rejected() {
+    let e = type_error(
+        "contract C ()\ntransition T (x : Uint128)\n  y = x x\nend",
+    );
+    assert!(e.contains("applied"), "{e}");
+}
+
+#[test]
+fn over_application_rejected() {
+    let e = type_error(
+        "library L\nlet id = fun (x : Uint128) => x\n\
+         contract C ()\ntransition T (a : Uint128, b : Uint128)\n  y = id a b\nend",
+    );
+    assert!(e.contains("too many arguments") || e.contains("applied"), "{e}");
+}
+
+#[test]
+fn constructor_arity_is_checked() {
+    let e = type_error(
+        "contract C ()\ntransition T (a : Uint128, b : Uint128)\n  o = Some {Uint128} a b\nend",
+    );
+    assert!(e.contains("argument"), "{e}");
+}
+
+#[test]
+fn pattern_against_wrong_adt_rejected() {
+    let e = type_error(
+        "contract C ()\ntransition T (o : Option Uint128)\n  match o with\n  | True => accept\n  | _ => accept\n  end\nend",
+    );
+    assert!(e.contains("belongs to"), "{e}");
+}
+
+#[test]
+fn pattern_arity_is_checked() {
+    let e = type_error(
+        "contract C ()\ntransition T (o : Option Uint128)\n  match o with\n  | Some a b => accept\n  | _ => accept\n  end\nend",
+    );
+    assert!(e.contains("sub-pattern"), "{e}");
+}
+
+#[test]
+fn duplicate_fields_rejected() {
+    let e = type_error(
+        "contract C ()\nfield n : Uint128 = Uint128 0\nfield n : Uint128 = Uint128 1",
+    );
+    assert!(e.contains("duplicate field"), "{e}");
+}
+
+#[test]
+fn duplicate_transition_params_rejected() {
+    let e = type_error("contract C ()\ntransition T (x : Uint128, x : Uint128)\nend");
+    assert!(e.contains("duplicate binding"), "{e}");
+}
+
+#[test]
+fn unstorable_field_types_rejected() {
+    let e = type_error("contract C ()\nfield f : Uint128 -> Uint128 = Uint128 0");
+    assert!(e.contains("unstorable"), "{e}");
+}
+
+#[test]
+fn type_instantiation_of_monomorphic_value_rejected() {
+    let e = type_error(
+        "library L\nlet one = Uint128 1\n\
+         contract C ()\ntransition T ()\n  y = @one Uint128\nend",
+    );
+    assert!(e.contains("instantiated"), "{e}");
+}
+
+#[test]
+fn blockchain_query_names_are_checked() {
+    let e = type_error("contract C ()\ntransition T ()\n  b <- & TIMESTAMP\nend");
+    assert!(e.contains("unknown blockchain query"), "{e}");
+}
+
+#[test]
+fn library_annotation_mismatch_rejected() {
+    let e = type_error("library L\nlet x : String = Uint128 1\ncontract C ()");
+    assert!(e.contains("annotated"), "{e}");
+}

@@ -1,0 +1,64 @@
+//! Generative round-trip property: random expressions print to source that
+//! re-parses and re-prints to the same text (a fixpoint, which makes the
+//! comparison span-insensitive).
+
+use proptest::prelude::*;
+use scilla::parser::parse_expr;
+use scilla::printer::print_expr;
+
+fn ident() -> impl Strategy<Value = String> {
+    "[a-d][a-d0-9_]{0,4}".prop_filter("not a keyword", |s| {
+        !matches!(
+            s.as_str(),
+            "contract" | "library" | "transition" | "field" | "fun" | "tfun" | "let" | "in"
+                | "match" | "with" | "end" | "builtin" | "accept" | "send" | "event" | "throw"
+                | "delete" | "exists" | "type" | "of"
+        )
+    })
+}
+
+/// Source text of a random expression. We generate *source* directly (not
+/// AST) so spans never enter the comparison; the property is that printing
+/// after parsing is a fixpoint.
+fn expr_src() -> impl Strategy<Value = String> {
+    let leaf = prop_oneof![
+        ident(),
+        (0u64..1000).prop_map(|n| format!("Uint128 {n}")),
+        (0i64..1000).prop_map(|n| format!("Int32 {n}")),
+        "[a-z]{0,6}".prop_map(|s| format!("{s:?}")),
+        Just("True".to_string()),
+        Just("Nil {Message}".to_string()),
+        (ident()).prop_map(|x| format!("Some {x}")),
+    ];
+    leaf.prop_recursive(3, 24, 3, |inner| {
+        prop_oneof![
+            // let
+            (ident(), inner.clone(), inner.clone())
+                .prop_map(|(x, a, b)| format!("let {x} = {a} in {b}")),
+            // fun
+            (ident(), inner.clone()).prop_map(|(x, b)| format!("fun ({x} : Uint128) => {b}")),
+            // builtin
+            (ident(), ident()).prop_map(|(a, b)| format!("builtin add {a} {b}")),
+            // app
+            (ident(), ident(), ident()).prop_map(|(f, a, b)| format!("{f} {a} {b}")),
+            // match over an option
+            (ident(), inner.clone(), inner).prop_map(|(x, a, b)| {
+                format!("match {x} with | Some y => {a} | None => {b} end")
+            }),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn print_after_parse_is_a_fixpoint(src in expr_src()) {
+        let parsed = parse_expr(&src).expect("generated source parses");
+        let printed = print_expr(&parsed, 0);
+        let reparsed = parse_expr(&printed)
+            .unwrap_or_else(|e| panic!("printed source re-parses: {e}\n--- {printed}"));
+        let reprinted = print_expr(&reparsed, 0);
+        prop_assert_eq!(printed, reprinted);
+    }
+}

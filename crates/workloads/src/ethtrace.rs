@@ -1,0 +1,192 @@
+//! Synthetic Ethereum transaction trace (substitute for the paper's §2.1
+//! mainnet sample — see DESIGN.md).
+//!
+//! The paper samples 16,611 real blocks (1.1M transactions) up to block
+//! 9.25M and reports, per 100K-block bucket, the percentage of user-to-user
+//! transfers, single-contract calls, multi-contract calls, and others
+//! (Fig. 1 left), plus the ERC20 share of single calls (Fig. 1 right). We
+//! have no chain access, so this module synthesises a trace whose *type mix
+//! per block height* follows the published trends; the classification and
+//! bucketing pipeline is the part the reproduction exercises.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Transaction classification (Fig. 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TraceTxType {
+    /// Plain user-to-user value transfer.
+    Transfer,
+    /// A call into exactly one contract; `erc20` marks ERC20 token
+    /// transfers (Fig. 1 right).
+    SingleCall {
+        /// Is this an ERC20 `transfer`/`transferFrom` call?
+        erc20: bool,
+    },
+    /// A call fanning out to several contracts.
+    MultiCall,
+    /// Contract creations and everything else.
+    Other,
+}
+
+/// One sampled transaction.
+#[derive(Debug, Clone, Copy)]
+pub struct TraceTx {
+    /// Block height.
+    pub block: u64,
+    /// Classified type.
+    pub tx_type: TraceTxType,
+}
+
+/// The published trends, as type-probabilities at a given block height.
+///
+/// Early chain (≈block 0): transfers dominate (~87%). Late chain (block
+/// 9.25M): transfers are down to ~35% while single-contract calls have
+/// grown to ~55%, most of them ERC20 transfers.
+pub fn mix_at(block: u64, horizon: u64) -> [f64; 4] {
+    let t = (block as f64 / horizon as f64).clamp(0.0, 1.0);
+    // Smoothstep gives the gentle S-curve visible in the figure.
+    let s = t * t * (3.0 - 2.0 * t);
+    let transfer = 0.87 - 0.52 * s;
+    let single = 0.08 + 0.47 * s;
+    let multi = 0.02 + 0.05 * s;
+    let other = (1.0 - transfer - single - multi).max(0.0);
+    [transfer, single, multi, other]
+}
+
+/// ERC20 share of single-contract calls at a given height.
+pub fn erc20_share_at(block: u64, horizon: u64) -> f64 {
+    let t = (block as f64 / horizon as f64).clamp(0.0, 1.0);
+    0.25 + 0.50 * t * t * (3.0 - 2.0 * t)
+}
+
+/// Synthesises `n_txs` transactions spread uniformly over blocks
+/// `0..horizon` (the paper's sample: 1.1M transactions up to block 9.25M).
+pub fn synthesize(n_txs: usize, horizon: u64, seed: u64) -> Vec<TraceTx> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n_txs)
+        .map(|_| {
+            let block = rng.gen_range(0..horizon);
+            let [p_transfer, p_single, p_multi, _] = mix_at(block, horizon);
+            let roll: f64 = rng.gen();
+            let tx_type = if roll < p_transfer {
+                TraceTxType::Transfer
+            } else if roll < p_transfer + p_single {
+                TraceTxType::SingleCall { erc20: rng.gen_bool(erc20_share_at(block, horizon)) }
+            } else if roll < p_transfer + p_single + p_multi {
+                TraceTxType::MultiCall
+            } else {
+                TraceTxType::Other
+            };
+            TraceTx { block, tx_type }
+        })
+        .collect()
+}
+
+/// One aggregation bucket (the paper averages over 100K-block periods).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Bucket {
+    /// First block of the bucket.
+    pub start_block: u64,
+    /// Sampled transactions in the bucket.
+    pub count: usize,
+    /// Percent user-to-user transfers.
+    pub pct_transfer: f64,
+    /// Percent single-contract calls.
+    pub pct_single: f64,
+    /// Percent multi-contract calls.
+    pub pct_multi: f64,
+    /// Percent other.
+    pub pct_other: f64,
+    /// Percent of *all* transactions that are ERC20 single calls.
+    pub pct_single_erc20: f64,
+}
+
+/// Buckets a trace by block period and computes the Fig. 1 percentages.
+pub fn breakdown(trace: &[TraceTx], horizon: u64, bucket_size: u64) -> Vec<Bucket> {
+    let n_buckets = horizon.div_ceil(bucket_size) as usize;
+    let mut counts = vec![[0usize; 5]; n_buckets]; // transfer single multi other erc20
+    for tx in trace {
+        let b = (tx.block / bucket_size) as usize;
+        match tx.tx_type {
+            TraceTxType::Transfer => counts[b][0] += 1,
+            TraceTxType::SingleCall { erc20 } => {
+                counts[b][1] += 1;
+                if erc20 {
+                    counts[b][4] += 1;
+                }
+            }
+            TraceTxType::MultiCall => counts[b][2] += 1,
+            TraceTxType::Other => counts[b][3] += 1,
+        }
+    }
+    counts
+        .iter()
+        .enumerate()
+        .map(|(i, c)| {
+            let total = (c[0] + c[1] + c[2] + c[3]).max(1) as f64;
+            Bucket {
+                start_block: i as u64 * bucket_size,
+                count: c[0] + c[1] + c[2] + c[3],
+                pct_transfer: 100.0 * c[0] as f64 / total,
+                pct_single: 100.0 * c[1] as f64 / total,
+                pct_multi: 100.0 * c[2] as f64 / total,
+                pct_other: 100.0 * c[3] as f64 / total,
+                pct_single_erc20: 100.0 * c[4] as f64 / total,
+            }
+        })
+        .collect()
+}
+
+/// The paper's sampling horizon: block 9.25M.
+pub const PAPER_HORIZON: u64 = 9_250_000;
+/// The paper's bucket: 100K blocks.
+pub const PAPER_BUCKET: u64 = 100_000;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mix_probabilities_sum_to_one() {
+        for block in [0, 1_000_000, 5_000_000, 9_249_999] {
+            let m = mix_at(block, PAPER_HORIZON);
+            let sum: f64 = m.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-9, "{m:?}");
+            assert!(m.iter().all(|p| *p >= 0.0));
+        }
+    }
+
+    #[test]
+    fn transfers_trend_down_single_calls_trend_up() {
+        let trace = synthesize(200_000, PAPER_HORIZON, 1);
+        let buckets = breakdown(&trace, PAPER_HORIZON, PAPER_BUCKET);
+        let early = &buckets[2];
+        let late = &buckets[buckets.len() - 3];
+        assert!(early.pct_transfer > 75.0, "{early:?}");
+        assert!(late.pct_transfer < 45.0, "{late:?}");
+        assert!(late.pct_single > 45.0, "{late:?}");
+        // §2.1: "single-contract transactions take up to 55% of the recent
+        // blocks in our sample".
+        assert!(late.pct_single < 65.0, "{late:?}");
+    }
+
+    #[test]
+    fn erc20_dominates_late_single_calls() {
+        let trace = synthesize(200_000, PAPER_HORIZON, 2);
+        let buckets = breakdown(&trace, PAPER_HORIZON, PAPER_BUCKET);
+        let late = &buckets[buckets.len() - 2];
+        assert!(
+            late.pct_single_erc20 > late.pct_single / 2.0,
+            "ERC20 should dominate late single calls: {late:?}"
+        );
+    }
+
+    #[test]
+    fn synthesis_is_deterministic() {
+        let a = synthesize(1000, PAPER_HORIZON, 9);
+        let b = synthesize(1000, PAPER_HORIZON, 9);
+        assert_eq!(a.len(), b.len());
+        assert!(a.iter().zip(&b).all(|(x, y)| x.block == y.block && x.tx_type == y.tx_type));
+    }
+}

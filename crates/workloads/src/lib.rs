@@ -1,0 +1,24 @@
+//! Workload generators for the CoSplit evaluation.
+//!
+//! * [`scenarios`] — the eight contract workloads of Fig. 14 (FT fund, FT
+//!   transfer, CF donate, NFT mint, NFT transfer, ProofIPFS register, UD
+//!   bestow, UD config);
+//! * [`runner`] — deploys a scenario on a [`chain::network::Network`] and
+//!   measures sustained throughput over epochs;
+//! * [`ethtrace`] — the synthetic Ethereum transaction trace behind Fig. 1
+//!   (see DESIGN.md for the substitution rationale).
+//!
+//! # Examples
+//!
+//! ```
+//! use workloads::scenarios::{build, Kind};
+//! use workloads::runner::run;
+//!
+//! let scenario = build(Kind::CfDonate, 20, 300, 42);
+//! let result = run(&scenario, 3, true, 1);
+//! assert!(result.committed() > 0);
+//! ```
+
+pub mod ethtrace;
+pub mod runner;
+pub mod scenarios;

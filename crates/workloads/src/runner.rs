@@ -1,0 +1,146 @@
+//! Runs a scenario on a configured network and reports throughput — the
+//! measurement loop behind Fig. 14.
+
+use crate::scenarios::{admin, contract_addr, Scenario};
+use chain::address::Address;
+use chain::network::{throughput, ChainConfig, EpochReport, Network};
+
+/// The result of one measured run.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// Workload label.
+    pub label: &'static str,
+    /// Shards used.
+    pub num_shards: u32,
+    /// Whether CoSplit dispatch was active.
+    pub cosplit: bool,
+    /// Per-epoch reports for the measured phase.
+    pub reports: Vec<EpochReport>,
+}
+
+impl RunResult {
+    /// Average transactions per (simulated) second.
+    pub fn tps(&self) -> f64 {
+        throughput(&self.reports)
+    }
+
+    /// Total committed transactions.
+    pub fn committed(&self) -> usize {
+        self.reports.iter().map(|r| r.committed).sum()
+    }
+}
+
+/// Prepares a network for a scenario: fund accounts, deploy the contract
+/// (with its signature when `use_cosplit`), and commit the setup phase.
+pub fn prepare(scenario: &Scenario, num_shards: u32, use_cosplit: bool) -> Network {
+    prepare_with(scenario, ChainConfig::evaluation(num_shards, use_cosplit))
+}
+
+/// [`prepare`] with an explicit configuration.
+pub fn prepare_with(scenario: &Scenario, config: ChainConfig) -> Network {
+    let use_cosplit = config.use_cosplit;
+    let mut net = Network::new(config);
+    net.fund_account(admin(), u128::MAX / 4);
+    for i in 0..scenario.users {
+        net.fund_account(Address::from_index(i), 1_000_000_000_000);
+    }
+    let source = scilla::corpus::get(scenario.corpus_name).expect("corpus contract").source;
+    let sharding = use_cosplit
+        .then(|| (scenario.sharded_transitions.as_slice(), scenario.weak_reads.clone()));
+    net.deploy(
+        contract_addr(),
+        source,
+        scenario.params.clone(),
+        sharding,
+    )
+    .expect("scenario contract deploys");
+
+    let mut setup_pool = scenario.setup.clone();
+    let mut guard = 0;
+    while !setup_pool.is_empty() {
+        net.run_epoch(&mut setup_pool);
+        guard += 1;
+        assert!(guard < 1_000, "setup did not converge");
+    }
+    net
+}
+
+/// Runs the measured phase: the scenario's load sustained over `epochs`
+/// epochs (paper: "workloads sustained over 10 epochs").
+pub fn run(scenario: &Scenario, num_shards: u32, use_cosplit: bool, epochs: usize) -> RunResult {
+    run_with(scenario, ChainConfig::evaluation(num_shards, use_cosplit), epochs)
+}
+
+/// [`run`] with an explicit configuration (tests use the scaled-down
+/// [`ChainConfig::small`]).
+pub fn run_with(scenario: &Scenario, config: ChainConfig, epochs: usize) -> RunResult {
+    let num_shards = config.num_shards;
+    let cosplit = config.use_cosplit;
+    let mut net = prepare_with(scenario, config);
+    let mut pool = scenario.load.clone();
+    let reports = net.run_epochs(&mut pool, epochs);
+    RunResult { label: scenario.kind.label(), num_shards, cosplit, reports }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenarios::{build, Kind};
+
+    #[test]
+    fn ft_transfer_scales_with_shards() {
+        // Over-supply load so the gas budget is the binding constraint.
+        let scenario = build(Kind::FtTransfer, 60, 4_000, 11);
+        let base = run_with(&scenario, ChainConfig::small(3, false), 2);
+        let co3 = run_with(&scenario, ChainConfig::small(3, true), 2);
+        let co5 = run_with(&scenario, ChainConfig::small(5, true), 2);
+        assert!(
+            co3.tps() > base.tps() * 1.5,
+            "CoSplit should beat baseline: {} vs {}",
+            co3.tps(),
+            base.tps()
+        );
+        assert!(
+            co5.tps() > co3.tps() * 1.2,
+            "5 shards should beat 3: {} vs {}",
+            co5.tps(),
+            co3.tps()
+        );
+    }
+
+    #[test]
+    fn nft_mint_scales_despite_single_source() {
+        // §5.2.1: ownership follows the token id, so even one minter's
+        // transactions spread — "only possible because of the changes to
+        // the account-based model" (§4.2).
+        let scenario = build(Kind::NftMint, 60, 4_000, 13);
+        let co3 = run_with(&scenario, ChainConfig::small(3, true), 2);
+        let co5 = run_with(&scenario, ChainConfig::small(5, true), 2);
+        let base = run_with(&scenario, ChainConfig::small(3, false), 2);
+        assert!(co3.tps() > base.tps() * 2.0, "{} vs {}", co3.tps(), base.tps());
+        assert!(co5.tps() > co3.tps() * 1.2, "{} vs {}", co5.tps(), co3.tps());
+    }
+
+    #[test]
+    fn ud_bestow_scales_for_the_admin() {
+        let scenario = build(Kind::UdBestow, 60, 4_000, 14);
+        let co3 = run_with(&scenario, ChainConfig::small(3, true), 2);
+        let co5 = run_with(&scenario, ChainConfig::small(5, true), 2);
+        assert!(co5.tps() > co3.tps() * 1.2, "{} vs {}", co5.tps(), co3.tps());
+    }
+
+    #[test]
+    fn ft_fund_does_not_scale() {
+        let scenario = build(Kind::FtFund, 60, 4_000, 12);
+        let co3 = run_with(&scenario, ChainConfig::small(3, true), 2);
+        let co5 = run_with(&scenario, ChainConfig::small(5, true), 2);
+        // Single-source: all transfers pin to one shard; extra shards do not
+        // help (allow generous noise).
+        assert!(
+            co5.tps() < co3.tps() * 1.3,
+            "single-source workload must not scale: {} vs {}",
+            co5.tps(),
+            co3.tps()
+        );
+    }
+}

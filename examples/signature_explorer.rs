@@ -1,0 +1,57 @@
+//! Signature explorer: enumerate the good-enough sharding signatures of any
+//! corpus contract (paper Defs. 5.1–5.3) and print the trade-offs a
+//! deployer weighs offline.
+//!
+//! ```text
+//! cargo run --release --example signature_explorer [ContractName]
+//! ```
+
+use cosplit::analysis::ge::{ge_stats, is_good_enough};
+use cosplit::analysis::signature::{Constraint, WeakReads};
+use cosplit::analysis::solver::AnalyzedContract;
+use cosplit::scilla;
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "NonfungibleToken".to_string());
+    let Some(entry) = scilla::corpus::get(&name) else {
+        eprintln!("unknown corpus contract '{name}'; try e.g. FungibleToken, UD_registry");
+        std::process::exit(2);
+    };
+    let checked = scilla::typechecker::typecheck(
+        scilla::parser::parse_module(entry.source).expect("corpus parses"),
+    )
+    .expect("corpus typechecks");
+    let analyzed = AnalyzedContract::analyze(&checked);
+
+    println!("contract {name}: {} transitions\n", analyzed.summaries.len());
+
+    // Per-transition verdicts when sharded alone.
+    println!("{:<24} {:>10}  constraints (alone)", "transition", "shardable");
+    for t in analyzed.transition_names() {
+        let sig = analyzed.query(std::slice::from_ref(&t), &WeakReads::AcceptAll);
+        let tc = sig.transition(&t).expect("selected");
+        let shardable = if tc.is_shardable() { "yes" } else { "no (DS)" };
+        let constraints: Vec<String> = tc
+            .constraints
+            .iter()
+            .filter(|c| !matches!(c, Constraint::NoAliases(..)))
+            .map(|c| c.to_string())
+            .collect();
+        println!("{t:<24} {shardable:>10}  {}", constraints.join(", "));
+    }
+
+    // The GE statistics the paper reports in Fig. 13.
+    let stats = ge_stats(&analyzed);
+    println!("\nlargest good-enough signature: {} transitions", stats.largest);
+    println!("  witness: {:?}", stats.largest_selection);
+    println!("maximal good-enough signatures: {}", stats.maximal_count);
+    println!("good-enough selections in total: {}", stats.ge_count);
+
+    // Show why the witness is GE: no field hogged twice.
+    let sig = analyzed.query(&stats.largest_selection, &WeakReads::AcceptAll);
+    assert!(is_good_enough(&sig, &analyzed.field_names));
+    println!("\nper-field joins for the witness selection:");
+    for (f, j) in &sig.joins {
+        println!("  {f} ⊎ {j:?}");
+    }
+}

@@ -1,0 +1,17 @@
+//! CoSplit reproduction — facade crate.
+//!
+//! Re-exports every layer of the reproduction of *Practical Smart Contract
+//! Sharding with Ownership and Commutativity Analysis* (PLDI 2021):
+//!
+//! * [`scilla`] — the contract language (parser, type checker, interpreter);
+//! * [`analysis`] — the CoSplit ownership/commutativity analysis and
+//!   sharding-signature solver (the paper's primary contribution);
+//! * [`chain`] — the Zilliqa-style sharded blockchain simulator;
+//! * [`workloads`] — transaction workload generators used by the evaluation.
+//!
+//! See `README.md` for a tour and `DESIGN.md` for the experiment index.
+
+pub use chain;
+pub use cosplit_analysis as analysis;
+pub use scilla;
+pub use workloads;

@@ -1,0 +1,158 @@
+//! Analysis soundness spot-checks (DESIGN.md invariant 4): when CoSplit
+//! claims two transactions commute — disjoint ownership footprints or
+//! commutative writes — executing them in either order must produce the
+//! same final contract state.
+
+use cosplit::analysis::signature::{derive_signature, is_commutative_write, WeakReads};
+use cosplit::analysis::solver::AnalyzedContract;
+use cosplit::scilla;
+use proptest::prelude::*;
+use scilla::gas::GasMeter;
+use scilla::interpreter::{CompiledContract, TransitionContext};
+use scilla::state::InMemoryState;
+use scilla::value::Value;
+
+const TOKEN: &str = r#"
+    library L
+    let add_or_init =
+      fun (b : Option Uint128) =>
+      fun (amount : Uint128) =>
+        match b with
+        | Some v => builtin add v amount
+        | None => amount
+        end
+    contract Token ()
+    field balances : Map ByStr20 Uint128 = Emp ByStr20 Uint128
+    field total : Uint128 = Uint128 0
+    transition Mint (to : ByStr20, amount : Uint128)
+      b <- balances[to];
+      nb = add_or_init b amount;
+      balances[to] := nb;
+      t <- total;
+      nt = builtin add t amount;
+      total := nt
+    end
+    transition Transfer (to : ByStr20, amount : Uint128)
+      b_opt <- balances[_sender];
+      match b_opt with
+      | Some b =>
+        ok = builtin le amount b;
+        match ok with
+        | True =>
+          nb = builtin sub b amount;
+          balances[_sender] := nb;
+          tb <- balances[to];
+          ntb = add_or_init tb amount;
+          balances[to] := ntb
+        | False => throw
+        end
+      | None => throw
+      end
+    end
+"#;
+
+fn compiled() -> CompiledContract {
+    scilla::compile_str(TOKEN).unwrap()
+}
+
+#[derive(Debug, Clone)]
+struct Call {
+    sender: u8,
+    transition: &'static str,
+    to: u8,
+    amount: u128,
+}
+
+fn apply(c: &CompiledContract, state: &mut InMemoryState, call: &Call) {
+    let ctx = TransitionContext { sender: [call.sender; 20], ..TransitionContext::zeroed() };
+    let mut gas = GasMeter::new(1_000_000);
+    let args = vec![
+        ("to".to_string(), Value::address([call.to; 20])),
+        ("amount".to_string(), Value::Uint(128, call.amount)),
+    ];
+    c.execute(state, call.transition, &args, &[], &ctx, &mut gas)
+        .unwrap_or_else(|e| panic!("workload always succeeds: {e} on {call:?}"));
+}
+
+fn seeded_state(c: &CompiledContract) -> InMemoryState {
+    let mut s = InMemoryState::from_fields(c.init_fields(&[]).unwrap());
+    for who in 1u8..=6 {
+        apply(c, &mut s, &Call { sender: 0, transition: "Mint", to: who, amount: 1_000 });
+    }
+    s
+}
+
+fn call_strategy() -> impl Strategy<Value = Call> {
+    prop_oneof![
+        (1u8..=6, 1u8..=6, 1u128..10).prop_map(|(sender, to, amount)| Call {
+            sender,
+            transition: "Transfer",
+            to,
+            amount
+        }),
+        (1u8..=6, 1u128..50).prop_map(|(to, amount)| Call {
+            sender: 0,
+            transition: "Mint",
+            to,
+            amount
+        }),
+    ]
+}
+
+/// Would the dispatcher let these two run in different shards? True when
+/// their owned components are disjoint (after alias checks).
+fn claimed_parallel(a: &Call, b: &Call) -> bool {
+    // Mint owns nothing; Transfer owns balances[_sender]. Alias rule: a
+    // transfer's {_sender, to} must not collide with the other's owned key.
+    match (a.transition, b.transition) {
+        ("Mint", "Mint") => true,
+        ("Mint", "Transfer") | ("Transfer", "Mint") => true,
+        ("Transfer", "Transfer") => a.sender != b.sender && a.sender != b.to && b.sender != a.to
+            && a.sender != a.to && b.sender != b.to,
+        _ => false,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Swapping two claimed-parallel transactions never changes the result.
+    #[test]
+    fn claimed_parallel_calls_commute(a in call_strategy(), b in call_strategy()) {
+        prop_assume!(claimed_parallel(&a, &b));
+        // Keep transfers within the seeded balance so both orders succeed.
+        let c = compiled();
+
+        let mut ab = seeded_state(&c);
+        apply(&c, &mut ab, &a);
+        apply(&c, &mut ab, &b);
+
+        let mut ba = seeded_state(&c);
+        apply(&c, &mut ba, &b);
+        apply(&c, &mut ba, &a);
+
+        prop_assert_eq!(ab, ba, "claimed-commuting calls disagreed: {:?} vs {:?}", a, b);
+    }
+}
+
+#[test]
+fn signature_marks_exactly_the_commutative_writes() {
+    let checked = scilla::typechecker::typecheck(scilla::parser::parse_module(TOKEN).unwrap()).unwrap();
+    let analyzed = AnalyzedContract::analyze(&checked);
+    let mint = analyzed.summary("Mint").unwrap();
+    for (pf, t) in mint.writes() {
+        assert!(is_commutative_write(pf, t), "all of Mint's writes are additions: {pf}");
+    }
+    // And the derived signature gives Mint no ownership constraints at all.
+    let sig = derive_signature(
+        &analyzed.summaries,
+        &["Mint".into(), "Transfer".into()],
+        &WeakReads::AcceptAll,
+    );
+    assert!(sig
+        .transition("Mint")
+        .unwrap()
+        .constraints
+        .iter()
+        .all(|c| !matches!(c, cosplit::analysis::signature::Constraint::Owns(_))));
+}

@@ -1,0 +1,184 @@
+//! Conservation of native tokens: across any mix of payments, donations,
+//! refunds, gas fees, and failures, the total supply of native tokens only
+//! decreases by exactly the gas burned — nothing is created or silently
+//! destroyed by the sharded pipeline.
+
+use cosplit::analysis::signature::WeakReads;
+use cosplit::chain::address::Address;
+use cosplit::chain::dispatch::Assignment;
+use cosplit::chain::network::{ChainConfig, Network};
+use cosplit::chain::tx::Transaction;
+use cosplit::scilla;
+use proptest::prelude::*;
+use scilla::value::Value;
+
+#[derive(Debug, Clone)]
+enum Action {
+    Pay { from: u64, to: u64, amount: u128 },
+    Donate { from: u64, amount: u128 },
+}
+
+fn action(users: u64) -> impl Strategy<Value = Action> {
+    prop_oneof![
+        (0..users, 0..users, 0u128..5_000).prop_map(|(from, to, amount)| Action::Pay {
+            from,
+            to,
+            amount
+        }),
+        (0..users, 1u128..5_000).prop_map(|(from, amount)| Action::Donate { from, amount }),
+    ]
+}
+
+fn total_native(net: &Network) -> u128 {
+    net.state().accounts.values().map(|a| a.balance).sum()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn native_tokens_are_conserved_modulo_gas(
+        actions in prop::collection::vec(action(10), 1..40),
+        shards in 1u32..6,
+    ) {
+        let users = 10u64;
+        let mut net = Network::new(ChainConfig::evaluation(shards, true));
+        for i in 0..users {
+            net.fund_account(Address::from_index(i), 1_000_000);
+        }
+        let contract = Address::from_index(777);
+        net.deploy(
+            contract,
+            scilla::corpus::get("Crowdfunding").unwrap().source,
+            vec![
+                ("campaign_owner".to_string(), Address::from_index(0).to_value()),
+                ("max_block".to_string(), Value::BNum(1_000)),
+                ("goal".to_string(), Value::Uint(128, u128::MAX / 2)),
+            ],
+            Some((&["Donate", "ClaimBack"], WeakReads::AcceptAll)),
+        )
+        .unwrap();
+
+        let before = total_native(&net);
+
+        let mut nonces = vec![0u64; users as usize];
+        let mut pool: Vec<Transaction> = actions
+            .iter()
+            .enumerate()
+            .map(|(i, a)| match a {
+                Action::Pay { from, to, amount } => {
+                    nonces[*from as usize] += 1;
+                    Transaction::payment(
+                        i as u64 + 1,
+                        Address::from_index(*from),
+                        nonces[*from as usize],
+                        Address::from_index(*to),
+                        *amount,
+                    )
+                }
+                Action::Donate { from, amount } => {
+                    nonces[*from as usize] += 1;
+                    Transaction::call(
+                        i as u64 + 1,
+                        Address::from_index(*from),
+                        nonces[*from as usize],
+                        contract,
+                        "Donate",
+                        vec![],
+                    )
+                    .with_amount(*amount)
+                }
+            })
+            .collect();
+
+        let mut burned: u128 = 0;
+        let mut guard = 0;
+        while !pool.is_empty() {
+            let report = net.run_epoch(&mut pool);
+            // Gas fees are burned; our transactions all use gas price 1, so
+            // the burn equals the summed gas of all committees.
+            burned += report
+                .per_committee
+                .iter()
+                .map(|(role, _, gas)| {
+                    let _ = role;
+                    *gas as u128
+                })
+                .sum::<u128>();
+            guard += 1;
+            prop_assert!(guard < 50, "did not converge");
+        }
+
+        let after = total_native(&net);
+        prop_assert_eq!(
+            after + burned,
+            before,
+            "tokens leaked or appeared (before {}, after {}, burned {})",
+            before,
+            after,
+            burned
+        );
+    }
+}
+
+#[test]
+fn failed_transactions_burn_only_their_gas() {
+    let mut net = Network::new(ChainConfig::evaluation(3, true));
+    let alice = Address::from_index(1);
+    net.fund_account(alice, 10_000);
+    let before = total_native(&net);
+    // A payment far beyond the balance fails but still burns gas? No —
+    // "cannot reserve gas"-style failures (insufficient slice for the
+    // amount) roll the transfer back and refund the unused reservation, so
+    // only the base gas is burned.
+    let mut pool = vec![Transaction::payment(1, alice, 1, Address::from_index(2), 1_000_000)];
+    let report = net.run_epoch(&mut pool);
+    assert_eq!(report.failed, 1);
+    let burned: u128 = report.per_committee.iter().map(|(_, _, g)| *g as u128).sum();
+    assert_eq!(total_native(&net) + burned, before);
+    assert!(burned < 1_000, "only base gas burned, got {burned}");
+}
+
+#[test]
+fn ds_committee_activity_is_counted_in_committee_stats() {
+    // Self-payment-like flows through the DS (alias) still conserve.
+    let mut net = Network::new(ChainConfig::evaluation(3, true));
+    let alice = Address::from_index(1);
+    net.fund_account(alice, 100_000);
+    let contract = Address::from_index(777);
+    net.deploy(
+        contract,
+        scilla::corpus::get("FungibleToken").unwrap().source,
+        vec![
+            ("contract_owner".to_string(), alice.to_value()),
+            ("name".to_string(), Value::Str("T".into())),
+            ("symbol".to_string(), Value::Str("T".into())),
+            ("init_supply".to_string(), Value::Uint(128, 0)),
+        ],
+        Some((&["Mint", "Transfer"], WeakReads::AcceptAll)),
+    )
+    .unwrap();
+    let before = total_native(&net);
+    let mut pool = vec![
+        Transaction::call(1, alice, 1, contract, "Mint", vec![
+            ("to".into(), alice.to_value()),
+            ("amount".into(), Value::Uint(128, 50)),
+        ]),
+        // Self-transfer: alias conflict → DS.
+        Transaction::call(2, alice, 2, contract, "Transfer", vec![
+            ("to".into(), alice.to_value()),
+            ("amount".into(), Value::Uint(128, 10)),
+        ]),
+    ];
+    let mut burned = 0u128;
+    while !pool.is_empty() {
+        let r = net.run_epoch(&mut pool);
+        burned += r.per_committee.iter().map(|(_, _, g)| *g as u128).sum::<u128>();
+        if let Some((_, committed, _)) =
+            r.per_committee.iter().find(|(role, _, _)| *role == Assignment::Ds)
+        {
+            let _ = committed;
+        }
+    }
+    assert_eq!(total_native(&net) + burned, before);
+}

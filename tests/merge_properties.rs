@@ -1,0 +1,157 @@
+//! Property tests for the state-delta merge (DESIGN.md invariant 2): the
+//! DS committee's three-way merge must be order-independent — the formal
+//! backbone of the paper's `⊎` join (§2.3).
+
+use cosplit::chain::address::Address;
+use cosplit::chain::delta::{IntDelta, StateDelta};
+use cosplit::chain::state::GlobalState;
+use cosplit::scilla::state::StateStore;
+use cosplit::scilla::value::Value;
+use proptest::prelude::*;
+
+fn addr(i: u8) -> Address {
+    Address::from_index(i as u64)
+}
+
+/// A random delta over a small component space. Overwrites are drawn from
+/// per-shard-disjoint component ids to model ownership dispatch.
+fn delta(shard: usize) -> impl Strategy<Value = StateDelta> {
+    let int_entry = (0u8..6, -50i128..50).prop_map(|(k, d)| {
+        (("counters".to_string(), vec![addr(k).to_value()]), IntDelta { delta: d, width: 128, signed: false })
+    });
+    let ow_entry = (0u8..6, 0u128..100).prop_map(move |(k, v)| {
+        // Disjointness by construction: each shard owns its own key range.
+        let key = Value::Str(format!("s{shard}-{k}"));
+        (("owners".to_string(), vec![key]), Some(Value::Uint(128, v)))
+    });
+    (
+        prop::collection::vec(int_entry, 0..5),
+        prop::collection::vec(ow_entry, 0..5),
+        prop::collection::btree_map((0u8..4).prop_map(addr), -30i128..30, 0..3),
+    )
+        .prop_map(|(ints, ows, balances)| {
+            let mut sd = StateDelta::new();
+            let contract = Address::from_index(42);
+            let cd = sd.contracts.entry(contract).or_default();
+            cd.int_deltas = ints.into_iter().collect();
+            cd.overwrites = ows.into_iter().collect();
+            sd.balances = balances;
+            sd
+        })
+}
+
+fn base_state() -> GlobalState {
+    let mut state = GlobalState::new();
+    let contract = Address::from_index(42);
+    let storage = state.storage.entry(contract).or_default();
+    for k in 0u8..6 {
+        storage.map_update("counters", &[addr(k).to_value()], Value::Uint(128, 1_000));
+    }
+    for a in 0u8..4 {
+        state.credit(addr(a), 10_000);
+    }
+    state
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn merge_is_permutation_invariant(
+        d1 in delta(1), d2 in delta(2), d3 in delta(3)
+    ) {
+        let orders = [
+            [d1.clone(), d2.clone(), d3.clone()],
+            [d3.clone(), d1.clone(), d2.clone()],
+            [d2.clone(), d3.clone(), d1.clone()],
+        ];
+        let mut results = Vec::new();
+        for order in orders {
+            let merged = StateDelta::merge(order).expect("disjoint by construction");
+            let mut state = base_state();
+            merged.apply(&mut state).expect("bases are large enough");
+            results.push(state);
+        }
+        prop_assert_eq!(&results[0].storage, &results[1].storage);
+        prop_assert_eq!(&results[1].storage, &results[2].storage);
+        prop_assert_eq!(&results[0].accounts, &results[2].accounts);
+    }
+
+    #[test]
+    fn merge_is_associative_through_apply(
+        d1 in delta(1), d2 in delta(2), d3 in delta(3)
+    ) {
+        // (d1 ⊎ d2) ⊎ d3 == d1 ⊎ (d2 ⊎ d3)
+        let left = StateDelta::merge([
+            StateDelta::merge([d1.clone(), d2.clone()]).unwrap(),
+            d3.clone(),
+        ])
+        .unwrap();
+        let right = StateDelta::merge([
+            d1,
+            StateDelta::merge([d2, d3]).unwrap(),
+        ])
+        .unwrap();
+        prop_assert_eq!(left, right);
+    }
+
+    #[test]
+    fn applying_merged_equals_applying_sequentially(
+        d1 in delta(1), d2 in delta(2)
+    ) {
+        let mut merged_state = base_state();
+        StateDelta::merge([d1.clone(), d2.clone()])
+            .unwrap()
+            .apply(&mut merged_state)
+            .unwrap();
+
+        let mut seq_state = base_state();
+        d1.apply(&mut seq_state).unwrap();
+        d2.apply(&mut seq_state).unwrap();
+
+        prop_assert_eq!(merged_state.storage, seq_state.storage);
+        prop_assert_eq!(merged_state.accounts, seq_state.accounts);
+    }
+
+    #[test]
+    fn int_deltas_sum_exactly(
+        deltas in prop::collection::vec(-40i128..40, 1..6)
+    ) {
+        let contract = Address::from_index(42);
+        let comp = ("counters".to_string(), vec![addr(0).to_value()]);
+        let shards: Vec<StateDelta> = deltas
+            .iter()
+            .map(|d| {
+                let mut sd = StateDelta::new();
+                sd.contracts.entry(contract).or_default().int_deltas.insert(
+                    comp.clone(),
+                    IntDelta { delta: *d, width: 128, signed: false },
+                );
+                sd
+            })
+            .collect();
+        let mut state = base_state();
+        StateDelta::merge(shards).unwrap().apply(&mut state).unwrap();
+        let expected = 1_000i128 + deltas.iter().sum::<i128>();
+        let got = state.storage[&contract]
+            .map_get("counters", &[addr(0).to_value()])
+            .and_then(|v| v.as_uint())
+            .unwrap();
+        prop_assert_eq!(got as i128, expected);
+    }
+}
+
+#[test]
+fn overlapping_overwrites_always_conflict() {
+    let contract = Address::from_index(42);
+    let mk = |v: u128| {
+        let mut sd = StateDelta::new();
+        sd.contracts
+            .entry(contract)
+            .or_default()
+            .overwrites
+            .insert(("owners".into(), vec![Value::Str("same".into())]), Some(Value::Uint(128, v)));
+        sd
+    };
+    assert!(StateDelta::merge([mk(1), mk(1)]).is_err(), "even equal values conflict");
+}

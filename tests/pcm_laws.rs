@@ -1,0 +1,140 @@
+//! Property tests for the analysis' algebra (DESIGN.md invariant 1): the
+//! cardinality operators of paper Fig. 6 and the contribution-type
+//! operators built on them form the partial-commutative-monoid-style
+//! structure the paper's §2.3 reasoning relies on.
+
+use cosplit::analysis::domain::{Cardinality, ContribSource, ContribType, Op, PseudoField};
+use proptest::prelude::*;
+
+fn card() -> impl Strategy<Value = Cardinality> {
+    prop_oneof![Just(Cardinality::Zero), Just(Cardinality::One), Just(Cardinality::Many)]
+}
+
+fn source() -> impl Strategy<Value = ContribSource> {
+    prop_oneof![
+        "[a-d]".prop_map(|f| ContribSource::Field(PseudoField::whole(f))),
+        ("[a-d]", "[w-z]").prop_map(|(f, k)| ContribSource::Field(PseudoField::entry(f, vec![k]))),
+        "[a-d]".prop_map(ContribSource::Param),
+        "[0-9]".prop_map(ContribSource::Const),
+    ]
+}
+
+fn op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        Just(Op::Cond),
+        prop_oneof![Just("add"), Just("sub"), Just("mul"), Just("eq")]
+            .prop_map(|b| Op::Builtin(b.to_string())),
+    ]
+}
+
+fn contrib_type() -> impl Strategy<Value = ContribType> {
+    prop::collection::vec((source(), op()), 0..4).prop_map(|pairs| {
+        pairs.into_iter().fold(ContribType::bottom(), |acc, (cs, op)| {
+            acc.add(&ContribType::source(cs).with_op(op))
+        })
+    })
+}
+
+proptest! {
+    // ---- Cardinality algebra (Fig. 6 tables) ----
+
+    #[test]
+    fn card_add_commutative(a in card(), b in card()) {
+        prop_assert_eq!(a.add(b), b.add(a));
+    }
+
+    #[test]
+    fn card_add_associative(a in card(), b in card(), c in card()) {
+        prop_assert_eq!(a.add(b).add(c), a.add(b.add(c)));
+    }
+
+    #[test]
+    fn card_zero_is_add_identity(a in card()) {
+        prop_assert_eq!(Cardinality::Zero.add(a), a);
+    }
+
+    #[test]
+    fn card_join_is_a_semilattice(a in card(), b in card(), c in card()) {
+        prop_assert_eq!(a.join(a), a);                       // idempotent
+        prop_assert_eq!(a.join(b), b.join(a));               // commutative
+        prop_assert_eq!(a.join(b).join(c), a.join(b.join(c))); // associative
+    }
+
+    #[test]
+    fn card_mul_commutative_associative(a in card(), b in card(), c in card()) {
+        prop_assert_eq!(a.mul(b), b.mul(a));
+        prop_assert_eq!(a.mul(b).mul(c), a.mul(b.mul(c)));
+    }
+
+    #[test]
+    fn card_mul_zero_annihilates(a in card()) {
+        prop_assert_eq!(Cardinality::Zero.mul(a), Cardinality::Zero);
+    }
+
+    #[test]
+    fn card_join_bounds_both(a in card(), b in card()) {
+        // ⊔ is an upper bound wrt the order 0 ⊑ 1 ⊑ ω.
+        let j = a.join(b);
+        prop_assert!(j >= a && j >= b);
+    }
+
+    // ---- Contribution types ----
+
+    #[test]
+    fn type_add_commutative(a in contrib_type(), b in contrib_type()) {
+        prop_assert_eq!(a.add(&b), b.add(&a));
+    }
+
+    #[test]
+    fn type_add_associative(a in contrib_type(), b in contrib_type(), c in contrib_type()) {
+        prop_assert_eq!(a.add(&b).add(&c), a.add(&b.add(&c)));
+    }
+
+    #[test]
+    fn type_bottom_is_add_identity(a in contrib_type()) {
+        prop_assert_eq!(ContribType::bottom().add(&a), a.clone());
+        prop_assert_eq!(a.add(&ContribType::bottom()), a);
+    }
+
+    #[test]
+    fn type_join_commutative(a in contrib_type(), b in contrib_type()) {
+        prop_assert_eq!(a.join(&b), b.join(&a));
+    }
+
+    #[test]
+    fn type_join_idempotent(a in contrib_type()) {
+        prop_assert_eq!(a.join(&a), a);
+    }
+
+    #[test]
+    fn type_top_absorbs(a in contrib_type()) {
+        prop_assert!(a.add(&ContribType::Top).is_top());
+        prop_assert!(a.join(&ContribType::Top).is_top());
+    }
+
+    #[test]
+    fn with_op_preserves_sources(a in contrib_type(), o in op()) {
+        let b = a.with_op(o.clone());
+        match (a.sources(), b.sources()) {
+            (Some(sa), Some(sb)) => {
+                prop_assert_eq!(sa.len(), sb.len());
+                for (cs, c) in sb {
+                    prop_assert!(c.ops.contains(&o));
+                    prop_assert_eq!(c.card, sa[cs].card);
+                }
+            }
+            (None, None) => {}
+            _ => prop_assert!(false, "with_op changed topness"),
+        }
+    }
+
+    #[test]
+    fn adapt_cond_zeroes_all_cardinalities(a in contrib_type(), same in any::<bool>()) {
+        if let Some(sources) = a.adapt_cond(same).sources() {
+            for c in sources.values() {
+                prop_assert_eq!(c.card, Cardinality::Zero);
+                prop_assert!(c.ops.contains(&Op::Cond));
+            }
+        }
+    }
+}
