@@ -65,7 +65,7 @@ fn bench_signature_query(c: &mut Criterion) {
 fn bench_ge_enumeration(c: &mut Criterion) {
     use cosplit_analysis::ge::ge_stats;
     let mut group = c.benchmark_group("ge-enumeration");
-    group.sample_size(10);
+    group.sample_size(criterion::env_or("BENCH_SAMPLES", 10) as usize);
     // Exponential in #transitions: NFT (2⁵) vs UD registry (2¹¹).
     for name in ["NonfungibleToken", "UD_registry"] {
         let checked = scilla::typechecker::typecheck(

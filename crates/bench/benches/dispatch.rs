@@ -4,10 +4,11 @@
 use chain::delta::StateDelta;
 use chain::dispatch::dispatch;
 use cosplit_bench::experiments::{dispatch_fixture, dispatch_via_wire, epoch_deltas};
-use criterion::{criterion_group, criterion_main, Criterion};
+use criterion::{criterion_group, criterion_main, env_or, Criterion};
 
 fn bench_dispatch(c: &mut Criterion) {
-    let (state_sig, load, state_plain) = dispatch_fixture(60, 512);
+    let (state_sig, load, state_plain) =
+        dispatch_fixture(env_or("BENCH_USERS", 60), env_or("BENCH_TXS", 512) as usize);
 
     c.bench_function("dispatch/baseline", |b| {
         let mut i = 0;
@@ -38,7 +39,8 @@ fn bench_dispatch(c: &mut Criterion) {
 }
 
 fn bench_merge(c: &mut Criterion) {
-    let (state_sig, load, _) = dispatch_fixture(60, 512);
+    let (state_sig, load, _) =
+        dispatch_fixture(env_or("BENCH_USERS", 60), env_or("BENCH_TXS", 512) as usize);
     let deltas = epoch_deltas(&state_sig, &load);
 
     c.bench_function("merge/combine-deltas", |b| {

@@ -3,15 +3,17 @@
 //! throughput on token transfers.
 
 use chain::network::ChainConfig;
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use criterion::{criterion_group, criterion_main, env_or, BenchmarkId, Criterion, Throughput};
 use workloads::runner::prepare_with;
 use workloads::scenarios::{build, Kind};
 
 fn bench_epoch(c: &mut Criterion) {
     let mut group = c.benchmark_group("epoch/ft-transfer");
-    group.sample_size(10);
+    group.sample_size(env_or("BENCH_SAMPLES", 10) as usize);
+    let users = env_or("BENCH_USERS", 100);
+    let txs = env_or("BENCH_TXS", 2_000) as usize;
     for shards in [1u32, 3, 5] {
-        let scenario = build(Kind::FtTransfer, 100, 2_000, 5);
+        let scenario = build(Kind::FtTransfer, users, txs, 5);
         group.throughput(Throughput::Elements(scenario.load.len() as u64));
         group.bench_with_input(BenchmarkId::from_parameter(shards), &shards, |b, &shards| {
             b.iter_batched(

@@ -44,6 +44,15 @@ fn main() {
             std::process::exit(2);
         }
     }
+
+    // Every run leaves a machine-readable telemetry snapshot next to the
+    // text output (override the path with BENCH_METRICS).
+    let metrics_path =
+        std::env::var("BENCH_METRICS").unwrap_or_else(|_| "BENCH_metrics.json".into());
+    match workloads::runner::dump_metrics(std::path::Path::new(&metrics_path)) {
+        Ok(()) => println!("\nmetrics snapshot written to {metrics_path}"),
+        Err(e) => eprintln!("failed to write {metrics_path}: {e}"),
+    }
 }
 
 fn heading(title: &str) {

@@ -3,7 +3,7 @@
 use std::fmt;
 
 /// A 20-byte account address (Zilliqa/Ethereum style).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Address(pub [u8; 20]);
 
 impl Address {

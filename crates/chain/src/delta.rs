@@ -191,7 +191,7 @@ impl StateDelta {
                     .iter()
                     .map(|(c, d)| {
                         json!({
-                            "field": c.0,
+                            "field": c.0.clone(),
                             "keys": c.1.iter().map(scilla::wire::to_json).collect::<Vec<_>>(),
                             "delta": d.delta.to_string(),
                             "width": d.width,
@@ -204,7 +204,7 @@ impl StateDelta {
                     .iter()
                     .map(|(c, v)| {
                         json!({
-                            "field": c.0,
+                            "field": c.0.clone(),
                             "keys": c.1.iter().map(scilla::wire::to_json).collect::<Vec<_>>(),
                             "value": v.as_ref().map(scilla::wire::to_json),
                         })

@@ -53,6 +53,63 @@ pub enum DispatchReason {
     StrictNonceOrder,
 }
 
+impl DispatchReason {
+    /// Stable label used in epoch reports and `chain.dispatch.reason.*`
+    /// metrics.
+    pub fn name(self) -> &'static str {
+        match self {
+            DispatchReason::Payment => "payment",
+            DispatchReason::BaselineLocal => "baseline-local",
+            DispatchReason::BaselineCross => "baseline-cross",
+            DispatchReason::Unselected => "unselected",
+            DispatchReason::Unsat => "unsat",
+            DispatchReason::OwnershipPinned => "ownership",
+            DispatchReason::Unconstrained => "commutative",
+            DispatchReason::SplitFootprint => "split-footprint",
+            DispatchReason::AliasConflict => "alias",
+            DispatchReason::NotUserAddr => "not-user-addr",
+            DispatchReason::BadArguments => "bad-args",
+            DispatchReason::StrictNonceOrder => "strict-nonce",
+        }
+    }
+}
+
+const ALL_REASONS: [DispatchReason; 12] = [
+    DispatchReason::Payment,
+    DispatchReason::BaselineLocal,
+    DispatchReason::BaselineCross,
+    DispatchReason::Unselected,
+    DispatchReason::Unsat,
+    DispatchReason::OwnershipPinned,
+    DispatchReason::Unconstrained,
+    DispatchReason::SplitFootprint,
+    DispatchReason::AliasConflict,
+    DispatchReason::NotUserAddr,
+    DispatchReason::BadArguments,
+    DispatchReason::StrictNonceOrder,
+];
+
+/// Per-reason counters, resolved once: dispatch runs for every pool
+/// transaction every epoch, so the registry lookup must stay off the hot
+/// path.
+fn record_decision(d: &Decision) {
+    use std::sync::{Arc, OnceLock};
+    if !telemetry::enabled() {
+        return;
+    }
+    static COUNTERS: OnceLock<[Arc<telemetry::Counter>; 12]> = OnceLock::new();
+    let counters = COUNTERS.get_or_init(|| {
+        ALL_REASONS.map(|r| {
+            telemetry::registry().counter(&format!("chain.dispatch.reason.{}", r.name()))
+        })
+    });
+    counters[d.reason as usize].inc();
+    telemetry::counter!("chain.dispatch.total").inc();
+    if d.assignment == Assignment::Ds {
+        telemetry::counter!("chain.dispatch.to_ds").inc();
+    }
+}
+
 /// A dispatch decision.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Decision {
@@ -125,19 +182,22 @@ pub fn dispatch(
 
 /// [`dispatch`] with explicit protocol switches.
 pub fn dispatch_policy(tx: &Transaction, state: &GlobalState, policy: &DispatchPolicy) -> Decision {
-    let decision = dispatch_inner(tx, state, policy.num_shards, policy.use_cosplit);
-    if policy.relaxed_nonces {
-        return decision;
-    }
-    // Strict nonces: a sender's transactions must be totally ordered, so
-    // anything not in the sender's home shard serialises at the DS.
-    match decision.assignment {
-        Assignment::Shard(s) if s == tx.sender.home_shard(policy.num_shards) => decision,
-        Assignment::Ds => decision,
-        Assignment::Shard(_) => {
-            Decision { assignment: Assignment::Ds, reason: DispatchReason::StrictNonceOrder }
+    let inner = dispatch_inner(tx, state, policy.num_shards, policy.use_cosplit);
+    let decision = if policy.relaxed_nonces {
+        inner
+    } else {
+        // Strict nonces: a sender's transactions must be totally ordered, so
+        // anything not in the sender's home shard serialises at the DS.
+        match inner.assignment {
+            Assignment::Shard(s) if s == tx.sender.home_shard(policy.num_shards) => inner,
+            Assignment::Ds => inner,
+            Assignment::Shard(_) => {
+                Decision { assignment: Assignment::Ds, reason: DispatchReason::StrictNonceOrder }
+            }
         }
-    }
+    };
+    record_decision(&decision);
+    decision
 }
 
 fn dispatch_inner(

@@ -121,6 +121,7 @@ pub fn execute_batch(
     snapshot: &GlobalState,
     txs: Vec<Transaction>,
 ) -> MicroBlock {
+    let _span = telemetry::span!("chain.executor.batch_duration");
     let mut exec = Executor {
         cfg,
         snapshot,
@@ -147,7 +148,44 @@ pub fn execute_batch(
         }
         exec.process(tx);
     }
-    exec.finish()
+    let mb = exec.finish();
+    record_batch_metrics(&mb);
+    mb
+}
+
+/// Records per-batch outcome counters and the delta-size histogram
+/// (`chain.executor.*`).
+fn record_batch_metrics(mb: &MicroBlock) {
+    if !telemetry::enabled() {
+        return;
+    }
+    let mut success = 0u64;
+    let mut failed = 0u64;
+    let mut rerouted = 0u64;
+    for r in &mb.receipts {
+        match &r.status {
+            TxStatus::Success => success += 1,
+            TxStatus::Failed(_) => failed += 1,
+            TxStatus::Rerouted(cause) => {
+                rerouted += 1;
+                match cause {
+                    RerouteCause::OverflowGuard => {
+                        telemetry::counter!("chain.executor.reroute.overflow_guard").inc()
+                    }
+                    RerouteCause::CrossContract => {
+                        telemetry::counter!("chain.executor.reroute.cross_contract").inc()
+                    }
+                }
+            }
+        }
+    }
+    telemetry::counter!("chain.executor.tx_status.success").add(success);
+    telemetry::counter!("chain.executor.tx_status.failed").add(failed);
+    telemetry::counter!("chain.executor.tx_status.rerouted").add(rerouted);
+    telemetry::counter!("chain.executor.deferred").add(mb.deferred.len() as u64);
+    telemetry::counter!("chain.executor.gas_used").add(mb.gas_used);
+    telemetry::histogram!("chain.executor.delta_components", telemetry::SIZE_BUCKETS)
+        .record(mb.delta.changed_components() as u64);
 }
 
 /// Per-shard balance ledger with slice limits (paper §4.2.2: "splitting a

@@ -3,7 +3,7 @@
 
 use crate::address::Address;
 use crate::delta::StateDelta;
-use crate::dispatch::{dispatch_policy, Assignment, DispatchPolicy, DispatchReason};
+use crate::dispatch::{dispatch_policy, Assignment, DispatchPolicy};
 use crate::error::DeployError;
 use crate::executor::{execute_batch, ExecutorConfig, MicroBlock, Receipt, TxStatus};
 use crate::state::{DeployedContract, GlobalState};
@@ -213,6 +213,7 @@ impl Network {
     /// execution → delta merge → DS committee execution. Deferred
     /// transactions are returned to the pool.
     pub fn run_epoch(&mut self, pool: &mut Vec<Transaction>) -> EpochReport {
+        let _epoch_span = telemetry::span!("chain.network.epoch_duration");
         let mut report = EpochReport { sim_seconds: self.config.epoch_duration_secs, ..Default::default() };
 
         // --- Lookup nodes: form per-committee packets.
@@ -225,21 +226,25 @@ impl Network {
             use_cosplit: self.config.use_cosplit,
             relaxed_nonces: self.config.relaxed_nonces,
         };
-        for tx in pool.drain(..) {
-            let decision = dispatch_policy(&tx, &self.state, &policy);
-            let packet = match decision.assignment {
-                Assignment::Shard(s) => &mut shard_batches[s as usize],
-                Assignment::Ds => &mut ds_batch,
-            };
-            if packet.len() >= self.config.max_packet_txs {
-                // The packet is full; the transaction waits for a later
-                // epoch (and is not counted as dispatched this epoch).
-                held_back.push(tx);
-                continue;
+        {
+            let _span = telemetry::span!("chain.network.phase.dispatch");
+            for tx in pool.drain(..) {
+                let decision = dispatch_policy(&tx, &self.state, &policy);
+                let packet = match decision.assignment {
+                    Assignment::Shard(s) => &mut shard_batches[s as usize],
+                    Assignment::Ds => &mut ds_batch,
+                };
+                if packet.len() >= self.config.max_packet_txs {
+                    // The packet is full; the transaction waits for a later
+                    // epoch (and is not counted as dispatched this epoch).
+                    held_back.push(tx);
+                    continue;
+                }
+                *report.dispatch_reasons.entry(decision.reason.name().to_string()).or_insert(0) += 1;
+                packet.push(tx);
             }
-            *report.dispatch_reasons.entry(reason_name(decision.reason).to_string()).or_insert(0) += 1;
-            packet.push(tx);
         }
+        telemetry::counter!("chain.network.held_back").add(held_back.len() as u64);
         pool.extend(held_back);
 
         // --- Shards execute their packets in parallel on the epoch-start
@@ -247,37 +252,47 @@ impl Network {
         let snapshot = &self.state;
         let config = &self.config;
         let block_number = self.block_number;
-        let microblocks: Vec<MicroBlock> = crossbeam::thread::scope(|scope| {
-            let handles: Vec<_> = shard_batches
-                .into_iter()
-                .enumerate()
-                .map(|(s, batch)| {
-                    scope.spawn(move |_| {
-                        let cfg = ExecutorConfig {
-                            role: Assignment::Shard(s as u32),
-                            num_shards: config.num_shards,
-                            gas_limit: config.shard_gas_limit,
-                            block_number,
-                            use_cosplit: config.use_cosplit,
-                            overflow_guard: config.overflow_guard,
-                            allow_contract_msgs: false,
-                        };
-                        execute_batch(&cfg, snapshot, batch)
+        let microblocks: Vec<MicroBlock> = {
+            let _span = telemetry::span!("chain.network.phase.shard_exec");
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = shard_batches
+                    .into_iter()
+                    .enumerate()
+                    .map(|(s, batch)| {
+                        scope.spawn(move || {
+                            let cfg = ExecutorConfig {
+                                role: Assignment::Shard(s as u32),
+                                num_shards: config.num_shards,
+                                gas_limit: config.shard_gas_limit,
+                                block_number,
+                                use_cosplit: config.use_cosplit,
+                                overflow_guard: config.overflow_guard,
+                                allow_contract_msgs: false,
+                            };
+                            execute_batch(&cfg, snapshot, batch)
+                        })
                     })
-                })
-                .collect();
-            handles.into_iter().map(|h| h.join().expect("shard thread")).collect()
-        })
-        .expect("shard scope");
+                    .collect();
+                handles.into_iter().map(|h| h.join().expect("shard thread")).collect()
+            })
+        };
 
         // --- DS committee: merge the state deltas…
-        let mut deltas = Vec::with_capacity(microblocks.len());
-        for mb in &microblocks {
-            deltas.push(mb.delta.clone());
+        {
+            let _span = telemetry::span!("chain.network.phase.merge");
+            let mut deltas = Vec::with_capacity(microblocks.len());
+            for mb in &microblocks {
+                deltas.push(mb.delta.clone());
+            }
+            let merged = StateDelta::merge(deltas).unwrap_or_else(|e| {
+                telemetry::counter!("chain.network.merge_conflicts").inc();
+                panic!("ownership dispatch precludes conflicts: {e:?}")
+            });
+            report.merged_components = merged.changed_components();
+            telemetry::histogram!("chain.network.merged_components", telemetry::SIZE_BUCKETS)
+                .record(report.merged_components as u64);
+            merged.apply(&mut self.state).expect("deltas in range");
         }
-        let merged = StateDelta::merge(deltas).expect("ownership dispatch precludes conflicts");
-        report.merged_components = merged.changed_components();
-        merged.apply(&mut self.state).expect("deltas in range");
 
         // …then process its own packet (plus reroutes) sequentially on the
         // merged state.
@@ -293,8 +308,13 @@ impl Network {
             overflow_guard: false,
             allow_contract_msgs: true,
         };
-        let ds_block = execute_batch(&ds_cfg, &self.state, ds_batch);
-        ds_block.delta.apply(&mut self.state).expect("ds delta applies");
+        let ds_block = {
+            let _span = telemetry::span!("chain.network.phase.ds_exec");
+            let b = execute_batch(&ds_cfg, &self.state, ds_batch);
+            b.delta.apply(&mut self.state).expect("ds delta applies");
+            b
+        };
+        telemetry::counter!("chain.network.epochs").inc();
 
         // --- Accounting.
         for mb in microblocks.iter().chain(std::iter::once(&ds_block)) {
@@ -331,19 +351,3 @@ pub fn throughput(reports: &[EpochReport]) -> f64 {
     }
 }
 
-fn reason_name(r: DispatchReason) -> &'static str {
-    match r {
-        DispatchReason::Payment => "payment",
-        DispatchReason::BaselineLocal => "baseline-local",
-        DispatchReason::BaselineCross => "baseline-cross",
-        DispatchReason::Unselected => "unselected",
-        DispatchReason::Unsat => "unsat",
-        DispatchReason::OwnershipPinned => "ownership",
-        DispatchReason::Unconstrained => "commutative",
-        DispatchReason::SplitFootprint => "split-footprint",
-        DispatchReason::AliasConflict => "alias",
-        DispatchReason::NotUserAddr => "not-user-addr",
-        DispatchReason::BadArguments => "bad-args",
-        DispatchReason::StrictNonceOrder => "strict-nonce",
-    }
-}

@@ -7,8 +7,11 @@
 //! ```text
 //! cosplit <file.scilla | corpus:Name> [--transitions T1,T2,…]
 //!         [--weak-reads f1,f2,… | --accept-stale]
-//!         [--summaries] [--json] [--repair] [--ge]
+//!         [--summaries] [--json] [--repair] [--ge] [--metrics <path>]
 //! ```
+//!
+//! `--metrics <path>` (or the `COSPLIT_METRICS` environment variable) writes
+//! the telemetry snapshot of the run as JSON on exit.
 
 use cosplit_analysis::ge::ge_stats;
 use cosplit_analysis::repair::repair_contract;
@@ -25,6 +28,7 @@ struct Args {
     json: bool,
     repair: bool,
     ge: bool,
+    metrics: Option<String>,
 }
 
 fn usage() -> ! {
@@ -39,7 +43,9 @@ fn usage() -> ! {
          \x20 --summaries     print per-transition effect summaries (Fig. 8)\n\
          \x20 --json          print the signature's JSON wire form\n\
          \x20 --repair        attempt the §6 compare-and-swap repair first\n\
-         \x20 --ge            print good-enough signature statistics (Fig. 13)"
+         \x20 --ge            print good-enough signature statistics (Fig. 13)\n\
+         \x20 --metrics       write the run's telemetry snapshot (JSON) to a file\n\
+         \x20                 (also COSPLIT_METRICS=<path>)"
     );
     std::process::exit(2)
 }
@@ -53,6 +59,7 @@ fn parse_args() -> Args {
         json: false,
         repair: false,
         ge: false,
+        metrics: std::env::var("COSPLIT_METRICS").ok(),
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -67,6 +74,7 @@ fn parse_args() -> Args {
                     WeakReads::Fields(v.split(',').map(|s| s.trim().to_string()).collect());
             }
             "--accept-stale" => args.weak_reads = WeakReads::AcceptAll,
+            "--metrics" => args.metrics = Some(it.next().unwrap_or_else(|| usage())),
             "--summaries" => args.summaries = true,
             "--json" => args.json = true,
             "--repair" => args.repair = true,
@@ -95,6 +103,19 @@ fn load_source(arg: &str) -> Result<String, String> {
 
 fn main() -> ExitCode {
     let args = parse_args();
+    let metrics = args.metrics.clone();
+    let code = run(args);
+    if let Some(path) = metrics {
+        let json = telemetry::registry().snapshot().to_json();
+        if let Err(e) = std::fs::write(&path, json) {
+            eprintln!("error: cannot write metrics to {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    code
+}
+
+fn run(args: Args) -> ExitCode {
     let source = match load_source(&args.source_arg) {
         Ok(s) => s,
         Err(e) => {

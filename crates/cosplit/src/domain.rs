@@ -24,7 +24,7 @@ use std::fmt;
 
 /// How many times a contribution source flows into a value: 0, 1, or ω
 /// ("many"). Inspired by GHC's cardinality analysis (paper footnote 4).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Cardinality {
     /// The source does not flow into the value (but may condition it).
     Zero,
@@ -77,7 +77,7 @@ impl fmt::Display for Cardinality {
 }
 
 /// An operation applied to a contribution source on its way into a value.
-#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Op {
     /// A builtin application (`add`, `sub`, `concat`, …).
     Builtin(String),
@@ -99,7 +99,7 @@ pub type Ops = BTreeSet<Op>;
 
 /// Whether the analysis lost precision for a source by joining control flows
 /// (`Exact ⊑ Inexact`).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Precision {
     /// No over-approximation of operation sets has occurred.
     Exact,
@@ -119,7 +119,7 @@ impl Precision {
 }
 
 /// One source's contribution: cardinality, operations, and precision.
-#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Contribution {
     /// How many times the source flows in.
     pub card: Cardinality,
@@ -167,7 +167,7 @@ impl Contribution {
 /// `balances[_sender]` becomes `PseudoField { field: "balances", keys:
 /// ["_sender"] }`; the keys are *names* that dispatch instantiates with the
 /// actual transaction arguments at runtime (paper §4.3).
-#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct PseudoField {
     /// Field name.
     pub field: String,
@@ -204,7 +204,7 @@ impl fmt::Display for PseudoField {
 }
 
 /// Where a contribution ultimately comes from (paper Fig. 6, `cs`).
-#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum ContribSource {
     /// The value of a state component at the start of the transition.
     Field(PseudoField),
@@ -231,7 +231,7 @@ impl fmt::Display for ContribSource {
 /// `⊥` is the empty map. Function types are not represented here: the
 /// analysis propagates abstract closures instead (see `analysis`), which
 /// covers the paper's `EFun` arrow types including second-order use.
-#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum ContribType {
     /// A known set of contributions.
     Known(BTreeMap<ContribSource, Contribution>),

@@ -4,7 +4,7 @@ use crate::domain::{ContribType, PseudoField};
 use std::fmt;
 
 /// An abstract message observed at a `send` (the payload of `SendMsg(τ)`).
-#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct MsgAbs {
     /// Contribution of the `_recipient` entry.
     pub recipient: ContribType,
@@ -17,7 +17,7 @@ pub struct MsgAbs {
 }
 
 /// One effect of a transition (paper Fig. 6, `ε`).
-#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Effect {
     /// The transition may read this state component's initial value.
     Read(PseudoField),
@@ -51,7 +51,7 @@ impl fmt::Display for Effect {
 }
 
 /// The effect summary of one transition.
-#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TransitionSummary {
     /// The transition's name.
     pub name: String,

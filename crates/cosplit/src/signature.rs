@@ -13,7 +13,7 @@ use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 
 /// A per-field join operation `⊎f` (paper Fig. 9 top).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Join {
     /// Strategy 1: entries are disjointly owned; merging overwrites the
     /// owner's values.
@@ -23,7 +23,7 @@ pub enum Join {
 }
 
 /// A runtime-checkable ownership constraint (paper Fig. 9 top, `oc`).
-#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
 pub enum Constraint {
     /// The executing shard must own this (symbolic) state component.
     Owns(PseudoField),
@@ -56,7 +56,7 @@ impl fmt::Display for Constraint {
 }
 
 /// The constraints of one sharded transition.
-#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TransitionConstraints {
     /// Transition name.
     pub name: String,
@@ -91,7 +91,7 @@ impl TransitionConstraints {
 }
 
 /// A complete sharding signature for a selection of transitions.
-#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ShardingSignature {
     /// Constraints per selected transition.
     pub transitions: Vec<TransitionConstraints>,
@@ -112,7 +112,7 @@ impl ShardingSignature {
     /// Serialises to the JSON wire format exchanged with the blockchain
     /// nodes (the paper's CoSplit↔Zilliqa JSON-RPC boundary).
     pub fn to_json(&self) -> String {
-        serde_json::to_string(self).expect("signature serialises")
+        wire::signature_to_json(self).to_string()
     }
 
     /// Parses the JSON wire format.
@@ -121,7 +121,153 @@ impl ShardingSignature {
     ///
     /// Returns the underlying `serde_json` error on malformed input.
     pub fn from_json(s: &str) -> Result<Self, serde_json::Error> {
-        serde_json::from_str(s)
+        wire::signature_from_json(&serde_json::from_str(s)?)
+    }
+}
+
+/// Hand-rolled JSON encoding of signatures (externally tagged enums, like
+/// serde's derived format). Kept in one module so the wire shape is easy to
+/// audit against what lookup nodes parse.
+mod wire {
+    use super::{Constraint, Join, ShardingSignature, TransitionConstraints};
+    use crate::domain::PseudoField;
+    use serde_json::{json, Error, Value};
+
+    fn strings(v: &[String]) -> Value {
+        Value::Array(v.iter().map(Value::from).collect())
+    }
+
+    fn join_to_json(j: Join) -> Value {
+        match j {
+            Join::OwnOverwrite => Value::from("OwnOverwrite"),
+            Join::IntMerge => Value::from("IntMerge"),
+        }
+    }
+
+    fn constraint_to_json(c: &Constraint) -> Value {
+        match c {
+            Constraint::Owns(pf) => {
+                json!({"Owns": json!({"field": &pf.field, "keys": strings(&pf.keys)})})
+            }
+            Constraint::UserAddr(p) => json!({"UserAddr": p}),
+            Constraint::NoAliases(a, b) => {
+                json!({"NoAliases": Value::Array(vec![strings(a), strings(b)])})
+            }
+            Constraint::SenderShard => Value::from("SenderShard"),
+            Constraint::ContractShard => Value::from("ContractShard"),
+            Constraint::Unsat => Value::from("Unsat"),
+        }
+    }
+
+    pub(super) fn signature_to_json(sig: &ShardingSignature) -> Value {
+        let transitions: Vec<Value> = sig
+            .transitions
+            .iter()
+            .map(|t| {
+                json!({
+                    "name": &t.name,
+                    "params": strings(&t.params),
+                    "constraints": t.constraints.iter().map(constraint_to_json).collect::<Vec<_>>(),
+                })
+            })
+            .collect();
+        let joins: Vec<Value> =
+            sig.joins.iter().map(|(f, j)| json!([f, join_to_json(*j)])).collect();
+        let weak: Vec<&String> = sig.weak_reads.iter().collect();
+        json!({
+            "transitions": transitions,
+            "joins": joins,
+            "weak_reads": weak.into_iter().cloned().collect::<Vec<_>>(),
+        })
+    }
+
+    fn err(msg: impl std::fmt::Display) -> Error {
+        Error::custom(msg)
+    }
+
+    fn string_of(v: &Value) -> Result<String, Error> {
+        v.as_str().map(str::to_string).ok_or_else(|| err(format!("expected string, got {v}")))
+    }
+
+    fn strings_of(v: &Value) -> Result<Vec<String>, Error> {
+        v.as_array()
+            .ok_or_else(|| err(format!("expected array of strings, got {v}")))?
+            .iter()
+            .map(string_of)
+            .collect()
+    }
+
+    fn join_from_json(v: &Value) -> Result<Join, Error> {
+        match v.as_str() {
+            Some("OwnOverwrite") => Ok(Join::OwnOverwrite),
+            Some("IntMerge") => Ok(Join::IntMerge),
+            _ => Err(err(format!("unknown join {v}"))),
+        }
+    }
+
+    fn constraint_from_json(v: &Value) -> Result<Constraint, Error> {
+        if let Some(tag) = v.as_str() {
+            return match tag {
+                "SenderShard" => Ok(Constraint::SenderShard),
+                "ContractShard" => Ok(Constraint::ContractShard),
+                "Unsat" => Ok(Constraint::Unsat),
+                other => Err(err(format!("unknown constraint tag '{other}'"))),
+            };
+        }
+        let obj = v.as_object().ok_or_else(|| err(format!("bad constraint {v}")))?;
+        let (tag, payload) =
+            obj.iter().next().ok_or_else(|| err("empty constraint object"))?;
+        match tag.as_str() {
+            "Owns" => {
+                let field = string_of(&payload["field"])?;
+                let keys = strings_of(&payload["keys"])?;
+                Ok(Constraint::Owns(PseudoField { field, keys }))
+            }
+            "UserAddr" => Ok(Constraint::UserAddr(string_of(payload)?)),
+            "NoAliases" => {
+                let pair =
+                    payload.as_array().filter(|a| a.len() == 2).ok_or_else(|| {
+                        err("NoAliases payload must be a pair of key tuples")
+                    })?;
+                Ok(Constraint::NoAliases(strings_of(&pair[0])?, strings_of(&pair[1])?))
+            }
+            other => Err(err(format!("unknown constraint tag '{other}'"))),
+        }
+    }
+
+    pub(super) fn signature_from_json(root: &Value) -> Result<ShardingSignature, Error> {
+        let transitions = root["transitions"]
+            .as_array()
+            .ok_or_else(|| err("missing 'transitions'"))?
+            .iter()
+            .map(|t| {
+                Ok(TransitionConstraints {
+                    name: string_of(&t["name"])?,
+                    params: strings_of(&t["params"])?,
+                    constraints: t["constraints"]
+                        .as_array()
+                        .ok_or_else(|| err("missing 'constraints'"))?
+                        .iter()
+                        .map(constraint_from_json)
+                        .collect::<Result<_, Error>>()?,
+                })
+            })
+            .collect::<Result<_, Error>>()?;
+        let joins = root["joins"]
+            .as_array()
+            .ok_or_else(|| err("missing 'joins'"))?
+            .iter()
+            .map(|pair| {
+                let entry = pair
+                    .as_array()
+                    .filter(|a| a.len() == 2)
+                    .ok_or_else(|| err("join entry must be a [field, join] pair"))?;
+                Ok((string_of(&entry[0])?, join_from_json(&entry[1])?))
+            })
+            .collect::<Result<_, Error>>()?;
+        let weak_reads =
+            strings_of(&root["weak_reads"])?.into_iter().collect();
+        Ok(ShardingSignature { transitions, joins, weak_reads })
     }
 }
 

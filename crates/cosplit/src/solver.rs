@@ -42,11 +42,22 @@ impl AnalyzedContract {
     /// assert!(sig.transition("Put").unwrap().is_shardable());
     /// ```
     pub fn analyze(checked: &CheckedModule) -> Self {
-        AnalyzedContract {
+        let _span = telemetry::span!("cosplit.analysis.analyze_duration");
+        let analyzed = AnalyzedContract {
             name: checked.contract().name.name.clone(),
             summaries: summarize_contract(checked),
             field_names: checked.contract().fields.iter().map(|f| f.name.name.clone()).collect(),
+        };
+        if telemetry::enabled() {
+            telemetry::counter!("cosplit.analysis.contracts_analyzed").inc();
+            telemetry::counter!("cosplit.analysis.transitions_summarized")
+                .add(analyzed.summaries.len() as u64);
+            for s in &analyzed.summaries {
+                telemetry::histogram!("cosplit.analysis.summary_size", telemetry::SIZE_BUCKETS)
+                    .record(s.effects.len() as u64);
+            }
         }
+        analyzed
     }
 
     /// Names of all transitions.
@@ -62,7 +73,15 @@ impl AnalyzedContract {
     /// Derives the sharding signature for a selection of transitions
     /// (paper Fig. 11: the sharding query solver).
     pub fn query(&self, selected: &[String], weak_reads: &WeakReads) -> ShardingSignature {
-        derive_signature(&self.summaries, selected, weak_reads)
+        let _span = telemetry::span!("cosplit.analysis.query_duration");
+        let sig = derive_signature(&self.summaries, selected, weak_reads);
+        if telemetry::enabled() {
+            telemetry::counter!("cosplit.analysis.queries").inc();
+            let constraints: usize = sig.transitions.iter().map(|t| t.constraints.len()).sum();
+            telemetry::histogram!("cosplit.analysis.signature_constraints", telemetry::SIZE_BUCKETS)
+                .record(constraints as u64);
+        }
+        sig
     }
 
     /// Validates a submitted signature the way miners do on deployment

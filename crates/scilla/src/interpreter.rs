@@ -160,6 +160,28 @@ impl CompiledContract {
         ctx: &TransitionContext,
         gas: &mut GasMeter,
     ) -> Result<TransitionOutcome, ExecError> {
+        let gas_before = gas.used();
+        let result = self.execute_inner(store, transition, args, contract_params, ctx, gas);
+        if telemetry::enabled() {
+            telemetry::counter!("scilla.interpreter.transitions").inc();
+            telemetry::counter!("scilla.interpreter.gas_charged")
+                .add(gas.used().saturating_sub(gas_before));
+            if result.is_err() {
+                telemetry::counter!("scilla.interpreter.exec_failures").inc();
+            }
+        }
+        result
+    }
+
+    fn execute_inner(
+        &self,
+        store: &mut dyn StateStore,
+        transition: &str,
+        args: &[(String, Value)],
+        contract_params: &[(String, Value)],
+        ctx: &TransitionContext,
+        gas: &mut GasMeter,
+    ) -> Result<TransitionOutcome, ExecError> {
         let t = self
             .contract()
             .transition(transition)

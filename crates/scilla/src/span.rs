@@ -7,7 +7,7 @@ use std::fmt;
 
 /// A half-open byte range `[start, end)` into a source file, plus the
 /// 1-based line/column of its start for human-readable diagnostics.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub struct Span {
     /// Byte offset of the first character.
     pub start: usize,

@@ -6,7 +6,7 @@ use std::fmt;
 ///
 /// Integer types carry their signedness and bit width so the interpreter can
 /// implement checked wrap-free arithmetic exactly like Scilla's `Uint128` etc.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum Type {
     /// `IntN` for N ∈ {32, 64, 128, 256}.
     Int(u32),

@@ -1,0 +1,1013 @@
+//! Metrics, span timing, and structured events for the CoSplit pipeline.
+//!
+//! Zero dependencies (std only) so every crate in the workspace — from the
+//! Scilla interpreter up to the bench harness — can record into one global
+//! [`MetricsRegistry`] without dependency cycles. Everything is designed to
+//! sit on hot paths:
+//!
+//! - counters are thread-striped atomics (no contention on parallel shards);
+//! - histograms are fixed-bucket atomic arrays (one `fetch_add` per record);
+//! - handle lookup happens once per call site via the [`counter!`],
+//!   [`gauge!`], [`histogram!`] and [`span!`] macros (a `OnceLock` static);
+//! - a single relaxed atomic load short-circuits all of it when telemetry
+//!   is disabled ([`set_enabled`], or `COSPLIT_TELEMETRY=0`).
+//!
+//! Metric names follow `crate.component.name`, e.g.
+//! `chain.dispatch.reason.payment` or `scilla.interpreter.gas_charged`.
+//! Snapshots ([`MetricsRegistry::snapshot`]) are plain data: diff two of
+//! them for per-epoch deltas, export as JSON or Prometheus text.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock, RwLock};
+use std::time::{Duration, Instant};
+
+/// Number of per-counter stripes. Power of two; enough that the handful of
+/// shard executor threads rarely collide.
+const STRIPES: usize = 16;
+
+/// Global kill switch, checked (relaxed) before any metric write.
+static ENABLED: AtomicBool = AtomicBool::new(true);
+
+/// Whether drop-time span events are captured into the event buffer.
+static TRACE_EVENTS: AtomicBool = AtomicBool::new(false);
+
+static INIT_ENV: OnceLock<()> = OnceLock::new();
+
+fn init_from_env() {
+    INIT_ENV.get_or_init(|| {
+        if let Ok(v) = std::env::var("COSPLIT_TELEMETRY") {
+            if matches!(v.as_str(), "0" | "off" | "false") {
+                ENABLED.store(false, Ordering::Relaxed);
+            }
+        }
+        if let Ok(v) = std::env::var("COSPLIT_TRACE") {
+            if matches!(v.as_str(), "1" | "on" | "true") {
+                TRACE_EVENTS.store(true, Ordering::Relaxed);
+            }
+        }
+    });
+}
+
+/// Turns all metric recording on or off at runtime. Disabled recording is a
+/// single relaxed load + branch per call site.
+pub fn set_enabled(on: bool) {
+    init_from_env();
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// Is recording currently enabled?
+pub fn enabled() -> bool {
+    init_from_env();
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Turns span/diagnostic event capture on or off (also `COSPLIT_TRACE=1`).
+pub fn set_trace_events(on: bool) {
+    init_from_env();
+    TRACE_EVENTS.store(on, Ordering::Relaxed);
+}
+
+#[repr(align(64))]
+struct PaddedU64(AtomicU64);
+
+/// A monotonically increasing counter, striped across cache lines.
+pub struct Counter {
+    stripes: [PaddedU64; STRIPES],
+}
+
+fn stripe_index() -> usize {
+    static NEXT: AtomicUsize = AtomicUsize::new(0);
+    thread_local! {
+        static STRIPE: usize = NEXT.fetch_add(1, Ordering::Relaxed) % STRIPES;
+    }
+    STRIPE.with(|s| *s)
+}
+
+impl Counter {
+    fn new() -> Counter {
+        Counter { stripes: std::array::from_fn(|_| PaddedU64(AtomicU64::new(0))) }
+    }
+
+    /// Adds `n` to the counter (no-op while telemetry is disabled).
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if ENABLED.load(Ordering::Relaxed) {
+            self.stripes[stripe_index()].0.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Increments the counter by one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Current total across all stripes.
+    pub fn get(&self) -> u64 {
+        self.stripes.iter().map(|s| s.0.load(Ordering::Relaxed)).sum()
+    }
+
+    fn reset(&self) {
+        for s in &self.stripes {
+            s.0.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+/// A last-value-wins signed gauge.
+pub struct Gauge {
+    value: AtomicI64,
+}
+
+impl Gauge {
+    fn new() -> Gauge {
+        Gauge { value: AtomicI64::new(0) }
+    }
+
+    #[inline]
+    pub fn set(&self, v: i64) {
+        if ENABLED.load(Ordering::Relaxed) {
+            self.value.store(v, Ordering::Relaxed);
+        }
+    }
+
+    #[inline]
+    pub fn add(&self, delta: i64) {
+        if ENABLED.load(Ordering::Relaxed) {
+            self.value.fetch_add(delta, Ordering::Relaxed);
+        }
+    }
+
+    pub fn get(&self) -> i64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    fn reset(&self) {
+        self.value.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Default bucket upper bounds for durations, in nanoseconds: 1µs to ~67s,
+/// quadrupling. Values above the last bound land in the overflow bucket.
+pub const DURATION_BUCKETS_NS: &[u64] = &[
+    1_000,
+    4_000,
+    16_000,
+    64_000,
+    256_000,
+    1_024_000,
+    4_096_000,
+    16_384_000,
+    65_536_000,
+    262_144_000,
+    1_048_576_000,
+    4_194_304_000,
+    16_777_216_000,
+    67_108_864_000,
+];
+
+/// Default bucket upper bounds for sizes/counts: 1 to ~1M, quadrupling.
+pub const SIZE_BUCKETS: &[u64] =
+    &[1, 4, 16, 64, 256, 1_024, 4_096, 16_384, 65_536, 262_144, 1_048_576];
+
+/// A fixed-bucket histogram: `counts[i]` holds samples `<= bounds[i]`
+/// (non-cumulative); one extra overflow bucket holds the rest.
+pub struct Histogram {
+    bounds: Vec<u64>,
+    counts: Vec<AtomicU64>,
+    sum: AtomicU64,
+    count: AtomicU64,
+}
+
+impl Histogram {
+    fn new(bounds: &[u64]) -> Histogram {
+        assert!(bounds.windows(2).all(|w| w[0] < w[1]), "histogram bounds must be ascending");
+        Histogram {
+            bounds: bounds.to_vec(),
+            counts: (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect(),
+            sum: AtomicU64::new(0),
+            count: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one sample (no-op while telemetry is disabled).
+    #[inline]
+    pub fn record(&self, value: u64) {
+        if !ENABLED.load(Ordering::Relaxed) {
+            return;
+        }
+        let idx = self.bounds.partition_point(|&b| b < value);
+        self.counts[idx].fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a duration in nanoseconds.
+    #[inline]
+    pub fn record_duration(&self, d: Duration) {
+        self.record(u64::try_from(d.as_nanos()).unwrap_or(u64::MAX));
+    }
+
+    /// The bucket upper bounds.
+    pub fn bounds(&self) -> &[u64] {
+        &self.bounds
+    }
+
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    fn reset(&self) {
+        for c in &self.counts {
+            c.store(0, Ordering::Relaxed);
+        }
+        self.sum.store(0, Ordering::Relaxed);
+        self.count.store(0, Ordering::Relaxed);
+    }
+
+    fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            bounds: self.bounds.clone(),
+            counts: self.counts.iter().map(|c| c.load(Ordering::Relaxed)).collect(),
+            sum: self.sum(),
+            count: self.count(),
+        }
+    }
+}
+
+/// A structured event (diagnostic or span completion).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Event {
+    /// Microseconds since the registry was created.
+    pub at_micros: u64,
+    /// Event name, `crate.component.name`.
+    pub name: String,
+    /// Free-form key/value payload.
+    pub fields: Vec<(String, String)>,
+}
+
+const EVENT_CAPACITY: usize = 4096;
+
+/// An RAII timer recording its lifetime into a histogram on drop.
+pub struct SpanGuard {
+    name: &'static str,
+    hist: Option<Arc<Histogram>>,
+    start: Instant,
+}
+
+impl SpanGuard {
+    pub fn new(name: &'static str, hist: Option<Arc<Histogram>>) -> SpanGuard {
+        SpanGuard { name, hist, start: Instant::now() }
+    }
+
+    /// Elapsed time so far.
+    pub fn elapsed(&self) -> Duration {
+        self.start.elapsed()
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if let Some(h) = &self.hist {
+            let elapsed = self.start.elapsed();
+            h.record_duration(elapsed);
+            if TRACE_EVENTS.load(Ordering::Relaxed) {
+                emit(self.name, &[("elapsed_us", &(elapsed.as_micros() as u64).to_string())]);
+            }
+        }
+    }
+}
+
+/// The process-wide metric store.
+pub struct MetricsRegistry {
+    counters: RwLock<BTreeMap<String, Arc<Counter>>>,
+    gauges: RwLock<BTreeMap<String, Arc<Gauge>>>,
+    histograms: RwLock<BTreeMap<String, Arc<Histogram>>>,
+    events: Mutex<Vec<Event>>,
+    started: Instant,
+}
+
+static REGISTRY: OnceLock<MetricsRegistry> = OnceLock::new();
+
+/// The global registry (created on first use).
+pub fn registry() -> &'static MetricsRegistry {
+    init_from_env();
+    REGISTRY.get_or_init(|| MetricsRegistry {
+        counters: RwLock::new(BTreeMap::new()),
+        gauges: RwLock::new(BTreeMap::new()),
+        histograms: RwLock::new(BTreeMap::new()),
+        events: Mutex::new(Vec::new()),
+        started: Instant::now(),
+    })
+}
+
+fn get_or_insert<T>(map: &RwLock<BTreeMap<String, Arc<T>>>, name: &str, make: impl FnOnce() -> T) -> Arc<T> {
+    if let Some(v) = map.read().expect("telemetry lock").get(name) {
+        return Arc::clone(v);
+    }
+    let mut w = map.write().expect("telemetry lock");
+    Arc::clone(w.entry(name.to_string()).or_insert_with(|| Arc::new(make())))
+}
+
+impl MetricsRegistry {
+    /// The named counter, created on first use. Cache the handle (or use
+    /// [`counter!`]) on hot paths.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        get_or_insert(&self.counters, name, Counter::new)
+    }
+
+    /// The named gauge, created on first use.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        get_or_insert(&self.gauges, name, Gauge::new)
+    }
+
+    /// The named duration histogram (nanosecond buckets), created on first use.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        self.histogram_with(name, DURATION_BUCKETS_NS)
+    }
+
+    /// The named histogram with explicit bucket bounds; bounds are fixed by
+    /// whichever call registers the name first.
+    pub fn histogram_with(&self, name: &str, bounds: &[u64]) -> Arc<Histogram> {
+        get_or_insert(&self.histograms, name, || Histogram::new(bounds))
+    }
+
+    /// Appends a structured event (bounded buffer; oldest dropped).
+    pub fn emit(&self, name: &str, fields: &[(&str, &str)]) {
+        if !ENABLED.load(Ordering::Relaxed) {
+            return;
+        }
+        let mut events = self.events.lock().expect("telemetry lock");
+        if events.len() >= EVENT_CAPACITY {
+            let drop_n = EVENT_CAPACITY / 4;
+            events.drain(..drop_n);
+        }
+        events.push(Event {
+            at_micros: u64::try_from(self.started.elapsed().as_micros()).unwrap_or(u64::MAX),
+            name: name.to_string(),
+            fields: fields.iter().map(|(k, v)| (k.to_string(), v.to_string())).collect(),
+        });
+    }
+
+    /// Removes and returns all buffered events.
+    pub fn drain_events(&self) -> Vec<Event> {
+        std::mem::take(&mut *self.events.lock().expect("telemetry lock"))
+    }
+
+    /// A point-in-time copy of every metric.
+    pub fn snapshot(&self) -> Snapshot {
+        Snapshot {
+            counters: self
+                .counters
+                .read()
+                .expect("telemetry lock")
+                .iter()
+                .map(|(k, v)| (k.clone(), v.get()))
+                .collect(),
+            gauges: self
+                .gauges
+                .read()
+                .expect("telemetry lock")
+                .iter()
+                .map(|(k, v)| (k.clone(), v.get()))
+                .collect(),
+            histograms: self
+                .histograms
+                .read()
+                .expect("telemetry lock")
+                .iter()
+                .map(|(k, v)| (k.clone(), v.snapshot()))
+                .collect(),
+        }
+    }
+
+    /// Zeroes every metric and clears the event buffer (keeps registrations).
+    pub fn reset(&self) {
+        for c in self.counters.read().expect("telemetry lock").values() {
+            c.reset();
+        }
+        for g in self.gauges.read().expect("telemetry lock").values() {
+            g.reset();
+        }
+        for h in self.histograms.read().expect("telemetry lock").values() {
+            h.reset();
+        }
+        self.events.lock().expect("telemetry lock").clear();
+    }
+}
+
+/// Emits a structured event through the global registry.
+pub fn emit(name: &str, fields: &[(&str, &str)]) {
+    registry().emit(name, fields);
+}
+
+/// Routes a library diagnostic: always buffered as an event; mirrored to
+/// stderr only when `COSPLIT_VERBOSE=1` (libraries must not print
+/// unconditionally).
+pub fn diag(target: &str, message: &str) {
+    emit(target, &[("message", message)]);
+    static VERBOSE: OnceLock<bool> = OnceLock::new();
+    let verbose = *VERBOSE.get_or_init(|| {
+        matches!(std::env::var("COSPLIT_VERBOSE").as_deref(), Ok("1") | Ok("on") | Ok("true"))
+    });
+    if verbose {
+        eprintln!("[{target}] {message}");
+    }
+}
+
+/// One histogram's state inside a [`Snapshot`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    pub bounds: Vec<u64>,
+    /// Per-bucket (non-cumulative) sample counts; one more entry than
+    /// `bounds` (the overflow bucket).
+    pub counts: Vec<u64>,
+    pub sum: u64,
+    pub count: u64,
+}
+
+impl HistogramSnapshot {
+    /// Saturating per-bucket difference (`self` minus `earlier`).
+    fn diff(&self, earlier: &HistogramSnapshot) -> HistogramSnapshot {
+        if self.bounds != earlier.bounds || self.counts.len() != earlier.counts.len() {
+            return self.clone();
+        }
+        HistogramSnapshot {
+            bounds: self.bounds.clone(),
+            counts: self
+                .counts
+                .iter()
+                .zip(&earlier.counts)
+                .map(|(a, b)| a.saturating_sub(*b))
+                .collect(),
+            sum: self.sum.saturating_sub(earlier.sum),
+            count: self.count.saturating_sub(earlier.count),
+        }
+    }
+
+    /// Merges another histogram's samples into this one (bucket-wise sum).
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        assert_eq!(self.bounds, other.bounds, "cannot merge histograms with different buckets");
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.sum += other.sum;
+        self.count += other.count;
+    }
+
+    /// Mean sample value, if any samples were recorded.
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.sum as f64 / self.count as f64)
+    }
+}
+
+/// A point-in-time copy of the registry, exportable and diffable.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Snapshot {
+    pub counters: BTreeMap<String, u64>,
+    pub gauges: BTreeMap<String, i64>,
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+impl Snapshot {
+    /// The delta `self - earlier`: counters and histogram buckets subtract
+    /// (saturating), gauges keep their current value.
+    pub fn diff(&self, earlier: &Snapshot) -> Snapshot {
+        Snapshot {
+            counters: self
+                .counters
+                .iter()
+                .map(|(k, v)| {
+                    (k.clone(), v.saturating_sub(earlier.counters.get(k).copied().unwrap_or(0)))
+                })
+                .collect(),
+            gauges: self.gauges.clone(),
+            histograms: self
+                .histograms
+                .iter()
+                .map(|(k, h)| match earlier.histograms.get(k) {
+                    Some(e) => (k.clone(), h.diff(e)),
+                    None => (k.clone(), h.clone()),
+                })
+                .collect(),
+        }
+    }
+
+    /// A counter's value (0 when absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Sum of all counters whose name starts with `prefix`.
+    pub fn counter_prefix_sum(&self, prefix: &str) -> u64 {
+        self.counters.iter().filter(|(k, _)| k.starts_with(prefix)).map(|(_, v)| v).sum()
+    }
+
+    /// JSON export (self-contained; parse back with [`Snapshot::from_json`]).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n  \"counters\": {");
+        json::write_map(&mut out, &self.counters, |out, v| out.push_str(&v.to_string()));
+        out.push_str("},\n  \"gauges\": {");
+        json::write_map(&mut out, &self.gauges, |out, v| out.push_str(&v.to_string()));
+        out.push_str("},\n  \"histograms\": {");
+        json::write_map(&mut out, &self.histograms, |out, h| {
+            out.push_str("{\"bounds\": ");
+            json::write_u64s(out, &h.bounds);
+            out.push_str(", \"counts\": ");
+            json::write_u64s(out, &h.counts);
+            out.push_str(&format!(", \"sum\": {}, \"count\": {}}}", h.sum, h.count));
+        });
+        out.push_str("}\n}\n");
+        out
+    }
+
+    /// Parses the format produced by [`Snapshot::to_json`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first malformed node.
+    pub fn from_json(s: &str) -> Result<Snapshot, String> {
+        json::parse_snapshot(s)
+    }
+
+    /// Prometheus text exposition: `.` becomes `_`, histograms expand into
+    /// cumulative `_bucket{le="…"}` series plus `_sum`/`_count`.
+    pub fn to_prometheus(&self) -> String {
+        let sanitize = |name: &str| name.replace(['.', '-'], "_");
+        let mut out = String::new();
+        for (name, v) in &self.counters {
+            let n = sanitize(name);
+            out.push_str(&format!("# TYPE {n} counter\n{n} {v}\n"));
+        }
+        for (name, v) in &self.gauges {
+            let n = sanitize(name);
+            out.push_str(&format!("# TYPE {n} gauge\n{n} {v}\n"));
+        }
+        for (name, h) in &self.histograms {
+            let n = sanitize(name);
+            out.push_str(&format!("# TYPE {n} histogram\n"));
+            let mut cumulative = 0u64;
+            for (bound, count) in h.bounds.iter().zip(&h.counts) {
+                cumulative += count;
+                out.push_str(&format!("{n}_bucket{{le=\"{bound}\"}} {cumulative}\n"));
+            }
+            out.push_str(&format!("{n}_bucket{{le=\"+Inf\"}} {}\n", h.count));
+            out.push_str(&format!("{n}_sum {}\n{n}_count {}\n", h.sum, h.count));
+        }
+        out
+    }
+}
+
+/// Minimal JSON read/write for [`Snapshot`] — kept in-crate so telemetry
+/// stays dependency-free.
+mod json {
+    use super::{HistogramSnapshot, Snapshot};
+    use std::collections::BTreeMap;
+
+    pub(super) fn write_map<V>(
+        out: &mut String,
+        map: &BTreeMap<String, V>,
+        mut write_value: impl FnMut(&mut String, &V),
+    ) {
+        for (i, (k, v)) in map.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    ");
+            write_escaped(out, k);
+            out.push_str(": ");
+            write_value(out, v);
+        }
+        if !map.is_empty() {
+            out.push_str("\n  ");
+        }
+    }
+
+    pub(super) fn write_u64s(out: &mut String, xs: &[u64]) {
+        out.push('[');
+        for (i, x) in xs.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&x.to_string());
+        }
+        out.push(']');
+    }
+
+    fn write_escaped(out: &mut String, s: &str) {
+        out.push('"');
+        for c in s.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                c => out.push(c),
+            }
+        }
+        out.push('"');
+    }
+
+    struct P<'a> {
+        b: &'a [u8],
+        i: usize,
+    }
+
+    impl<'a> P<'a> {
+        fn ws(&mut self) {
+            while matches!(self.b.get(self.i), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+                self.i += 1;
+            }
+        }
+
+        fn eat(&mut self, c: u8) -> Result<(), String> {
+            self.ws();
+            if self.b.get(self.i) == Some(&c) {
+                self.i += 1;
+                Ok(())
+            } else {
+                Err(format!("expected '{}' at byte {}", c as char, self.i))
+            }
+        }
+
+        fn peek(&mut self) -> Option<u8> {
+            self.ws();
+            self.b.get(self.i).copied()
+        }
+
+        fn string(&mut self) -> Result<String, String> {
+            self.eat(b'"')?;
+            let mut out = String::new();
+            loop {
+                match self.b.get(self.i) {
+                    None => return Err("unterminated string".into()),
+                    Some(b'"') => {
+                        self.i += 1;
+                        return Ok(out);
+                    }
+                    Some(b'\\') => {
+                        self.i += 1;
+                        match self.b.get(self.i) {
+                            Some(b'"') => out.push('"'),
+                            Some(b'\\') => out.push('\\'),
+                            Some(b'u') => {
+                                let hex = self
+                                    .b
+                                    .get(self.i + 1..self.i + 5)
+                                    .ok_or("truncated \\u escape")?;
+                                let n = u32::from_str_radix(
+                                    std::str::from_utf8(hex).map_err(|e| e.to_string())?,
+                                    16,
+                                )
+                                .map_err(|e| e.to_string())?;
+                                out.push(char::from_u32(n).ok_or("bad \\u escape")?);
+                                self.i += 4;
+                            }
+                            _ => return Err("unsupported escape".into()),
+                        }
+                        self.i += 1;
+                    }
+                    Some(_) => {
+                        let start = self.i;
+                        self.i += 1;
+                        while self.i < self.b.len() && (self.b[self.i] & 0xC0) == 0x80 {
+                            self.i += 1;
+                        }
+                        out.push_str(
+                            std::str::from_utf8(&self.b[start..self.i])
+                                .map_err(|e| e.to_string())?,
+                        );
+                    }
+                }
+            }
+        }
+
+        fn int(&mut self) -> Result<i128, String> {
+            self.ws();
+            let start = self.i;
+            if self.b.get(self.i) == Some(&b'-') {
+                self.i += 1;
+            }
+            while matches!(self.b.get(self.i), Some(b'0'..=b'9')) {
+                self.i += 1;
+            }
+            std::str::from_utf8(&self.b[start..self.i])
+                .map_err(|e| e.to_string())?
+                .parse()
+                .map_err(|_| format!("bad integer at byte {start}"))
+        }
+
+        fn u64s(&mut self) -> Result<Vec<u64>, String> {
+            self.eat(b'[')?;
+            let mut out = Vec::new();
+            if self.peek() == Some(b']') {
+                self.i += 1;
+                return Ok(out);
+            }
+            loop {
+                out.push(u64::try_from(self.int()?).map_err(|_| "negative count")?);
+                match self.peek() {
+                    Some(b',') => self.i += 1,
+                    Some(b']') => {
+                        self.i += 1;
+                        return Ok(out);
+                    }
+                    _ => return Err(format!("expected ',' or ']' at byte {}", self.i)),
+                }
+            }
+        }
+
+        /// Iterates `"key": <value>` pairs of an object.
+        fn object<F: FnMut(&mut Self, String) -> Result<(), String>>(
+            &mut self,
+            mut per_entry: F,
+        ) -> Result<(), String> {
+            self.eat(b'{')?;
+            if self.peek() == Some(b'}') {
+                self.i += 1;
+                return Ok(());
+            }
+            loop {
+                self.ws();
+                let key = self.string()?;
+                self.eat(b':')?;
+                per_entry(self, key)?;
+                match self.peek() {
+                    Some(b',') => self.i += 1,
+                    Some(b'}') => {
+                        self.i += 1;
+                        return Ok(());
+                    }
+                    _ => return Err(format!("expected ',' or '}}' at byte {}", self.i)),
+                }
+            }
+        }
+    }
+
+    pub(super) fn parse_snapshot(s: &str) -> Result<Snapshot, String> {
+        let mut p = P { b: s.as_bytes(), i: 0 };
+        let mut snap = Snapshot::default();
+        p.object(|p, section| {
+            match section.as_str() {
+                "counters" => p.object(|p, k| {
+                    let v = u64::try_from(p.int()?).map_err(|_| "negative counter")?;
+                    snap.counters.insert(k, v);
+                    Ok(())
+                }),
+                "gauges" => p.object(|p, k| {
+                    let v = i64::try_from(p.int()?).map_err(|_| "gauge out of range")?;
+                    snap.gauges.insert(k, v);
+                    Ok(())
+                }),
+                "histograms" => p.object(|p, k| {
+                    let mut h = HistogramSnapshot {
+                        bounds: Vec::new(),
+                        counts: Vec::new(),
+                        sum: 0,
+                        count: 0,
+                    };
+                    p.object(|p, field| {
+                        match field.as_str() {
+                            "bounds" => h.bounds = p.u64s()?,
+                            "counts" => h.counts = p.u64s()?,
+                            "sum" => {
+                                h.sum = u64::try_from(p.int()?).map_err(|_| "negative sum")?;
+                            }
+                            "count" => {
+                                h.count =
+                                    u64::try_from(p.int()?).map_err(|_| "negative count")?;
+                            }
+                            other => return Err(format!("unknown histogram field '{other}'")),
+                        }
+                        Ok(())
+                    })?;
+                    snap.histograms.insert(k, h);
+                    Ok(())
+                }),
+                other => Err(format!("unknown snapshot section '{other}'")),
+            }
+        })?;
+        Ok(snap)
+    }
+}
+
+/// A cached handle to a named counter: `counter!("chain.dispatch.total").inc()`.
+/// The registry lookup happens once per call site.
+#[macro_export]
+macro_rules! counter {
+    ($name:expr) => {{
+        static HANDLE: ::std::sync::OnceLock<::std::sync::Arc<$crate::Counter>> =
+            ::std::sync::OnceLock::new();
+        HANDLE.get_or_init(|| $crate::registry().counter($name))
+    }};
+}
+
+/// A cached handle to a named gauge.
+#[macro_export]
+macro_rules! gauge {
+    ($name:expr) => {{
+        static HANDLE: ::std::sync::OnceLock<::std::sync::Arc<$crate::Gauge>> =
+            ::std::sync::OnceLock::new();
+        HANDLE.get_or_init(|| $crate::registry().gauge($name))
+    }};
+}
+
+/// A cached handle to a named histogram; optional second argument sets
+/// non-default bucket bounds (e.g. `$crate::SIZE_BUCKETS`).
+#[macro_export]
+macro_rules! histogram {
+    ($name:expr) => {{
+        static HANDLE: ::std::sync::OnceLock<::std::sync::Arc<$crate::Histogram>> =
+            ::std::sync::OnceLock::new();
+        HANDLE.get_or_init(|| $crate::registry().histogram($name))
+    }};
+    ($name:expr, $bounds:expr) => {{
+        static HANDLE: ::std::sync::OnceLock<::std::sync::Arc<$crate::Histogram>> =
+            ::std::sync::OnceLock::new();
+        HANDLE.get_or_init(|| $crate::registry().histogram_with($name, $bounds))
+    }};
+}
+
+/// Times the enclosing scope into the named duration histogram:
+/// `let _span = span!("executor.run_batch");`
+#[macro_export]
+macro_rules! span {
+    ($name:expr) => {
+        $crate::SpanGuard::new(
+            $name,
+            if $crate::enabled() { Some(::std::sync::Arc::clone($crate::histogram!($name))) } else { None },
+        )
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Serialises tests that record metrics or toggle the global enabled
+    /// flag (the flag is process-wide, so these must not interleave).
+    static TEST_GUARD: Mutex<()> = Mutex::new(());
+
+    fn enabled_for_test() -> std::sync::MutexGuard<'static, ()> {
+        let guard = TEST_GUARD.lock().unwrap_or_else(|e| e.into_inner());
+        set_enabled(true);
+        guard
+    }
+
+    #[test]
+    fn histogram_bucket_boundaries_are_inclusive_upper() {
+        let _g = enabled_for_test();
+        let h = Histogram::new(&[10, 100, 1000]);
+        for v in [0, 10] {
+            h.record(v); // first bucket: <= 10
+        }
+        h.record(11); // second bucket
+        h.record(100); // second bucket (inclusive upper)
+        h.record(101); // third
+        h.record(1000); // third
+        h.record(1001); // overflow
+        let s = h.snapshot();
+        assert_eq!(s.counts, vec![2, 2, 2, 1]);
+        assert_eq!(s.count, 7);
+        assert_eq!(s.sum, 10 + 11 + 100 + 101 + 1000 + 1001);
+    }
+
+    #[test]
+    fn histogram_snapshot_merge_sums_buckets() {
+        let _g = enabled_for_test();
+        let a = Histogram::new(&[10, 100]);
+        let b = Histogram::new(&[10, 100]);
+        a.record(5);
+        a.record(50);
+        b.record(50);
+        b.record(500);
+        let mut m = a.snapshot();
+        m.merge(&b.snapshot());
+        assert_eq!(m.counts, vec![1, 2, 1]);
+        assert_eq!(m.count, 4);
+        assert_eq!(m.sum, 605);
+    }
+
+    #[test]
+    #[should_panic(expected = "different buckets")]
+    fn histogram_merge_rejects_mismatched_bounds() {
+        let a = Histogram::new(&[10]);
+        let b = Histogram::new(&[20]);
+        a.snapshot().merge(&b.snapshot());
+    }
+
+    #[test]
+    fn counter_concurrency_exact_total() {
+        let _g = enabled_for_test();
+        let c = Arc::new(Counter::new());
+        let threads = 8;
+        let per_thread = 10_000;
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                let c = Arc::clone(&c);
+                scope.spawn(move || {
+                    for _ in 0..per_thread {
+                        c.inc();
+                    }
+                });
+            }
+        });
+        assert_eq!(c.get(), threads * per_thread);
+    }
+
+    #[test]
+    fn snapshot_diff_and_json_roundtrip() {
+        let mut before = Snapshot::default();
+        before.counters.insert("a.b.c".into(), 5);
+        before.histograms.insert(
+            "a.dur".into(),
+            HistogramSnapshot { bounds: vec![10, 100], counts: vec![1, 0, 0], sum: 5, count: 1 },
+        );
+        let mut after = before.clone();
+        *after.counters.get_mut("a.b.c").unwrap() = 12;
+        after.counters.insert("fresh \"name\"".into(), 3);
+        after.gauges.insert("g".into(), -7);
+        {
+            let h = after.histograms.get_mut("a.dur").unwrap();
+            h.counts = vec![1, 2, 1];
+            h.sum = 1205;
+            h.count = 4;
+        }
+
+        let delta = after.diff(&before);
+        assert_eq!(delta.counter("a.b.c"), 7);
+        assert_eq!(delta.counter("fresh \"name\""), 3);
+        assert_eq!(delta.histograms["a.dur"].counts, vec![0, 2, 1]);
+        assert_eq!(delta.histograms["a.dur"].count, 3);
+
+        // JSON round-trip preserves the snapshot exactly.
+        let parsed = Snapshot::from_json(&after.to_json()).unwrap();
+        assert_eq!(parsed, after);
+
+        // And a diff computed from parsed snapshots matches the direct one.
+        let parsed_before = Snapshot::from_json(&before.to_json()).unwrap();
+        assert_eq!(parsed.diff(&parsed_before), delta);
+    }
+
+    #[test]
+    fn prometheus_export_is_cumulative() {
+        let mut s = Snapshot::default();
+        s.counters.insert("x.y".into(), 4);
+        s.histograms.insert(
+            "d.e".into(),
+            HistogramSnapshot { bounds: vec![10, 100], counts: vec![1, 2, 3], sum: 700, count: 6 },
+        );
+        let text = s.to_prometheus();
+        assert!(text.contains("# TYPE x_y counter\nx_y 4\n"));
+        assert!(text.contains("d_e_bucket{le=\"10\"} 1\n"));
+        assert!(text.contains("d_e_bucket{le=\"100\"} 3\n"));
+        assert!(text.contains("d_e_bucket{le=\"+Inf\"} 6\n"));
+        assert!(text.contains("d_e_sum 700\nd_e_count 6\n"));
+    }
+
+    #[test]
+    fn disabled_registry_is_a_no_op() {
+        let _g = enabled_for_test();
+        let c = Counter::new();
+        let h = Histogram::new(&[10]);
+        c.inc();
+        h.record(1);
+        set_enabled(false);
+        c.inc();
+        c.add(100);
+        h.record(1);
+        set_enabled(true);
+        assert_eq!(c.get(), 1);
+        assert_eq!(h.count(), 1);
+    }
+
+    #[test]
+    fn span_guard_records_into_histogram() {
+        let _g = enabled_for_test();
+        let h = registry().histogram("test.span.duration");
+        let before = h.count();
+        {
+            let _span = SpanGuard::new("test.span.duration", Some(Arc::clone(&h)));
+            std::hint::black_box(42);
+        }
+        assert_eq!(h.count(), before + 1);
+        assert!(h.sum() > 0);
+    }
+
+    #[test]
+    fn events_are_buffered_and_bounded() {
+        let _g = enabled_for_test();
+        let reg = registry();
+        reg.drain_events();
+        for i in 0..(EVENT_CAPACITY + 10) {
+            reg.emit("test.event", &[("i", &i.to_string())]);
+        }
+        let events = reg.drain_events();
+        assert!(!events.is_empty() && events.len() <= EVENT_CAPACITY);
+        assert_eq!(events.last().unwrap().fields[0].1, (EVENT_CAPACITY + 9).to_string());
+    }
+}

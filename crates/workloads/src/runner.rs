@@ -65,6 +65,16 @@ pub fn prepare_with(scenario: &Scenario, config: ChainConfig) -> Network {
     net
 }
 
+/// Writes the global telemetry snapshot as JSON — the `BENCH_metrics.json`
+/// artefact the bench harness leaves next to its text output.
+///
+/// # Errors
+///
+/// Propagates the underlying filesystem error.
+pub fn dump_metrics(path: &std::path::Path) -> std::io::Result<()> {
+    std::fs::write(path, telemetry::registry().snapshot().to_json())
+}
+
 /// Runs the measured phase: the scenario's load sustained over `epochs`
 /// epochs (paper: "workloads sustained over 10 epochs").
 pub fn run(scenario: &Scenario, num_shards: u32, use_cosplit: bool, epochs: usize) -> RunResult {

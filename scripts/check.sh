@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Full offline verification: build, test, lint. The workspace has no
+# registry dependencies (everything external lives in vendor/), so this
+# runs without network access.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export CARGO_NET_OFFLINE=true
+
+echo "== cargo build --release =="
+cargo build --release --workspace
+
+echo "== cargo test =="
+cargo test --workspace -q
+
+echo "== cargo clippy =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "All checks passed."

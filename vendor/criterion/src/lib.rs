@@ -1,0 +1,302 @@
+//! In-tree replacement for the subset of `criterion` this workspace uses.
+//!
+//! The build environment is offline (no crates.io registry), so the bench
+//! harness is vendored under the upstream package name. It keeps the
+//! upstream bench-file syntax (`criterion_group!`, `bench_with_input`,
+//! `iter_batched`, …) but implements a plain timing loop instead of
+//! criterion's statistical machinery: each benchmark runs `samples`
+//! samples of an adaptively chosen iteration count and reports the best
+//! and mean per-iteration time (plus throughput when declared).
+//!
+//! Environment knobs (satisfying the workspace's "smoke pass" CI mode):
+//! - `BENCH_SAMPLES`   — samples per benchmark (overrides `sample_size`)
+//! - `BENCH_ITERS`     — fixed iterations per sample (default: adaptive)
+//! - `BENCH_SAMPLE_MS` — target milliseconds per sample when adaptive (default 100)
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Reads a numeric environment variable, falling back to `default`.
+pub fn env_or(name: &str, default: u64) -> u64 {
+    std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+/// Units for throughput reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+/// How `iter_batched` amortises setup cost. The shim runs setup before
+/// every routine call regardless, so the variants only document intent.
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// A benchmark's display name, optionally parameterised.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(name: impl fmt::Display, parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId { id: format!("{name}/{parameter}") }
+    }
+
+    pub fn from_parameter(parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Hands the measured closure to the timing loop.
+pub struct Bencher {
+    samples: u64,
+    /// Per-iteration times of the best sample, filled by `iter`/`iter_batched`.
+    best: Duration,
+    mean: Duration,
+    iters_used: u64,
+}
+
+impl Bencher {
+    /// Times `f` in a loop.
+    pub fn iter<R>(&mut self, mut f: impl FnMut() -> R) {
+        let iters = self.calibrate(|| {
+            black_box(f());
+        });
+        let mut totals = Vec::with_capacity(self.samples as usize);
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            totals.push(start.elapsed());
+        }
+        self.record(&totals, iters);
+    }
+
+    /// Times `routine` on fresh inputs from `setup`; setup runs untimed.
+    pub fn iter_batched<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> O,
+        _size: BatchSize,
+    ) {
+        let iters = self.calibrate(|| {
+            let input = setup();
+            black_box(routine(input));
+        });
+        let mut totals = Vec::with_capacity(self.samples as usize);
+        for _ in 0..self.samples {
+            let mut total = Duration::ZERO;
+            for _ in 0..iters {
+                let input = setup();
+                let start = Instant::now();
+                black_box(routine(input));
+                total += start.elapsed();
+            }
+            totals.push(total);
+        }
+        self.record(&totals, iters);
+    }
+
+    /// One warmup pass; picks an iteration count aiming at
+    /// `BENCH_SAMPLE_MS` per sample (or the `BENCH_ITERS` override).
+    fn calibrate(&self, mut once: impl FnMut()) -> u64 {
+        let start = Instant::now();
+        once();
+        let t = start.elapsed().max(Duration::from_nanos(1));
+        if let Ok(v) = std::env::var("BENCH_ITERS") {
+            if let Ok(n) = v.parse::<u64>() {
+                return n.max(1);
+            }
+        }
+        let target = Duration::from_millis(env_or("BENCH_SAMPLE_MS", 100));
+        (target.as_nanos() / t.as_nanos()).clamp(1, 1_000_000) as u64
+    }
+
+    fn record(&mut self, totals: &[Duration], iters: u64) {
+        let best = totals.iter().min().copied().unwrap_or_default();
+        let sum: Duration = totals.iter().sum();
+        self.best = best / iters as u32;
+        self.mean = sum / (totals.len() as u32 * iters as u32).max(1);
+        self.iters_used = iters;
+    }
+}
+
+/// One group of related benchmarks sharing settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: u64,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n as u64;
+        self
+    }
+
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id);
+        let (samples, throughput) = (self.effective_samples(), self.throughput);
+        self.criterion.run_one(&full, samples, throughput, f);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id);
+        let (samples, throughput) = (self.effective_samples(), self.throughput);
+        self.criterion.run_one(&full, samples, throughput, |b| f(b, input));
+        self
+    }
+
+    pub fn finish(&mut self) {}
+
+    fn effective_samples(&self) -> u64 {
+        env_or("BENCH_SAMPLES", self.sample_size)
+    }
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    default_samples: u64,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion { default_samples: 10 }
+    }
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl fmt::Display) -> BenchmarkGroup<'_> {
+        let sample_size = self.default_samples;
+        BenchmarkGroup { criterion: self, name: name.to_string(), throughput: None, sample_size }
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let samples = env_or("BENCH_SAMPLES", self.default_samples);
+        self.run_one(&id.to_string(), samples, None, f);
+        self
+    }
+
+    fn run_one<F>(&mut self, name: &str, samples: u64, throughput: Option<Throughput>, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            samples: samples.max(1),
+            best: Duration::ZERO,
+            mean: Duration::ZERO,
+            iters_used: 0,
+        };
+        f(&mut b);
+        let mut line = format!(
+            "{name:<40} best {:>12?}  mean {:>12?}  ({} samples x {} iters)",
+            b.best, b.mean, samples, b.iters_used
+        );
+        if let Some(tp) = throughput {
+            let per_sec = |n: u64, d: Duration| {
+                if d.is_zero() { 0.0 } else { n as f64 / d.as_secs_f64() }
+            };
+            match tp {
+                Throughput::Elements(n) => {
+                    line.push_str(&format!("  {:.0} elem/s", per_sec(n, b.best)));
+                }
+                Throughput::Bytes(n) => {
+                    line.push_str(&format!("  {:.0} B/s", per_sec(n, b.best)));
+                }
+            }
+        }
+        println!("{line}");
+    }
+}
+
+/// Declares a function running the listed benchmarks in order.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // One combined test: the cases share BENCH_* env vars, which must not
+    // race across parallel test threads.
+    #[test]
+    fn timing_loop_runs_and_reports() {
+        std::env::set_var("BENCH_ITERS", "3");
+        std::env::set_var("BENCH_SAMPLES", "2");
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(2).throughput(Throughput::Elements(10));
+        let mut count = 0u64;
+        group.bench_with_input(BenchmarkId::from_parameter("x"), &5u64, |b, &x| {
+            b.iter(|| {
+                count += x;
+            })
+        });
+        group.finish();
+        // warmup (1) + samples (2) x iters (3)
+        assert_eq!(count, 5 * 7);
+
+        let mut setups = 0u64;
+        c.bench_function("batched", |b| {
+            b.iter_batched(
+                || {
+                    setups += 1;
+                    vec![1u8; 8]
+                },
+                |v| v.len(),
+                BatchSize::LargeInput,
+            )
+        });
+        // warmup (1) + samples (2) x iters (3)
+        assert_eq!(setups, 7, "setup ran {setups} times");
+        std::env::remove_var("BENCH_ITERS");
+        std::env::remove_var("BENCH_SAMPLES");
+    }
+}

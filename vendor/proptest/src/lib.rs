@@ -1,0 +1,738 @@
+//! In-tree replacement for the subset of `proptest` this workspace uses.
+//!
+//! The build environment is offline (no crates.io registry), so the
+//! property-test harness is vendored under the upstream package name and the
+//! test files keep their upstream syntax (`proptest!`, `prop_oneof!`,
+//! `prop::collection::vec`, regex-lite string strategies, …).
+//!
+//! Differences from real proptest, deliberate for size:
+//! - **no shrinking** — a failing case reports its seed and message only;
+//! - generation is deterministic per test (seeded from the test's path), so
+//!   failures reproduce across runs;
+//! - regex string strategies support the character-class subset used here
+//!   (`[a-d]`, `[ -~]{0,12}`, `\PC{0,200}`, …), not full regex syntax.
+//!
+//! `PROPTEST_CASES` overrides every test's case count (smoke runs in CI).
+
+pub mod test_runner {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Per-test configuration (`#![proptest_config(...)]`).
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of passing cases required.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        pub fn with_cases(cases: u32) -> ProptestConfig {
+            ProptestConfig { cases }
+        }
+
+        /// The effective case count: `PROPTEST_CASES` env override, else the
+        /// configured value.
+        pub fn effective_cases(&self) -> u32 {
+            match std::env::var("PROPTEST_CASES") {
+                Ok(v) => v.parse().unwrap_or(self.cases),
+                Err(_) => self.cases,
+            }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> ProptestConfig {
+            ProptestConfig { cases: 256 }
+        }
+    }
+
+    /// Why a single generated case did not pass.
+    #[derive(Debug, Clone)]
+    pub enum TestCaseError {
+        /// `prop_assume!` failed: the input is outside the property's domain.
+        Reject(String),
+        /// `prop_assert!`/`prop_assert_eq!` failed: the property is violated.
+        Fail(String),
+    }
+
+    /// The deterministic generator handed to strategies.
+    pub struct TestRng {
+        pub(crate) rng: StdRng,
+    }
+
+    impl TestRng {
+        /// Seeds the generator from a test's fully qualified name (FNV-1a),
+        /// so every test has its own reproducible stream.
+        pub fn deterministic(test_path: &str) -> TestRng {
+            let mut h: u64 = 0xcbf29ce484222325;
+            for b in test_path.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x100000001b3);
+            }
+            TestRng { rng: StdRng::seed_from_u64(h) }
+        }
+    }
+}
+
+pub mod strategy {
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+    use std::rc::Rc;
+
+    /// A recipe for generating values of `Self::Value`.
+    pub trait Strategy {
+        type Value;
+
+        /// Draws one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Transforms generated values.
+        fn prop_map<T, F>(self, f: F) -> MapStrategy<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> T,
+        {
+            MapStrategy { source: self, f }
+        }
+
+        /// Keeps only values satisfying `pred`; `reason` names the filter in
+        /// the (unlikely) starvation panic.
+        fn prop_filter<R, P>(self, reason: R, pred: P) -> FilterStrategy<Self, P>
+        where
+            Self: Sized,
+            R: Into<String>,
+            P: Fn(&Self::Value) -> bool,
+        {
+            FilterStrategy { source: self, reason: reason.into(), pred }
+        }
+
+        /// Builds recursive structures: `recurse` receives a strategy for the
+        /// substructure and returns the composite strategy. `depth` bounds
+        /// nesting; the size-tuning parameters of upstream are accepted and
+        /// ignored.
+        fn prop_recursive<R, F>(
+            self,
+            depth: u32,
+            _desired_size: u32,
+            _expected_branch_size: u32,
+            recurse: F,
+        ) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+            Self::Value: 'static,
+            R: Strategy<Value = Self::Value> + 'static,
+            F: Fn(BoxedStrategy<Self::Value>) -> R,
+        {
+            let leaf = self.boxed();
+            let mut strat = leaf.clone();
+            for _ in 0..depth {
+                strat = Union::new(vec![leaf.clone(), recurse(strat).boxed()]).boxed();
+            }
+            strat
+        }
+
+        /// Type-erases the strategy (cheaply clonable).
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy(Rc::new(self))
+        }
+    }
+
+    /// A type-erased, clonable strategy.
+    pub struct BoxedStrategy<T>(Rc<dyn Strategy<Value = T>>);
+
+    impl<T> Clone for BoxedStrategy<T> {
+        fn clone(&self) -> Self {
+            BoxedStrategy(Rc::clone(&self.0))
+        }
+    }
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            self.0.generate(rng)
+        }
+    }
+
+    /// Always yields a clone of one value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Uniform choice between alternatives (`prop_oneof!`).
+    pub struct Union<T> {
+        arms: Vec<BoxedStrategy<T>>,
+    }
+
+    impl<T> Union<T> {
+        pub fn new(arms: Vec<BoxedStrategy<T>>) -> Union<T> {
+            assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+            Union { arms }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let i = rng.rng.gen_range(0..self.arms.len());
+            self.arms[i].generate(rng)
+        }
+    }
+
+    pub struct MapStrategy<S, F> {
+        source: S,
+        f: F,
+    }
+
+    impl<S, T, F> Strategy for MapStrategy<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> T,
+    {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            (self.f)(self.source.generate(rng))
+        }
+    }
+
+    pub struct FilterStrategy<S, P> {
+        source: S,
+        reason: String,
+        pred: P,
+    }
+
+    impl<S, P> Strategy for FilterStrategy<S, P>
+    where
+        S: Strategy,
+        P: Fn(&S::Value) -> bool,
+    {
+        type Value = S::Value;
+
+        fn generate(&self, rng: &mut TestRng) -> S::Value {
+            for _ in 0..10_000 {
+                let v = self.source.generate(rng);
+                if (self.pred)(&v) {
+                    return v;
+                }
+            }
+            panic!("prop_filter '{}' rejected 10000 consecutive values", self.reason)
+        }
+    }
+
+    /// Integer ranges are strategies over their element type.
+    impl<T> Strategy for std::ops::Range<T>
+    where
+        T: Copy,
+        std::ops::Range<T>: rand::SampleRange<T>,
+    {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            rng.rng.gen_range(self.clone())
+        }
+    }
+
+    impl<T> Strategy for std::ops::RangeInclusive<T>
+    where
+        T: Copy,
+        std::ops::RangeInclusive<T>: rand::SampleRange<T>,
+    {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            rng.rng.gen_range(self.clone())
+        }
+    }
+
+    macro_rules! tuple_strategy {
+        ($($s:ident / $idx:tt),+) => {
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        };
+    }
+
+    tuple_strategy!(A / 0);
+    tuple_strategy!(A / 0, B / 1);
+    tuple_strategy!(A / 0, B / 1, C / 2);
+    tuple_strategy!(A / 0, B / 1, C / 2, D / 3);
+    tuple_strategy!(A / 0, B / 1, C / 2, D / 3, E / 4);
+
+    /// String literals are regex-lite string strategies.
+    impl Strategy for &'static str {
+        type Value = String;
+
+        fn generate(&self, rng: &mut TestRng) -> String {
+            crate::string::generate_from_pattern(self, rng)
+        }
+    }
+}
+
+pub mod arbitrary {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+    use std::marker::PhantomData;
+
+    /// Types with a canonical "any value" strategy.
+    pub trait Arbitrary: Sized {
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! arbitrary_via_standard {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    rng.rng.gen()
+                }
+            }
+        )*};
+    }
+
+    arbitrary_via_standard!(
+        bool, u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize, f64
+    );
+
+    pub struct AnyStrategy<A>(PhantomData<A>);
+
+    impl<A: Arbitrary> Strategy for AnyStrategy<A> {
+        type Value = A;
+
+        fn generate(&self, rng: &mut TestRng) -> A {
+            A::arbitrary(rng)
+        }
+    }
+
+    /// `any::<T>()` — the canonical uniform strategy for `T`.
+    pub fn any<A: Arbitrary>() -> AnyStrategy<A> {
+        AnyStrategy(PhantomData)
+    }
+}
+
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+    use std::collections::BTreeMap;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Collection size bounds (inclusive).
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        min: usize,
+        max: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> SizeRange {
+            SizeRange { min: n, max: n }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> SizeRange {
+            assert!(r.start < r.end, "empty collection size range");
+            SizeRange { min: r.start, max: r.end - 1 }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> SizeRange {
+            SizeRange { min: *r.start(), max: *r.end() }
+        }
+    }
+
+    impl SizeRange {
+        fn pick(&self, rng: &mut TestRng) -> usize {
+            rng.rng.gen_range(self.min..=self.max)
+        }
+    }
+
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// `prop::collection::vec(element, sizes)`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = self.size.pick(rng);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    pub struct BTreeMapStrategy<K, V> {
+        keys: K,
+        values: V,
+        size: SizeRange,
+    }
+
+    /// `prop::collection::btree_map(keys, values, sizes)`.
+    pub fn btree_map<K, V>(keys: K, values: V, size: impl Into<SizeRange>) -> BTreeMapStrategy<K, V>
+    where
+        K: Strategy,
+        K::Value: Ord,
+        V: Strategy,
+    {
+        BTreeMapStrategy { keys, values, size: size.into() }
+    }
+
+    impl<K, V> Strategy for BTreeMapStrategy<K, V>
+    where
+        K: Strategy,
+        K::Value: Ord,
+        V: Strategy,
+    {
+        type Value = BTreeMap<K::Value, V::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> BTreeMap<K::Value, V::Value> {
+            let target = self.size.pick(rng);
+            let mut map = BTreeMap::new();
+            // Key collisions shrink the map; retry a bounded number of times
+            // to approach the target size.
+            for _ in 0..target.saturating_mul(8).max(8) {
+                if map.len() >= target {
+                    break;
+                }
+                map.insert(self.keys.generate(rng), self.values.generate(rng));
+            }
+            map
+        }
+    }
+}
+
+pub(crate) mod string {
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+
+    enum CharSet {
+        /// Inclusive char ranges, e.g. `[a-d0-9_]`.
+        Ranges(Vec<(char, char)>),
+        /// `\PC`: any printable (non-control) character.
+        Printable,
+    }
+
+    struct Atom {
+        set: CharSet,
+        min: usize,
+        max: usize,
+    }
+
+    fn parse(pattern: &str) -> Vec<Atom> {
+        let chars: Vec<char> = pattern.chars().collect();
+        let mut atoms = Vec::new();
+        let mut i = 0;
+        while i < chars.len() {
+            let set = match chars[i] {
+                '[' => {
+                    let mut ranges = Vec::new();
+                    i += 1;
+                    while i < chars.len() && chars[i] != ']' {
+                        let lo = chars[i];
+                        if i + 2 < chars.len() && chars[i + 1] == '-' && chars[i + 2] != ']' {
+                            ranges.push((lo, chars[i + 2]));
+                            i += 3;
+                        } else {
+                            ranges.push((lo, lo));
+                            i += 1;
+                        }
+                    }
+                    assert!(i < chars.len(), "unterminated character class in '{pattern}'");
+                    i += 1; // past ']'
+                    CharSet::Ranges(ranges)
+                }
+                '\\' => {
+                    assert!(
+                        chars.get(i + 1) == Some(&'P') && chars.get(i + 2) == Some(&'C'),
+                        "unsupported escape in pattern '{pattern}'"
+                    );
+                    i += 3;
+                    CharSet::Printable
+                }
+                c => {
+                    i += 1;
+                    CharSet::Ranges(vec![(c, c)])
+                }
+            };
+            let (min, max) = if chars.get(i) == Some(&'{') {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == '}')
+                    .unwrap_or_else(|| panic!("unterminated quantifier in '{pattern}'"))
+                    + i;
+                let body: String = chars[i + 1..close].iter().collect();
+                i = close + 1;
+                match body.split_once(',') {
+                    Some((a, b)) => (a.parse().unwrap(), b.parse().unwrap()),
+                    None => {
+                        let n = body.parse().unwrap();
+                        (n, n)
+                    }
+                }
+            } else {
+                (1, 1)
+            };
+            atoms.push(Atom { set, min, max });
+        }
+        atoms
+    }
+
+    fn sample_char(set: &CharSet, rng: &mut TestRng) -> char {
+        match set {
+            CharSet::Ranges(ranges) => {
+                let total: u32 = ranges.iter().map(|(lo, hi)| *hi as u32 - *lo as u32 + 1).sum();
+                let mut pick = rng.rng.gen_range(0..total);
+                for (lo, hi) in ranges {
+                    let span = *hi as u32 - *lo as u32 + 1;
+                    if pick < span {
+                        return char::from_u32(*lo as u32 + pick)
+                            .expect("character class range is valid");
+                    }
+                    pick -= span;
+                }
+                unreachable!("sample_char pick out of range")
+            }
+            CharSet::Printable => {
+                // Mostly ASCII printable, with occasional multi-byte
+                // characters to exercise UTF-8 handling.
+                if rng.rng.gen_bool(0.9) {
+                    char::from_u32(rng.rng.gen_range(0x20u32..0x7F)).expect("ascii printable")
+                } else {
+                    const EXOTIC: &[char] = &['é', 'λ', '→', '中', '¿', 'Ω', '𝕏', '🦀'];
+                    EXOTIC[rng.rng.gen_range(0..EXOTIC.len())]
+                }
+            }
+        }
+    }
+
+    pub fn generate_from_pattern(pattern: &str, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        for atom in parse(pattern) {
+            let n = rng.rng.gen_range(atom.min..=atom.max);
+            for _ in 0..n {
+                out.push(sample_char(&atom.set, rng));
+            }
+        }
+        out
+    }
+}
+
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, prop_oneof, proptest};
+
+    /// The `prop::` namespace (`prop::collection::vec`, …).
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+/// Defines property tests: each `fn name(arg in strategy, …) { body }`
+/// becomes a `#[test]` that draws inputs until the configured number of
+/// cases passes.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ( ($cfg:expr)
+      $(
+        $(#[$meta:meta])*
+        fn $name:ident( $($arg:ident in $strat:expr),* $(,)? ) $body:block
+      )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config = $cfg;
+                let __cases = __config.effective_cases();
+                let __path = concat!(module_path!(), "::", stringify!($name));
+                let mut __rng = $crate::test_runner::TestRng::deterministic(__path);
+                // Build each strategy once; inside the loop the same names are
+                // shadowed by the values drawn from them.
+                $(let $arg = &($strat);)*
+                let mut __passed: u32 = 0;
+                let mut __rejected: u64 = 0;
+                while __passed < __cases {
+                    $(let $arg = $crate::strategy::Strategy::generate($arg, &mut __rng);)*
+                    let __outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (move || {
+                            $body
+                            ::std::result::Result::Ok(())
+                        })();
+                    match __outcome {
+                        ::std::result::Result::Ok(()) => __passed += 1,
+                        ::std::result::Result::Err(
+                            $crate::test_runner::TestCaseError::Reject(__r),
+                        ) => {
+                            __rejected += 1;
+                            if __rejected > (__cases as u64).saturating_mul(1024) {
+                                panic!(
+                                    "{}: too many rejected inputs ({}): {}",
+                                    __path, __rejected, __r
+                                );
+                            }
+                        }
+                        ::std::result::Result::Err(
+                            $crate::test_runner::TestCaseError::Fail(__msg),
+                        ) => {
+                            panic!("{}: case {} failed: {}", __path, __passed, __msg);
+                        }
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Uniform choice among strategies yielding the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($arm)),+
+        ])
+    };
+}
+
+/// Skips the current case when `cond` is false (input outside the domain).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject(
+                concat!("assumption failed: ", stringify!($cond)).to_string(),
+            ));
+        }
+    };
+}
+
+/// Fails the current case when `cond` is false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Fails the current case when the two values differ.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(*__l == *__r) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(format!(
+                "assertion failed: {} == {}\n  left: `{:?}`\n right: `{:?}`",
+                stringify!($left),
+                stringify!($right),
+                __l,
+                __r
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(*__l == *__r) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(format!(
+                "{}\n  left: `{:?}`\n right: `{:?}`",
+                format!($($fmt)+),
+                __l,
+                __r
+            )));
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn string_patterns_respect_class_and_length() {
+        let mut rng = crate::test_runner::TestRng::deterministic("t1");
+        for _ in 0..500 {
+            let s = Strategy::generate(&"[a-d][a-d0-9_]{0,4}", &mut rng);
+            assert!((1..=5).contains(&s.chars().count()), "bad length: {s:?}");
+            let mut cs = s.chars();
+            assert!(matches!(cs.next().unwrap(), 'a'..='d'));
+            assert!(cs.all(|c| matches!(c, 'a'..='d' | '0'..='9' | '_')));
+        }
+        for _ in 0..200 {
+            let s = Strategy::generate(&"\\PC{0,200}", &mut rng);
+            assert!(s.chars().count() <= 200);
+            assert!(s.chars().all(|c| !c.is_control()));
+        }
+    }
+
+    #[test]
+    fn recursion_depth_is_bounded() {
+        #[derive(Clone, Debug)]
+        enum Tree {
+            Leaf(u8),
+            Node(Vec<Tree>),
+        }
+        fn depth(t: &Tree) -> usize {
+            match t {
+                Tree::Leaf(n) => usize::from(*n < 10),
+                Tree::Node(kids) => 1 + kids.iter().map(depth).max().unwrap_or(0),
+            }
+        }
+        let strat = (0u8..10).prop_map(Tree::Leaf).prop_recursive(3, 16, 2, |inner| {
+            crate::collection::vec(inner, 1..3).prop_map(Tree::Node)
+        });
+        let mut rng = crate::test_runner::TestRng::deterministic("t2");
+        for _ in 0..300 {
+            assert!(depth(&Strategy::generate(&strat, &mut rng)) <= 4);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn the_harness_itself_runs(a in 0u32..10, b in 0u32..10) {
+            prop_assume!(a != 9);
+            prop_assert!(a + b < 19, "a={} b={}", a, b);
+            prop_assert_eq!(a + b, b + a);
+        }
+    }
+}
