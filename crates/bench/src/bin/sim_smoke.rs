@@ -1,0 +1,95 @@
+//! Deterministic-simulation smoke test for CI (`scripts/check.sh`).
+//!
+//! Runs a fixed-seed workload through the differential oracle under several
+//! generated fault plans and fails loudly (non-zero exit) on any divergence
+//! between the faulted sharded run and the sequential reference, or on any
+//! same-seed nondeterminism. On divergence it dumps a replayable repro
+//! artifact next to the working directory.
+//!
+//! Usage: `sim_smoke [seed]` (default seed 2026).
+
+use chain::network::ChainConfig;
+use chain::sim::{differential, FaultPlan, ReproArtifact, SimConfig};
+use workloads::runner::world_builder;
+use workloads::scenarios::{build, Kind};
+use workloads::seeds;
+
+fn main() {
+    let seed: u64 = std::env::args()
+        .nth(1)
+        .map(|s| s.parse().expect("seed must be a u64"))
+        .unwrap_or(2026);
+    println!("sim-smoke: master seed {seed}");
+
+    let sharded_cfg = ChainConfig::small(4, true);
+    let reference_cfg = chain::sim::reference_config(&sharded_cfg);
+    let scenarios = [
+        build(Kind::FtTransfer, 40, 600, seeds::derive(seed, "smoke-ft")),
+        build(Kind::CfDonate, 40, 600, seeds::derive(seed, "smoke-cf")),
+    ];
+
+    let mut failures = 0u32;
+    for scenario in &scenarios {
+        let builder = world_builder(scenario);
+        // Four distinct plans, each seeded from its own named stream, plus
+        // the fault-free plan as a control.
+        let mut plans = vec![FaultPlan::none()];
+        for i in 0..4u64 {
+            plans.push(FaultPlan::generate(
+                seeds::derive(seed, &format!("smoke-plan-{i}")),
+                8,
+                sharded_cfg.num_shards,
+                0.35,
+            ));
+        }
+
+        for (i, plan) in plans.iter().enumerate() {
+            let cfg = SimConfig::new(seed);
+            let diff =
+                differential(&builder, &scenario.load, &sharded_cfg, &reference_cfg, &cfg, plan);
+            let rerun =
+                differential(&builder, &scenario.load, &sharded_cfg, &reference_cfg, &cfg, plan);
+            let label = scenario.kind.label();
+
+            if diff.sharded.digest != rerun.sharded.digest {
+                eprintln!(
+                    "FAIL {label} plan {i}: same seed, different digests \
+                     ({:#x} vs {:#x})",
+                    diff.sharded.digest, rerun.sharded.digest
+                );
+                failures += 1;
+            }
+            if diff.is_clean() {
+                println!(
+                    "  ok {label} plan {i}: {} faults injected, {} committed, digest {:#018x}",
+                    plan.events.len(),
+                    diff.sharded.committed(),
+                    diff.sharded.digest
+                );
+            } else {
+                let artifact = ReproArtifact::from_diff(
+                    &diff,
+                    &cfg,
+                    sharded_cfg.num_shards,
+                    plan,
+                    scenario.load.clone(),
+                );
+                let path = format!("sim_smoke_repro_{label}_{i}.json");
+                match artifact.write(std::path::Path::new(&path)) {
+                    Ok(()) => eprintln!("FAIL {label} plan {i}: repro written to {path}"),
+                    Err(e) => eprintln!("FAIL {label} plan {i}: could not write repro: {e}"),
+                }
+                for d in &diff.divergences {
+                    eprintln!("  divergence: {d}");
+                }
+                failures += 1;
+            }
+        }
+    }
+
+    if failures > 0 {
+        eprintln!("sim-smoke: {failures} failure(s)");
+        std::process::exit(1);
+    }
+    println!("sim-smoke: all plans clean");
+}

@@ -62,6 +62,18 @@ impl NonceState {
     pub fn high(&self) -> u64 {
         self.committed_above.iter().next_back().copied().unwrap_or(self.watermark)
     }
+
+    /// The contiguous-prefix watermark: every nonce `≤ watermark` is
+    /// committed. Exposed for state digests and field-by-field comparison.
+    pub fn watermark(&self) -> u64 {
+        self.watermark
+    }
+
+    /// Committed nonces above the watermark, in increasing order. Together
+    /// with [`NonceState::watermark`] this is the full observable state.
+    pub fn committed_above(&self) -> impl Iterator<Item = u64> + '_ {
+        self.committed_above.iter().copied()
+    }
 }
 
 /// The protocol-level state of one account.

@@ -31,6 +31,23 @@ impl Address {
     pub fn to_value(self) -> scilla::value::Value {
         scilla::value::Value::address(self.0)
     }
+
+    /// Parses the `0x`-prefixed hex form produced by `Display`.
+    ///
+    /// # Errors
+    ///
+    /// Describes the first malformed character or a wrong length.
+    pub fn from_hex(s: &str) -> Result<Address, String> {
+        let hex = s.strip_prefix("0x").ok_or("address must start with 0x")?;
+        if hex.len() != 40 {
+            return Err(format!("bad address length in {s}"));
+        }
+        let mut bytes = [0u8; 20];
+        for (i, b) in bytes.iter_mut().enumerate() {
+            *b = u8::from_str_radix(&hex[2 * i..2 * i + 2], 16).map_err(|e| e.to_string())?;
+        }
+        Ok(Address(bytes))
+    }
 }
 
 impl fmt::Display for Address {

@@ -126,6 +126,11 @@ impl StateDelta {
                 out.nonces.entry(addr).or_default().extend(ns);
             }
         }
+        // Canonical multiset representation: merging is commutative and
+        // associative only if the committed-nonce list is order-free.
+        for ns in out.nonces.values_mut() {
+            ns.sort_unstable();
+        }
         Ok(out)
     }
 
@@ -229,17 +234,7 @@ impl StateDelta {
     pub fn from_wire(wire: &str) -> Result<StateDelta, String> {
         let root: serde_json::Value = serde_json::from_str(wire).map_err(|e| e.to_string())?;
         let mut out = StateDelta::new();
-        let parse_addr = |s: &str| -> Result<Address, String> {
-            let hex = s.strip_prefix("0x").ok_or("address must start with 0x")?;
-            if hex.len() != 40 {
-                return Err(format!("bad address length in {s}"));
-            }
-            let mut bytes = [0u8; 20];
-            for (i, b) in bytes.iter_mut().enumerate() {
-                *b = u8::from_str_radix(&hex[2 * i..2 * i + 2], 16).map_err(|e| e.to_string())?;
-            }
-            Ok(Address(bytes))
-        };
+        let parse_addr = Address::from_hex;
         let parse_keys = |j: &serde_json::Value| -> Result<Vec<Value>, String> {
             j.as_array()
                 .ok_or("keys must be an array")?

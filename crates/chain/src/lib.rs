@@ -37,5 +37,6 @@ pub mod dispatch;
 pub mod error;
 pub mod executor;
 pub mod network;
+pub mod sim;
 pub mod state;
 pub mod tx;

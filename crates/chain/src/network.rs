@@ -4,7 +4,7 @@
 use crate::address::Address;
 use crate::delta::StateDelta;
 use crate::dispatch::{dispatch_policy, Assignment, DispatchPolicy};
-use crate::error::DeployError;
+use crate::error::{DeployError, MergeError};
 use crate::executor::{execute_batch, ExecutorConfig, MicroBlock, Receipt, TxStatus};
 use crate::state::{DeployedContract, GlobalState};
 use crate::tx::Transaction;
@@ -111,6 +111,21 @@ pub struct EpochReport {
     pub receipts: Vec<Receipt>,
 }
 
+/// Per-committee packets formed by the lookup nodes for one epoch
+/// (paper Fig. 10: lookups "group several transactions together in a
+/// packet"). Produced by [`Network::form_packets`]; the simulation harness
+/// ([`crate::sim`]) injects packet-level faults between this stage and
+/// execution.
+#[derive(Debug, Clone, Default)]
+pub struct EpochPackets {
+    /// One packet per transaction shard.
+    pub shard_batches: Vec<Vec<Transaction>>,
+    /// The DS committee's packet.
+    pub ds_batch: Vec<Transaction>,
+    /// Dispatch decisions by reason, for the epoch report.
+    pub dispatch_reasons: BTreeMap<String, usize>,
+}
+
 /// The whole simulated network.
 #[derive(Debug)]
 pub struct Network {
@@ -209,17 +224,52 @@ impl Network {
         Ok(timings)
     }
 
-    /// Runs one epoch over the pending pool: dispatch → parallel shard
-    /// execution → delta merge → DS committee execution. Deferred
-    /// transactions are returned to the pool.
-    pub fn run_epoch(&mut self, pool: &mut Vec<Transaction>) -> EpochReport {
-        let _epoch_span = telemetry::span!("chain.network.epoch_duration");
-        let mut report = EpochReport { sim_seconds: self.config.epoch_duration_secs, ..Default::default() };
+    /// Deploys a contract with an *arbitrary, unvalidated* sharding
+    /// signature, bypassing the §4.3 miner-side re-derivation check.
+    ///
+    /// This exists solely so the simulation harness and tests can model a
+    /// byzantine deployment (a signature the analysis would reject) and
+    /// demonstrate that the differential oracle catches the resulting
+    /// divergence. Production deployment paths must use [`Network::deploy`].
+    ///
+    /// # Errors
+    ///
+    /// Parse, type-check, or field-initialisation failures still reject the
+    /// deployment; only signature validation is skipped.
+    pub fn deploy_with_signature(
+        &mut self,
+        addr: Address,
+        source: &str,
+        params: Vec<(String, Value)>,
+        signature: Option<ShardingSignature>,
+    ) -> Result<(), DeployError> {
+        if self.state.contracts.contains_key(&addr) {
+            return Err(DeployError::AddressTaken);
+        }
+        let module = scilla::parser::parse_module(source)?;
+        let checked = scilla::typechecker::typecheck(module)?;
+        let compiled = CompiledContract::compile(checked)?;
+        let fields = compiled.init_fields(&params)?;
+        self.state.storage.insert(addr, InMemoryState::from_fields(fields));
+        self.state
+            .accounts
+            .entry(addr)
+            .or_insert_with(crate::account::Account::contract)
+            .is_contract = true;
+        self.state
+            .contracts
+            .insert(addr, Arc::new(DeployedContract { address: addr, compiled, params, signature }));
+        Ok(())
+    }
 
-        // --- Lookup nodes: form per-committee packets.
-        let mut shard_batches: Vec<Vec<Transaction>> =
-            (0..self.config.num_shards).map(|_| Vec::new()).collect();
-        let mut ds_batch: Vec<Transaction> = Vec::new();
+    /// Lookup-node stage: drains the pool into per-committee packets.
+    /// Transactions that do not fit their packet (`max_packet_txs`) are
+    /// pushed back into the pool for a later epoch.
+    pub fn form_packets(&self, pool: &mut Vec<Transaction>) -> EpochPackets {
+        let mut packets = EpochPackets {
+            shard_batches: (0..self.config.num_shards).map(|_| Vec::new()).collect(),
+            ..Default::default()
+        };
         let mut held_back: Vec<Transaction> = Vec::new();
         let policy = DispatchPolicy {
             num_shards: self.config.num_shards,
@@ -231,8 +281,8 @@ impl Network {
             for tx in pool.drain(..) {
                 let decision = dispatch_policy(&tx, &self.state, &policy);
                 let packet = match decision.assignment {
-                    Assignment::Shard(s) => &mut shard_batches[s as usize],
-                    Assignment::Ds => &mut ds_batch,
+                    Assignment::Shard(s) => &mut packets.shard_batches[s as usize],
+                    Assignment::Ds => &mut packets.ds_batch,
                 };
                 if packet.len() >= self.config.max_packet_txs {
                     // The packet is full; the transaction waits for a later
@@ -240,81 +290,137 @@ impl Network {
                     held_back.push(tx);
                     continue;
                 }
-                *report.dispatch_reasons.entry(decision.reason.name().to_string()).or_insert(0) += 1;
+                *packets.dispatch_reasons.entry(decision.reason.name().to_string()).or_insert(0) +=
+                    1;
                 packet.push(tx);
             }
         }
         telemetry::counter!("chain.network.held_back").add(held_back.len() as u64);
         pool.extend(held_back);
+        packets
+    }
+
+    /// The executor configuration one transaction shard runs with this
+    /// epoch.
+    pub fn shard_executor_config(&self, shard: u32) -> ExecutorConfig {
+        ExecutorConfig {
+            role: Assignment::Shard(shard),
+            num_shards: self.config.num_shards,
+            gas_limit: self.config.shard_gas_limit,
+            block_number: self.block_number,
+            use_cosplit: self.config.use_cosplit,
+            overflow_guard: self.config.overflow_guard,
+            allow_contract_msgs: false,
+        }
+    }
+
+    /// The executor configuration the DS committee runs with this epoch.
+    pub fn ds_executor_config(&self) -> ExecutorConfig {
+        ExecutorConfig {
+            role: Assignment::Ds,
+            num_shards: self.config.num_shards,
+            gas_limit: self.config.ds_gas_limit,
+            block_number: self.block_number,
+            use_cosplit: self.config.use_cosplit,
+            overflow_guard: false,
+            allow_contract_msgs: true,
+        }
+    }
+
+    /// Shard stage: executes the per-shard packets in parallel on the
+    /// epoch-start snapshot, one OS thread per shard.
+    pub fn execute_shards(&self, shard_batches: Vec<Vec<Transaction>>) -> Vec<MicroBlock> {
+        let snapshot = &self.state;
+        let _span = telemetry::span!("chain.network.phase.shard_exec");
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = shard_batches
+                .into_iter()
+                .enumerate()
+                .map(|(s, batch)| {
+                    let cfg = self.shard_executor_config(s as u32);
+                    scope.spawn(move || execute_batch(&cfg, snapshot, batch))
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("shard thread")).collect()
+        })
+    }
+
+    /// DS merge stage: combines the shards' state deltas and applies the
+    /// result to the replicated state. Returns the number of merged state
+    /// components.
+    ///
+    /// # Errors
+    ///
+    /// [`MergeError`] when two deltas overwrite the same component or an
+    /// integer component leaves its range — impossible under correct
+    /// ownership dispatch, and surfaced (rather than panicking) so the
+    /// simulation harness can report byzantine signatures as divergences.
+    pub fn merge_shard_deltas(&mut self, microblocks: &[MicroBlock]) -> Result<usize, MergeError> {
+        let _span = telemetry::span!("chain.network.phase.merge");
+        let deltas: Vec<StateDelta> = microblocks.iter().map(|mb| mb.delta.clone()).collect();
+        let merged = StateDelta::merge(deltas).inspect_err(|_| {
+            telemetry::counter!("chain.network.merge_conflicts").inc();
+        })?;
+        let components = merged.changed_components();
+        telemetry::histogram!("chain.network.merged_components", telemetry::SIZE_BUCKETS)
+            .record(components as u64);
+        merged.apply(&mut self.state)?;
+        Ok(components)
+    }
+
+    /// DS execution stage: processes the DS packet (leftovers plus shard
+    /// reroutes) sequentially on the merged state and applies its delta.
+    ///
+    /// # Errors
+    ///
+    /// [`MergeError::DeltaOutOfRange`] if the DS delta cannot be applied.
+    pub fn execute_ds(&mut self, ds_batch: Vec<Transaction>) -> Result<MicroBlock, MergeError> {
+        let ds_cfg = self.ds_executor_config();
+        let _span = telemetry::span!("chain.network.phase.ds_exec");
+        let block = execute_batch(&ds_cfg, &self.state, ds_batch);
+        block.delta.apply(&mut self.state)?;
+        Ok(block)
+    }
+
+    /// Finishes an epoch: bumps the block number and the epoch counter.
+    pub fn advance_block(&mut self) {
+        telemetry::counter!("chain.network.epochs").inc();
+        self.block_number += 1;
+    }
+
+    /// Runs one epoch over the pending pool: dispatch → parallel shard
+    /// execution → delta merge → DS committee execution. Deferred
+    /// transactions are returned to the pool.
+    ///
+    /// Composed from the staged API ([`Network::form_packets`],
+    /// [`Network::execute_shards`], [`Network::merge_shard_deltas`],
+    /// [`Network::execute_ds`]); the simulation harness ([`crate::sim`])
+    /// drives the same stages with fault injection in between.
+    pub fn run_epoch(&mut self, pool: &mut Vec<Transaction>) -> EpochReport {
+        let _epoch_span = telemetry::span!("chain.network.epoch_duration");
+        let mut report =
+            EpochReport { sim_seconds: self.config.epoch_duration_secs, ..Default::default() };
+
+        // --- Lookup nodes: form per-committee packets.
+        let EpochPackets { shard_batches, mut ds_batch, dispatch_reasons } =
+            self.form_packets(pool);
+        report.dispatch_reasons = dispatch_reasons;
 
         // --- Shards execute their packets in parallel on the epoch-start
         // snapshot.
-        let snapshot = &self.state;
-        let config = &self.config;
-        let block_number = self.block_number;
-        let microblocks: Vec<MicroBlock> = {
-            let _span = telemetry::span!("chain.network.phase.shard_exec");
-            std::thread::scope(|scope| {
-                let handles: Vec<_> = shard_batches
-                    .into_iter()
-                    .enumerate()
-                    .map(|(s, batch)| {
-                        scope.spawn(move || {
-                            let cfg = ExecutorConfig {
-                                role: Assignment::Shard(s as u32),
-                                num_shards: config.num_shards,
-                                gas_limit: config.shard_gas_limit,
-                                block_number,
-                                use_cosplit: config.use_cosplit,
-                                overflow_guard: config.overflow_guard,
-                                allow_contract_msgs: false,
-                            };
-                            execute_batch(&cfg, snapshot, batch)
-                        })
-                    })
-                    .collect();
-                handles.into_iter().map(|h| h.join().expect("shard thread")).collect()
-            })
-        };
+        let microblocks = self.execute_shards(shard_batches);
 
         // --- DS committee: merge the state deltas…
-        {
-            let _span = telemetry::span!("chain.network.phase.merge");
-            let mut deltas = Vec::with_capacity(microblocks.len());
-            for mb in &microblocks {
-                deltas.push(mb.delta.clone());
-            }
-            let merged = StateDelta::merge(deltas).unwrap_or_else(|e| {
-                telemetry::counter!("chain.network.merge_conflicts").inc();
-                panic!("ownership dispatch precludes conflicts: {e:?}")
-            });
-            report.merged_components = merged.changed_components();
-            telemetry::histogram!("chain.network.merged_components", telemetry::SIZE_BUCKETS)
-                .record(report.merged_components as u64);
-            merged.apply(&mut self.state).expect("deltas in range");
-        }
+        report.merged_components = self
+            .merge_shard_deltas(&microblocks)
+            .unwrap_or_else(|e| panic!("ownership dispatch precludes conflicts: {e:?}"));
 
         // …then process its own packet (plus reroutes) sequentially on the
         // merged state.
         for mb in &microblocks {
             ds_batch.extend(mb.rerouted.iter().cloned());
         }
-        let ds_cfg = ExecutorConfig {
-            role: Assignment::Ds,
-            num_shards: self.config.num_shards,
-            gas_limit: self.config.ds_gas_limit,
-            block_number,
-            use_cosplit: self.config.use_cosplit,
-            overflow_guard: false,
-            allow_contract_msgs: true,
-        };
-        let ds_block = {
-            let _span = telemetry::span!("chain.network.phase.ds_exec");
-            let b = execute_batch(&ds_cfg, &self.state, ds_batch);
-            b.delta.apply(&mut self.state).expect("ds delta applies");
-            b
-        };
-        telemetry::counter!("chain.network.epochs").inc();
+        let ds_block = self.execute_ds(ds_batch).expect("ds delta applies");
 
         // --- Accounting.
         for mb in microblocks.iter().chain(std::iter::once(&ds_block)) {
@@ -330,7 +436,7 @@ impl Network {
             report.receipts.extend(mb.receipts.iter().cloned());
             pool.extend(mb.deferred.iter().cloned());
         }
-        self.block_number += 1;
+        self.advance_block();
         report
     }
 

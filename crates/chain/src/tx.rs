@@ -2,6 +2,7 @@
 
 use crate::address::Address;
 use scilla::value::Value;
+use serde_json::json;
 
 /// What a transaction does.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -87,6 +88,84 @@ impl Transaction {
         }
         self
     }
+
+    /// Serialises the transaction for repro artifacts ([`crate::sim`]).
+    pub fn to_json(&self) -> serde_json::Value {
+        let kind = match &self.kind {
+            TxKind::Payment { to, amount } => json!({
+                "type": "payment",
+                "to": to.to_string(),
+                "amount": amount.to_string(),
+            }),
+            TxKind::Call { contract, transition, args, amount } => json!({
+                "type": "call",
+                "contract": contract.to_string(),
+                "transition": transition.clone(),
+                "args": args
+                    .iter()
+                    .map(|(n, v)| json!({"name": n.clone(), "value": scilla::wire::to_json(v)}))
+                    .collect::<Vec<_>>(),
+                "amount": amount.to_string(),
+            }),
+        };
+        json!({
+            "id": self.id,
+            "sender": self.sender.to_string(),
+            "nonce": self.nonce,
+            "gas_limit": self.gas_limit,
+            "gas_price": self.gas_price.to_string(),
+            "kind": kind,
+        })
+    }
+
+    /// Parses the JSON form produced by [`Transaction::to_json`].
+    ///
+    /// # Errors
+    ///
+    /// Describes the first malformed node.
+    pub fn from_json(j: &serde_json::Value) -> Result<Transaction, String> {
+        let k = &j["kind"];
+        let amount: u128 = k["amount"]
+            .as_str()
+            .ok_or("missing amount")?
+            .parse()
+            .map_err(|_| "bad amount")?;
+        let kind = match k["type"].as_str().ok_or("missing kind type")? {
+            "payment" => TxKind::Payment {
+                to: Address::from_hex(k["to"].as_str().ok_or("missing to")?)?,
+                amount,
+            },
+            "call" => TxKind::Call {
+                contract: Address::from_hex(k["contract"].as_str().ok_or("missing contract")?)?,
+                transition: k["transition"].as_str().ok_or("missing transition")?.to_string(),
+                args: k["args"]
+                    .as_array()
+                    .ok_or("missing args")?
+                    .iter()
+                    .map(|a| {
+                        Ok((
+                            a["name"].as_str().ok_or("missing arg name")?.to_string(),
+                            scilla::wire::from_json(&a["value"])?,
+                        ))
+                    })
+                    .collect::<Result<Vec<_>, String>>()?,
+                amount,
+            },
+            other => return Err(format!("unknown tx kind {other}")),
+        };
+        Ok(Transaction {
+            id: j["id"].as_u64().ok_or("missing id")?,
+            sender: Address::from_hex(j["sender"].as_str().ok_or("missing sender")?)?,
+            nonce: j["nonce"].as_u64().ok_or("missing nonce")?,
+            gas_limit: j["gas_limit"].as_u64().ok_or("missing gas_limit")?,
+            gas_price: j["gas_price"]
+                .as_str()
+                .ok_or("missing gas_price")?
+                .parse()
+                .map_err(|_| "bad gas_price")?,
+            kind,
+        })
+    }
 }
 
 #[cfg(test)]
@@ -108,5 +187,25 @@ mod tests {
             }
             _ => panic!("expected call"),
         }
+    }
+
+    #[test]
+    fn json_roundtrips() {
+        let a = Address::from_index(1);
+        let b = Address::from_index(2);
+        let pay = Transaction::payment(7, a, 1, b, 50);
+        let call = Transaction::call(
+            8,
+            a,
+            2,
+            b,
+            "Transfer",
+            vec![("to".into(), b.to_value()), ("amount".into(), Value::Uint(128, 9))],
+        )
+        .with_amount(3);
+        for tx in [pay, call] {
+            assert_eq!(Transaction::from_json(&tx.to_json()).unwrap(), tx);
+        }
+        assert!(Transaction::from_json(&serde_json::json!({})).is_err());
     }
 }

@@ -22,6 +22,25 @@ use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, AtomicUsize, Ordering}
 use std::sync::{Arc, Mutex, OnceLock, RwLock};
 use std::time::{Duration, Instant};
 
+/// Well-known metric names shared between emitters and test assertions, so
+/// a renamed counter breaks the build rather than silently zeroing a test.
+pub mod names {
+    /// Epochs driven by the deterministic simulation harness.
+    pub const SIM_EPOCHS: &str = "chain.sim.epochs";
+    /// Prefix for per-kind injected-fault counters
+    /// (`chain.sim.fault.injected.<kind>`).
+    pub const SIM_FAULT_PREFIX: &str = "chain.sim.fault.injected.";
+    /// Packets recovered by rerouting a panicked shard's batch to the DS.
+    pub const SIM_RECOVERY_REROUTE: &str = "chain.sim.recovery.reroute_to_ds";
+    /// Packets recovered by backoff re-pooling after a drop.
+    pub const SIM_RECOVERY_BACKOFF: &str = "chain.sim.recovery.backoff_repool";
+    /// Safety violations observed by the harness (merge conflicts, double
+    /// commits). Non-zero is always a bug or an injected byzantine world.
+    pub const SIM_SAFETY_VIOLATION: &str = "chain.sim.safety_violation";
+    /// Divergences detected by the differential oracle.
+    pub const SIM_DIVERGENCE: &str = "chain.sim.divergence.detected";
+}
+
 /// Number of per-counter stripes. Power of two; enough that the handful of
 /// shard executor threads rarely collide.
 const STRIPES: usize = 16;

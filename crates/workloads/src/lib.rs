@@ -6,7 +6,9 @@
 //! * [`runner`] — deploys a scenario on a [`chain::network::Network`] and
 //!   measures sustained throughput over epochs;
 //! * [`ethtrace`] — the synthetic Ethereum transaction trace behind Fig. 1
-//!   (see DESIGN.md for the substitution rationale).
+//!   (see DESIGN.md for the substitution rationale);
+//! * [`seeds`] — named seed streams, so every random choice in a simulated
+//!   run flows from one master seed.
 //!
 //! # Examples
 //!
@@ -22,3 +24,4 @@
 pub mod ethtrace;
 pub mod runner;
 pub mod scenarios;
+pub mod seeds;

@@ -65,6 +65,14 @@ pub fn prepare_with(scenario: &Scenario, config: ChainConfig) -> Network {
     net
 }
 
+/// Adapts a scenario's setup phase to the shape the differential oracle in
+/// `chain::sim` expects: a builder that prepares a fresh world from any
+/// configuration, so the sharded and 1-shard reference chains start from
+/// identical genesis states.
+pub fn world_builder(scenario: &Scenario) -> impl Fn(&ChainConfig) -> Network + '_ {
+    move |config| prepare_with(scenario, config.clone())
+}
+
 /// Writes the global telemetry snapshot as JSON — the `BENCH_metrics.json`
 /// artefact the bench harness leaves next to its text output.
 ///

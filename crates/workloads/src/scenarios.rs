@@ -116,7 +116,14 @@ fn token_id(i: u64) -> Value {
 /// Builds a scenario with `load_txs` measured transactions over `users`
 /// accounts, deterministically from `seed`.
 pub fn build(kind: Kind, users: u64, load_txs: usize, seed: u64) -> Scenario {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = StdRng::seed_from_u64(crate::seeds::derive(seed, "scenario"));
+    build_with_rng(kind, users, load_txs, &mut rng)
+}
+
+/// [`build`] drawing from a caller-owned RNG, so several scenarios (and the
+/// simulation's fault plans) can flow from one master seed with no ambient
+/// seeding anywhere — the determinism guarantee of `chain::sim`.
+pub fn build_with_rng(kind: Kind, users: u64, load_txs: usize, rng: &mut StdRng) -> Scenario {
     let c = contract_addr();
     let mut id = 1u64;
     let mut next_id = || {

@@ -1,0 +1,33 @@
+//! Seed derivation: one master seed fans out into independent named
+//! streams (scenario generation, fault plans, malformed-transaction
+//! injection) so a whole simulated run is replayable from a single `u64`
+//! and no component ever reaches for an ambient seed.
+
+use chain::address::fnv1a;
+
+/// Derives the seed of a named stream from the master seed. Streams with
+/// different names are statistically independent; the same (master, name)
+/// pair always yields the same seed.
+pub fn derive(master: u64, stream: &str) -> u64 {
+    // Mix the stream name's FNV-1a hash into the master with a SplitMix64
+    // finalizer — cheap, stable, and well-dispersed even for similar names.
+    let mut z = master ^ fnv1a(stream.as_bytes());
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn streams_are_stable_and_independent() {
+        assert_eq!(derive(7, "scenario"), derive(7, "scenario"));
+        assert_ne!(derive(7, "scenario"), derive(7, "faults"));
+        assert_ne!(derive(7, "scenario"), derive(8, "scenario"));
+        // Similar names must not collide.
+        assert_ne!(derive(0, "a"), derive(0, "b"));
+    }
+}

@@ -16,4 +16,7 @@ cargo test --workspace -q
 echo "== cargo clippy =="
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "== sim smoke (differential oracle, fixed seed) =="
+cargo run --release -q -p cosplit-bench --bin sim_smoke
+
 echo "All checks passed."

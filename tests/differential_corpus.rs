@@ -1,0 +1,98 @@
+//! Differential oracle over the whole Fig. 14 workload corpus: every
+//! scenario runs on a 4-shard CoSplit chain under several seeded fault
+//! plans, is replayed on a fault-free 1-shard reference chain, and the two
+//! final worlds must be observationally identical — per-transaction
+//! outcomes, event logs, balances, nonce state, and contract storage.
+//! On top of the equivalence check, native tokens must be conserved modulo
+//! gas burn even with faults injected.
+
+use cosplit::chain::network::{ChainConfig, Network};
+use cosplit::chain::sim::{
+    differential, reference_config, run_sim, FaultPlan, SimConfig,
+};
+use cosplit::workloads::runner::world_builder;
+use cosplit::workloads::scenarios::{build, Kind};
+use cosplit::workloads::seeds;
+
+const MASTER_SEED: u64 = 4242;
+
+fn total_native(net: &Network) -> u128 {
+    net.state().accounts.values().map(|a| a.balance).sum()
+}
+
+/// Four distinct generated plans plus the fault-free control.
+fn plans(shards: u32) -> Vec<FaultPlan> {
+    let mut plans = vec![FaultPlan::none()];
+    for i in 0..4u64 {
+        plans.push(FaultPlan::generate(
+            seeds::derive(MASTER_SEED, &format!("corpus-plan-{i}")),
+            8,
+            shards,
+            0.3,
+        ));
+    }
+    plans
+}
+
+#[test]
+fn every_corpus_workload_matches_the_sequential_reference() {
+    let sharded_cfg = ChainConfig::small(4, true);
+    let reference_cfg = reference_config(&sharded_cfg);
+    let plans = plans(sharded_cfg.num_shards);
+    assert!(plans.iter().skip(1).all(|p| !p.events.is_empty()), "plans must inject faults");
+
+    for kind in Kind::all() {
+        let scenario =
+            build(kind, 24, 160, seeds::derive(MASTER_SEED, &format!("corpus-{kind:?}")));
+        let builder = world_builder(&scenario);
+        for (i, plan) in plans.iter().enumerate() {
+            let cfg = SimConfig::new(MASTER_SEED);
+            let diff =
+                differential(&builder, &scenario.load, &sharded_cfg, &reference_cfg, &cfg, plan);
+            assert!(
+                diff.is_clean(),
+                "{kind:?} diverged under plan {i}: {:?}",
+                diff.divergences
+            );
+            assert_eq!(
+                diff.sharded.committed(),
+                scenario.load.len(),
+                "{kind:?} plan {i}: corpus loads always succeed"
+            );
+        }
+    }
+}
+
+#[test]
+fn faulted_runs_conserve_native_tokens_modulo_gas() {
+    let sharded_cfg = ChainConfig::small(4, true);
+    for kind in Kind::all() {
+        let scenario =
+            build(kind, 24, 160, seeds::derive(MASTER_SEED, &format!("conserve-{kind:?}")));
+        let plan = FaultPlan::generate(
+            seeds::derive(MASTER_SEED, "conserve-plan"),
+            8,
+            sharded_cfg.num_shards,
+            0.4,
+        );
+        let mut net = world_builder(&scenario)(&sharded_cfg);
+        let before = total_native(&net);
+        let mut pool = scenario.load.clone();
+        let report = run_sim(&mut net, &mut pool, &SimConfig::new(MASTER_SEED), &plan);
+        assert!(report.drained, "{kind:?}: pool drains despite faults");
+        assert!(report.safety_violations.is_empty(), "{kind:?}: {:?}", report.safety_violations);
+
+        let after = total_native(&net);
+        assert!(after <= before, "{kind:?}: faults must never mint tokens");
+        // The only sink is gas: the burn is bounded by every load
+        // transaction exhausting its whole budget (duplicated deliveries
+        // never commit twice, so they charge nothing extra).
+        let max_burn: u128 =
+            scenario.load.iter().map(|t| u128::from(t.gas_limit) * t.gas_price).sum();
+        assert!(
+            before - after <= max_burn,
+            "{kind:?}: burned {} > worst-case gas {max_burn}",
+            before - after
+        );
+    }
+}

@@ -141,6 +141,91 @@ proptest! {
     }
 }
 
+/// A delta carrying only nonce commitments, in arbitrary order — the merge
+/// must canonicalise them so the PCM laws hold at the delta level too.
+fn nonce_delta(shard: u64) -> impl Strategy<Value = StateDelta> {
+    prop::collection::vec((0u8..4, 0u64..20), 0..6).prop_map(move |pairs| {
+        let mut sd = StateDelta::new();
+        for (a, n) in pairs {
+            // Per-shard-disjoint nonce ranges, as relaxed-nonce dispatch
+            // guarantees (each shard commits its own slice of an account's
+            // nonce space).
+            sd.nonces.entry(addr(a)).or_default().push(n + shard * 100);
+        }
+        sd
+    })
+}
+
+fn with_nonces(d: StateDelta, n: StateDelta) -> StateDelta {
+    let mut d = d;
+    d.nonces = n.nonces;
+    d
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    // ---- PCM laws at the delta level (not just through apply) ----
+    // Valid since the merge sorts each account's nonce list into a
+    // canonical multiset representation.
+
+    #[test]
+    fn merge_is_commutative(
+        d1 in delta(1), d2 in delta(2), n1 in nonce_delta(1), n2 in nonce_delta(2)
+    ) {
+        let d1 = with_nonces(d1, n1);
+        let d2 = with_nonces(d2, n2);
+        let ab = StateDelta::merge([d1.clone(), d2.clone()]).unwrap();
+        let ba = StateDelta::merge([d2, d1]).unwrap();
+        prop_assert_eq!(ab, ba);
+    }
+
+    #[test]
+    fn merge_is_associative(
+        d1 in delta(1), d2 in delta(2), d3 in delta(3),
+        n1 in nonce_delta(1), n2 in nonce_delta(2), n3 in nonce_delta(3)
+    ) {
+        let d1 = with_nonces(d1, n1);
+        let d2 = with_nonces(d2, n2);
+        let d3 = with_nonces(d3, n3);
+        let left = StateDelta::merge([
+            StateDelta::merge([d1.clone(), d2.clone()]).unwrap(),
+            d3.clone(),
+        ])
+        .unwrap();
+        let right = StateDelta::merge([d1, StateDelta::merge([d2, d3]).unwrap()]).unwrap();
+        prop_assert_eq!(left, right);
+    }
+
+    #[test]
+    fn empty_delta_is_identity(d in delta(1), n in nonce_delta(1)) {
+        let d = with_nonces(d, n);
+        // merge([d]) is the canonical form of d (sorted nonces); joining
+        // the empty delta on either side must not change it.
+        let canon = StateDelta::merge([d.clone()]).unwrap();
+        let left = StateDelta::merge([StateDelta::new(), d.clone()]).unwrap();
+        let right = StateDelta::merge([d, StateDelta::new()]).unwrap();
+        prop_assert_eq!(&left, &canon);
+        prop_assert_eq!(&right, &canon);
+    }
+
+    #[test]
+    fn nonces_merge_as_sorted_multisets(
+        n1 in nonce_delta(1), n2 in nonce_delta(2), n3 in nonce_delta(3)
+    ) {
+        let merged = StateDelta::merge([n1.clone(), n2.clone(), n3.clone()]).unwrap();
+        for (a, ns) in &merged.nonces {
+            let mut expected: Vec<u64> = [&n1, &n2, &n3]
+                .iter()
+                .flat_map(|d| d.nonces.get(a).into_iter().flatten().copied())
+                .collect();
+            expected.sort_unstable();
+            prop_assert_eq!(ns, &expected);
+            prop_assert!(ns.windows(2).all(|w| w[0] <= w[1]), "canonical order");
+        }
+    }
+}
+
 #[test]
 fn overlapping_overwrites_always_conflict() {
     let contract = Address::from_index(42);
