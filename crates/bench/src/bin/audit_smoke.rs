@@ -1,0 +1,153 @@
+//! Effect-trace sanitizer smoke test for CI (`scripts/check.sh`).
+//!
+//! Two halves:
+//!
+//! 1. **Lint sweep** — parses, type-checks, analyses, and lints every
+//!    contract in the 49-contract mainnet sample, incrementing the
+//!    `cosplit.lint.findings` counter so the metrics snapshot records the
+//!    corpus-wide finding count. Lint findings are advisory; only pipeline
+//!    failures (a corpus contract that stops parsing/checking) are fatal.
+//! 2. **Audit sweep** — runs fixed-seed differential simulations with the
+//!    dynamic footprint auditor on. The unmutated pipeline must be free of
+//!    audit violations (and all other divergences); any hit writes a
+//!    replayable repro artifact and exits non-zero.
+//!
+//! Usage: `audit_smoke [seed]` (default seed 2027). Set `BENCH_METRICS` to
+//! redirect the telemetry snapshot (default `BENCH_metrics.json`).
+
+use chain::network::ChainConfig;
+use chain::sim::{differential, FaultPlan, ReproArtifact, SimConfig};
+use cosplit_analysis::audit::lint_contract;
+use cosplit_analysis::solver::AnalyzedContract;
+use scilla::corpus;
+use workloads::runner::world_builder;
+use workloads::scenarios::{build, Kind};
+use workloads::seeds;
+
+fn main() {
+    let seed: u64 = std::env::args()
+        .nth(1)
+        .map(|s| s.parse().expect("seed must be a u64"))
+        .unwrap_or(2027);
+    println!("audit-smoke: master seed {seed}");
+
+    // Register the violation counter up front so the metrics snapshot
+    // records an explicit zero when the sweep is clean.
+    telemetry::registry().counter(telemetry::names::AUDIT_VIOLATION).add(0);
+
+    let mut failures = 0u32;
+    failures += lint_sweep();
+    failures += audit_sweep(seed);
+
+    let metrics_path =
+        std::env::var("BENCH_METRICS").unwrap_or_else(|_| "BENCH_metrics.json".into());
+    match workloads::runner::dump_metrics(std::path::Path::new(&metrics_path)) {
+        Ok(()) => println!("metrics snapshot written to {metrics_path}"),
+        Err(e) => eprintln!("failed to write {metrics_path}: {e}"),
+    }
+
+    if failures > 0 {
+        eprintln!("audit-smoke: {failures} failure(s)");
+        std::process::exit(1);
+    }
+    println!("audit-smoke: lint sweep done, all audited plans clean");
+}
+
+/// Lints the whole mainnet sample; returns the number of *pipeline*
+/// failures (findings themselves are advisory and only counted).
+fn lint_sweep() -> u32 {
+    let counter = telemetry::registry().counter(telemetry::names::LINT_FINDINGS);
+    let mut failures = 0u32;
+    let mut contracts = 0usize;
+    let mut flagged = 0usize;
+    let mut total = 0usize;
+    for entry in corpus::mainnet_sample() {
+        contracts += 1;
+        let module = match scilla::parser::parse_module(entry.source) {
+            Ok(m) => m,
+            Err(e) => {
+                eprintln!("FAIL lint {}: parse error: {e}", entry.name);
+                failures += 1;
+                continue;
+            }
+        };
+        let checked = match scilla::typechecker::typecheck(module) {
+            Ok(c) => c,
+            Err(e) => {
+                eprintln!("FAIL lint {}: type error: {e}", entry.name);
+                failures += 1;
+                continue;
+            }
+        };
+        let analyzed = AnalyzedContract::analyze(&checked);
+        let findings = lint_contract(&checked, &analyzed);
+        counter.add(findings.len() as u64);
+        if !findings.is_empty() {
+            flagged += 1;
+            total += findings.len();
+            println!("  lint {}: {} finding(s)", entry.name, findings.len());
+        }
+    }
+    println!(
+        "lint sweep: {contracts} contracts, {flagged} flagged, {total} findings (advisory)"
+    );
+    failures
+}
+
+/// Differential runs with the auditor on: the honest pipeline must produce
+/// zero audit violations across every workload × fault plan.
+fn audit_sweep(seed: u64) -> u32 {
+    let sharded_cfg = ChainConfig::small(4, true);
+    assert!(sharded_cfg.audit, "small config must audit");
+    let reference_cfg = chain::sim::reference_config(&sharded_cfg);
+    let scenarios = [
+        build(Kind::FtTransfer, 40, 600, seeds::derive(seed, "audit-ft")),
+        build(Kind::NftMint, 40, 600, seeds::derive(seed, "audit-nft")),
+        build(Kind::CfDonate, 40, 600, seeds::derive(seed, "audit-cf")),
+    ];
+
+    let mut failures = 0u32;
+    for scenario in &scenarios {
+        let builder = world_builder(scenario);
+        let mut plans = vec![FaultPlan::none()];
+        for i in 0..2u64 {
+            plans.push(FaultPlan::generate(
+                seeds::derive(seed, &format!("audit-plan-{i}")),
+                8,
+                sharded_cfg.num_shards,
+                0.35,
+            ));
+        }
+
+        for (i, plan) in plans.iter().enumerate() {
+            let cfg = SimConfig::new(seed);
+            let diff =
+                differential(&builder, &scenario.load, &sharded_cfg, &reference_cfg, &cfg, plan);
+            let label = scenario.kind.label();
+            if diff.is_clean() {
+                println!(
+                    "  ok {label} plan {i}: audited, {} committed, 0 violations",
+                    diff.sharded.committed()
+                );
+            } else {
+                let artifact = ReproArtifact::from_diff(
+                    &diff,
+                    &cfg,
+                    sharded_cfg.num_shards,
+                    plan,
+                    scenario.load.clone(),
+                );
+                let path = format!("audit_smoke_repro_{label}_{i}.json");
+                match artifact.write(std::path::Path::new(&path)) {
+                    Ok(()) => eprintln!("FAIL {label} plan {i}: repro written to {path}"),
+                    Err(e) => eprintln!("FAIL {label} plan {i}: could not write repro: {e}"),
+                }
+                for d in &diff.divergences {
+                    eprintln!("  divergence: {d}");
+                }
+                failures += 1;
+            }
+        }
+    }
+    failures
+}

@@ -299,6 +299,7 @@ pub fn epoch_deltas(state: &GlobalState, load: &[Transaction]) -> Vec<StateDelta
                 use_cosplit: true,
                 overflow_guard: false,
                 allow_contract_msgs: false,
+                audit: false,
             };
             execute_batch(&cfg, state, batch).delta
         })
@@ -435,9 +436,81 @@ pub fn ablation(shards: u32, users: u64, epochs: usize, scale: u64) -> Vec<Ablat
         .collect()
 }
 
+// ------------------------------------------------------ tracer overhead
+
+/// Wall-clock cost of the effect-trace sanitizer on a full workload run.
+#[derive(Debug, Clone)]
+pub struct TracerOverhead {
+    /// Workload label.
+    pub label: &'static str,
+    /// Run time with `ChainConfig::audit` off (tracer never allocated).
+    pub off: Duration,
+    /// Run time with the tracer and containment auditor on.
+    pub on: Duration,
+    /// TPS with auditing off.
+    pub tps_off: f64,
+    /// TPS with auditing on.
+    pub tps_on: f64,
+    /// Violations reported by the audited run (0 when summaries are honest).
+    pub violations: usize,
+}
+
+impl TracerOverhead {
+    /// Slowdown factor (audited / unaudited wall-clock).
+    pub fn slowdown(&self) -> f64 {
+        self.on.as_secs_f64() / self.off.as_secs_f64().max(1e-9)
+    }
+}
+
+/// Runs the same workload with the effect-trace auditor off and on and
+/// reports the overhead. The honest pipeline must report zero violations —
+/// callers assert on it, so a regression in the containment relation shows
+/// up here as well as in the sanitizer tests.
+pub fn tracer_overhead(kind_idx: usize, users: u64, txs: usize, epochs: usize) -> TracerOverhead {
+    use workloads::runner::run_with;
+    use workloads::scenarios::{build, Kind};
+    use workloads::seeds;
+
+    let kind = Kind::all()[kind_idx % Kind::all().len()];
+    let scenario = build(kind, users, txs, seeds::derive(0x7ace, kind.label()));
+    let config = |audit: bool| {
+        let mut c = ChainConfig::small(4, true);
+        c.audit = audit;
+        c
+    };
+
+    let t0 = Instant::now();
+    let plain = run_with(&scenario, config(false), epochs);
+    let off = t0.elapsed();
+
+    let t0 = Instant::now();
+    let audited = run_with(&scenario, config(true), epochs);
+    let on = t0.elapsed();
+
+    let violations =
+        audited.reports.iter().map(|r| r.audit_violations.len()).sum::<usize>();
+    TracerOverhead {
+        label: scenario.kind.label(),
+        off,
+        on,
+        tps_off: plain.tps(),
+        tps_on: audited.tps(),
+        violations,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn tracer_overhead_runs_clean_on_honest_summaries() {
+        let o = tracer_overhead(0, 12, 40, 2);
+        assert_eq!(o.violations, 0, "honest pipeline must audit clean");
+        assert!(o.on > Duration::ZERO && o.off > Duration::ZERO);
+        assert!(o.tps_on > 0.0 && o.tps_off > 0.0);
+        assert!(o.slowdown() > 0.0);
+    }
 
     #[test]
     fn pipeline_timing_covers_the_sample() {

@@ -373,7 +373,7 @@ mod tests {
         state.accounts.insert(caddr, Account::contract());
         state.contracts.insert(
             caddr,
-            Arc::new(DeployedContract { address: caddr, compiled, params: vec![], signature }),
+            Arc::new(DeployedContract::new(caddr, compiled, vec![], signature)),
         );
         state.storage.insert(caddr, Default::default());
         (state, caddr)

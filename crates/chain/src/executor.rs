@@ -9,18 +9,20 @@
 
 use crate::address::Address;
 use crate::delta::{compute_int_delta, read_component, Component, ContractDelta, StateDelta};
-use crate::dispatch::Assignment;
+use crate::dispatch::{component_shard, Assignment};
 use crate::tx::{Transaction, TxKind};
+use cosplit_analysis::audit::{audit_placement, audit_transition, AuditViolation};
 use cosplit_analysis::signature::Join;
 use scilla::builtins::uint_max;
 use scilla::error::ExecError;
 use scilla::gas::{GasMeter, COST_TX_BASE};
 use scilla::interpreter::{OutMsg, TransitionContext};
 use scilla::state::{InMemoryState, StateStore};
+use scilla::trace::{DynamicFootprint, EffectTracer};
 use scilla::value::Value;
 use std::collections::{BTreeMap, BTreeSet};
 
-use crate::state::GlobalState;
+use crate::state::{DeployedContract, GlobalState};
 
 /// Execution parameters for one committee in one epoch.
 #[derive(Debug, Clone)]
@@ -39,6 +41,9 @@ pub struct ExecutorConfig {
     pub overflow_guard: bool,
     /// Allow messages to other contracts (DS committee only).
     pub allow_contract_msgs: bool,
+    /// Run every transition with the effect tracer and audit its concrete
+    /// footprint against the static summary and sharding discipline.
+    pub audit: bool,
 }
 
 /// Outcome of one transaction.
@@ -105,6 +110,10 @@ pub struct MicroBlock {
     pub delta: StateDelta,
     /// Total gas consumed.
     pub gas_used: u64,
+    /// Containment breaches found by the effect-trace auditor (empty unless
+    /// `ExecutorConfig::audit` is set; non-empty means a static summary
+    /// under-approximated a real execution).
+    pub audit_violations: Vec<AuditViolation>,
 }
 
 impl MicroBlock {
@@ -138,6 +147,7 @@ pub fn execute_batch(
         deferred: Vec::new(),
         rerouted: Vec::new(),
         gas_used: 0,
+        violations: Vec::new(),
     };
     let mut over_budget = false;
     for tx in txs {
@@ -266,6 +276,7 @@ struct Executor<'a> {
     deferred: Vec<Transaction>,
     rerouted: Vec<Transaction>,
     gas_used: u64,
+    violations: Vec<AuditViolation>,
 }
 
 impl Executor<'_> {
@@ -429,14 +440,35 @@ impl Executor<'_> {
             block_number: self.cfg.block_number,
         };
 
-        let outcome = {
+        let (outcome, footprint) = {
             let storage = self.storages.get_mut(&contract).expect("ensured above");
             let mut store = JournaledStore { contract, inner: &mut storage.state, journal };
-            deployed
-                .compiled
-                .execute(&mut store, transition, args, &deployed.params, &ctx, gas)
-                .map_err(CallError::Exec)?
+            if self.cfg.audit {
+                let mut tracer = EffectTracer::new(transition);
+                let out = deployed
+                    .compiled
+                    .execute_traced(
+                        &mut store,
+                        transition,
+                        args,
+                        &deployed.params,
+                        &ctx,
+                        gas,
+                        &mut tracer,
+                    )
+                    .map_err(CallError::Exec)?;
+                (out, Some(tracer.finish()))
+            } else {
+                let out = deployed
+                    .compiled
+                    .execute(&mut store, transition, args, &deployed.params, &ctx, gas)
+                    .map_err(CallError::Exec)?;
+                (out, None)
+            }
         };
+        if let Some(fp) = footprint {
+            self.audit_invocation(&deployed, &fp, args, &ctx);
+        }
 
         if outcome.accepted && amount > 0 {
             self.balance
@@ -450,6 +482,53 @@ impl Executor<'_> {
             self.deliver(journal, gas, events, origin, contract, &msg, depth)?;
         }
         Ok(())
+    }
+
+    /// Audits one traced invocation: containment of the concrete footprint
+    /// in the static summary, plus the sharding-placement discipline when
+    /// this committee is a shard and the contract carries a signature.
+    fn audit_invocation(
+        &mut self,
+        deployed: &DeployedContract,
+        fp: &DynamicFootprint,
+        args: &[(String, Value)],
+        ctx: &TransitionContext,
+    ) {
+        if telemetry::enabled() {
+            telemetry::counter!(telemetry::names::AUDIT_TRACED).inc();
+        }
+        let resolve = |name: &str| -> Option<Value> {
+            match name {
+                "_sender" => Some(Value::address(ctx.sender)),
+                "_origin" => Some(Value::address(ctx.origin)),
+                "_amount" => Some(Value::Uint(128, ctx.amount)),
+                "_this_address" => Some(Value::address(ctx.this_address)),
+                _ => args
+                    .iter()
+                    .find(|(n, _)| n == name)
+                    .map(|(_, v)| v.clone())
+                    .or_else(|| deployed.param(name).cloned()),
+            }
+        };
+        let mut found = Vec::new();
+        if let Some(summary) = deployed.summary(&fp.transition) {
+            found.extend(audit_transition(fp, &summary, &resolve));
+        }
+        if self.cfg.use_cosplit {
+            if let (Assignment::Shard(s), Some(sig)) = (self.cfg.role, &deployed.signature) {
+                if let Some(tcons) = sig.transition(&fp.transition) {
+                    let contract = deployed.address;
+                    let shard_of = |field: &str, keys: &[Value]| {
+                        component_shard(contract, field, keys, self.cfg.num_shards)
+                    };
+                    found.extend(audit_placement(fp, sig, tcons, s, &shard_of));
+                }
+            }
+        }
+        if telemetry::enabled() && !found.is_empty() {
+            telemetry::counter!(telemetry::names::AUDIT_VIOLATION).add(found.len() as u64);
+        }
+        self.violations.extend(found);
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -590,6 +669,7 @@ impl Executor<'_> {
             rerouted: self.rerouted,
             delta,
             gas_used: self.gas_used,
+            audit_violations: self.violations,
         }
     }
 }

@@ -39,6 +39,11 @@ pub struct ChainConfig {
     pub max_packet_txs: usize,
     /// §4.2.1 relaxed nonces (false only for the ablation study).
     pub relaxed_nonces: bool,
+    /// Run every transition with the effect-trace sanitizer: trace the
+    /// concrete footprint and audit it against the static summary and the
+    /// sharding discipline. On by default in the scaled-down test/sim
+    /// configuration, off in the benchmark configuration.
+    pub audit: bool,
 }
 
 impl ChainConfig {
@@ -57,6 +62,7 @@ impl ChainConfig {
             overflow_guard: false,
             max_packet_txs: 10_000,
             relaxed_nonces: true,
+            audit: false,
         }
     }
 
@@ -66,6 +72,7 @@ impl ChainConfig {
         ChainConfig {
             shard_gas_limit: 40_000,
             ds_gas_limit: 20_000,
+            audit: true,
             ..ChainConfig::evaluation(num_shards, use_cosplit)
         }
     }
@@ -109,6 +116,10 @@ pub struct EpochReport {
     /// All transaction receipts, in per-committee order (shards first, then
     /// the DS committee).
     pub receipts: Vec<Receipt>,
+    /// Rendered effect-trace audit violations from every committee (empty
+    /// unless `ChainConfig::audit` is set; never empty silently — a
+    /// violation means a static summary failed to contain an execution).
+    pub audit_violations: Vec<String>,
 }
 
 /// Per-committee packets formed by the lookup nodes for one epoch
@@ -220,7 +231,7 @@ impl Network {
             .is_contract = true;
         self.state
             .contracts
-            .insert(addr, Arc::new(DeployedContract { address: addr, compiled, params, signature }));
+            .insert(addr, Arc::new(DeployedContract::new(addr, compiled, params, signature)));
         Ok(timings)
     }
 
@@ -258,7 +269,7 @@ impl Network {
             .is_contract = true;
         self.state
             .contracts
-            .insert(addr, Arc::new(DeployedContract { address: addr, compiled, params, signature }));
+            .insert(addr, Arc::new(DeployedContract::new(addr, compiled, params, signature)));
         Ok(())
     }
 
@@ -311,6 +322,7 @@ impl Network {
             use_cosplit: self.config.use_cosplit,
             overflow_guard: self.config.overflow_guard,
             allow_contract_msgs: false,
+            audit: self.config.audit,
         }
     }
 
@@ -324,6 +336,7 @@ impl Network {
             use_cosplit: self.config.use_cosplit,
             overflow_guard: false,
             allow_contract_msgs: true,
+            audit: self.config.audit,
         }
     }
 
@@ -434,6 +447,7 @@ impl Network {
             report.deferred += mb.deferred.len();
             report.per_committee.push((mb.role, committed, mb.gas_used));
             report.receipts.extend(mb.receipts.iter().cloned());
+            report.audit_violations.extend(mb.audit_violations.iter().map(ToString::to_string));
             pool.extend(mb.deferred.iter().cloned());
         }
         self.advance_block();

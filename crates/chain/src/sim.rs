@@ -458,6 +458,12 @@ pub fn run_sim(
 
         // --- Accounting: final outcomes, deferred retries.
         for mb in microblocks.iter().chain(ds_block.iter()) {
+            // Effect-trace sanitizer escapes are safety violations: a static
+            // summary failed to contain a concrete execution.
+            for v in &mb.audit_violations {
+                report.safety_violations.push(format!("epoch {epoch}: audit violation: {v}"));
+                telemetry::registry().counter(telemetry::names::SIM_SAFETY_VIOLATION).inc();
+            }
             for r in &mb.receipts {
                 record_outcome(&mut report, r, epoch);
                 match &r.status {

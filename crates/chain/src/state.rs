@@ -2,12 +2,14 @@
 
 use crate::account::Account;
 use crate::address::Address;
+use cosplit_analysis::analysis::summarize_contract;
+use cosplit_analysis::effects::TransitionSummary;
 use cosplit_analysis::signature::ShardingSignature;
 use scilla::interpreter::CompiledContract;
 use scilla::state::InMemoryState;
 use scilla::value::Value;
 use std::collections::BTreeMap;
-use std::sync::Arc;
+use std::sync::{Arc, RwLock};
 
 /// A deployed contract: compiled code, immutable parameters, and the
 /// (optional) sharding signature accepted at deployment.
@@ -21,12 +23,51 @@ pub struct DeployedContract {
     pub params: Vec<(String, Value)>,
     /// The validated sharding signature, if one was submitted.
     pub signature: Option<ShardingSignature>,
+    /// Lazily derived static effect summaries, shared by every shard's
+    /// effect-trace auditor. Derived on first use so chains that never audit
+    /// pay nothing.
+    summaries: RwLock<Option<Arc<Vec<TransitionSummary>>>>,
 }
 
 impl DeployedContract {
+    /// Packages a contract for deployment.
+    pub fn new(
+        address: Address,
+        compiled: CompiledContract,
+        params: Vec<(String, Value)>,
+        signature: Option<ShardingSignature>,
+    ) -> Self {
+        DeployedContract { address, compiled, params, signature, summaries: RwLock::new(None) }
+    }
+
     /// Looks up an immutable contract parameter by name.
     pub fn param(&self, name: &str) -> Option<&Value> {
         self.params.iter().find(|(n, _)| n == name).map(|(_, v)| v)
+    }
+
+    /// The static effect summaries of every transition, derived on demand.
+    pub fn summaries(&self) -> Arc<Vec<TransitionSummary>> {
+        if let Some(s) = self.summaries.read().expect("summaries lock").as_ref() {
+            return Arc::clone(s);
+        }
+        // Derive outside the write lock; a racing deriver produces the same
+        // result, and the first store wins.
+        let derived = Arc::new(summarize_contract(self.compiled.checked()));
+        let mut slot = self.summaries.write().expect("summaries lock");
+        Arc::clone(slot.get_or_insert(derived))
+    }
+
+    /// The static summary of one transition, if it exists.
+    pub fn summary(&self, transition: &str) -> Option<TransitionSummary> {
+        self.summaries().iter().find(|s| s.name == transition).cloned()
+    }
+
+    /// Test hook: pins the summaries the auditor will check against,
+    /// bypassing the analysis — replaces any already-derived set (the world
+    /// builders execute setup transitions, which derives summaries before a
+    /// test gets hold of the contract).
+    pub fn override_summaries(&self, summaries: Vec<TransitionSummary>) {
+        *self.summaries.write().expect("summaries lock") = Some(Arc::new(summaries));
     }
 }
 

@@ -20,6 +20,7 @@ fn cfg(role: Assignment, num_shards: u32) -> ExecutorConfig {
         use_cosplit: true,
         overflow_guard: false,
         allow_contract_msgs: matches!(role, Assignment::Ds),
+        audit: true,
     }
 }
 
@@ -344,6 +345,7 @@ fn cross_contract_message_reroutes_with_cause() {
         use_cosplit: true,
         overflow_guard: false,
         allow_contract_msgs: false,
+        audit: true,
     };
     let mb = execute_batch(&cfg, net.state(), vec![tx]);
     assert_eq!(mb.receipts[0].status, TxStatus::Rerouted(RerouteCause::CrossContract));

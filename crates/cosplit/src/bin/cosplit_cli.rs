@@ -8,11 +8,22 @@
 //! cosplit <file.scilla | corpus:Name> [--transitions T1,T2,…]
 //!         [--weak-reads f1,f2,… | --accept-stale]
 //!         [--summaries] [--json] [--repair] [--ge] [--metrics <path>]
+//! cosplit lint <file.scilla | corpus:Name>     # a.k.a. `cosplit audit …`
 //! ```
+//!
+//! `cosplit lint` (alias `cosplit audit`) runs the contract lint pass over
+//! the analysed summaries and prints span-bearing findings: state that is
+//! written but never read back, transitions whose summary collapsed to ⊤
+//! (with the offending statement named), pseudofields no transition can
+//! reach, and `accept`s whose funds never influence state or outgoing
+//! messages. Findings are advisory — the exit code stays 0 — but each one
+//! increments the `cosplit.lint.findings` telemetry counter so CI can gate
+//! on the metrics snapshot.
 //!
 //! `--metrics <path>` (or the `COSPLIT_METRICS` environment variable) writes
 //! the telemetry snapshot of the run as JSON on exit.
 
+use cosplit_analysis::audit::lint_contract;
 use cosplit_analysis::ge::ge_stats;
 use cosplit_analysis::repair::repair_contract;
 use cosplit_analysis::signature::WeakReads;
@@ -28,6 +39,7 @@ struct Args {
     json: bool,
     repair: bool,
     ge: bool,
+    lint: bool,
     metrics: Option<String>,
 }
 
@@ -36,6 +48,7 @@ fn usage() -> ! {
         "usage: cosplit <file.scilla | corpus:Name> [--transitions T1,T2,...]\n\
          \x20             [--weak-reads f1,f2,... | --accept-stale]\n\
          \x20             [--summaries] [--json] [--repair] [--ge]\n\
+         \x20      cosplit lint <file.scilla | corpus:Name>   (alias: audit)\n\
          \n\
          \x20 --transitions   transitions to shard (default: all)\n\
          \x20 --weak-reads    fields whose reads may be stale (paper §4.2.3)\n\
@@ -44,6 +57,7 @@ fn usage() -> ! {
          \x20 --json          print the signature's JSON wire form\n\
          \x20 --repair        attempt the §6 compare-and-swap repair first\n\
          \x20 --ge            print good-enough signature statistics (Fig. 13)\n\
+         \x20 --lint          run the contract lint pass (same as `lint` mode)\n\
          \x20 --metrics       write the run's telemetry snapshot (JSON) to a file\n\
          \x20                 (also COSPLIT_METRICS=<path>)"
     );
@@ -59,9 +73,11 @@ fn parse_args() -> Args {
         json: false,
         repair: false,
         ge: false,
+        lint: false,
         metrics: std::env::var("COSPLIT_METRICS").ok(),
     };
     let mut it = std::env::args().skip(1);
+    let mut first_positional = true;
     while let Some(a) = it.next() {
         match a.as_str() {
             "--transitions" => {
@@ -79,9 +95,17 @@ fn parse_args() -> Args {
             "--json" => args.json = true,
             "--repair" => args.repair = true,
             "--ge" => args.ge = true,
+            "--lint" => args.lint = true,
             "--help" | "-h" => usage(),
+            // A leading `lint`/`audit` word selects the lint mode; the next
+            // positional argument is then the contract source.
+            "lint" | "audit" if first_positional => {
+                args.lint = true;
+                first_positional = false;
+            }
             other if args.source_arg.is_empty() && !other.starts_with('-') => {
                 args.source_arg = other.to_string();
+                first_positional = false;
             }
             _ => usage(),
         }
@@ -164,6 +188,26 @@ fn run(args: Args) -> ExitCode {
     }
 
     let analyzed = AnalyzedContract::analyze(&checked);
+
+    if args.lint {
+        let findings = lint_contract(&checked, &analyzed);
+        let counter = telemetry::registry().counter(telemetry::names::LINT_FINDINGS);
+        for f in &findings {
+            counter.inc();
+            println!("{f}");
+        }
+        if findings.is_empty() {
+            println!("{}: lint clean ({} transitions)", analyzed.name, analyzed.summaries.len());
+        } else {
+            println!(
+                "{}: {} lint finding{}",
+                analyzed.name,
+                findings.len(),
+                if findings.len() == 1 { "" } else { "s" }
+            );
+        }
+        return ExitCode::SUCCESS;
+    }
 
     if args.summaries {
         for s in &analyzed.summaries {

@@ -55,6 +55,7 @@
 //! ```
 
 pub mod analysis;
+pub mod audit;
 pub mod domain;
 pub mod effects;
 pub mod ge;

@@ -1,0 +1,258 @@
+//! Edge cases of the §3.4 match rules — `MatchC`, `AdaptC`, `IsKnownOp`,
+//! `SameVars` — observed through the summaries `summarize_contract` produces
+//! and the joins the derived signature picks.
+
+use cosplit_analysis::analysis::summarize_contract;
+use cosplit_analysis::domain::{
+    Cardinality, ContribSource, ContribType, Op, Precision, PseudoField,
+};
+use cosplit_analysis::effects::{Effect, TransitionSummary};
+use cosplit_analysis::signature::{derive_signature, is_commutative_write, Join, WeakReads};
+
+fn summaries(src: &str) -> Vec<TransitionSummary> {
+    let checked =
+        scilla::typechecker::typecheck(scilla::parser::parse_module(src).unwrap()).unwrap();
+    summarize_contract(&checked)
+}
+
+fn write_type<'a>(s: &'a TransitionSummary, pf: &PseudoField) -> &'a ContribType {
+    s.writes()
+        .find(|(w, _)| *w == pf)
+        .map(|(_, t)| t)
+        .unwrap_or_else(|| panic!("no write to {pf} in {s}"))
+}
+
+fn source<'a>(
+    t: &'a ContribType,
+    cs: &ContribSource,
+) -> &'a cosplit_analysis::domain::Contribution {
+    t.sources()
+        .and_then(|s| s.get(cs))
+        .unwrap_or_else(|| panic!("{t} lacks source {cs:?}"))
+}
+
+#[test]
+fn known_op_option_peel_keeps_commutativity() {
+    // `IsKnownOp`: a match whose patterns only peel `Some`/`None` does not
+    // condition the result on the scrutinee — the classic
+    // load-add-store-with-default stays a commutative write.
+    let src = r#"
+        library L
+        contract C ()
+        field balances : Map ByStr20 Uint128 = Emp ByStr20 Uint128
+        transition Deposit (amount : Uint128)
+          b <- balances[_sender];
+          nb = match b with
+            | Some v => builtin add v amount
+            | None => amount
+            end;
+          balances[_sender] := nb
+        end
+    "#;
+    let ss = summaries(src);
+    let s = &ss[0];
+    assert!(!s.has_top(), "{s}");
+    let pf = PseudoField::entry("balances", vec!["_sender".into()]);
+    let t = write_type(s, &pf);
+    let self_c = source(t, &ContribSource::Field(pf.clone()));
+    assert_eq!(self_c.card, Cardinality::One);
+    assert_eq!(self_c.precision, Precision::Exact);
+    assert!(!self_c.ops.contains(&Op::Cond), "{t}");
+    assert!(is_commutative_write(&pf, t), "{t}");
+
+    let sig = derive_signature(&ss, &["Deposit".into()], &WeakReads::AcceptAll);
+    assert_eq!(sig.joins.get("balances"), Some(&Join::IntMerge), "{sig:?}");
+}
+
+#[test]
+fn known_op_accepts_wildcard_clauses() {
+    // A wildcard default clause is irrefutable, so `IsKnownOp` still fires.
+    let src = r#"
+        library L
+        contract C ()
+        field pot : Uint128 = Uint128 0
+        transition Bump (amount : Uint128, o : Option Uint128)
+          p <- pot;
+          d = match o with
+            | Some v => v
+            | _ => amount
+            end;
+          np = builtin add p d;
+          pot := np
+        end
+    "#;
+    let ss = summaries(src);
+    let s = &ss[0];
+    assert!(!s.has_top(), "{s}");
+    let pf = PseudoField::whole("pot");
+    assert!(is_commutative_write(&pf, write_type(s, &pf)), "{s}");
+}
+
+#[test]
+fn structural_match_conditions_the_written_value() {
+    // `MatchC` over a non-Option scrutinee: the written value is conditioned
+    // on the scrutinee. `AdaptC` demotes the scrutinee's sources to
+    // cardinality 0 with the `Cond` op, and the joined clause types widen the
+    // self-op set to {add, sub} with Inexact precision — so the write is no
+    // longer commutative and the field's join falls back to ownership.
+    let src = r#"
+        library L
+        contract C ()
+        field mode : Bool = True
+        field pot : Uint128 = Uint128 0
+        transition Toggle (amount : Uint128)
+          m <- mode;
+          p <- pot;
+          np = match m with
+            | True => builtin add p amount
+            | False => builtin sub p amount
+            end;
+          pot := np
+        end
+    "#;
+    let ss = summaries(src);
+    let s = ss.iter().find(|s| s.name == "Toggle").unwrap();
+    assert!(!s.has_top(), "{s}");
+    let pot = PseudoField::whole("pot");
+    let t = write_type(s, &pot);
+
+    // Both clauses draw on the same sources, so `SameVars` holds and the
+    // conditioning stays Exact — but it is present, with cardinality 0.
+    let mode_c = source(t, &ContribSource::Field(PseudoField::whole("mode")));
+    assert_eq!(mode_c.card, Cardinality::Zero, "{t}");
+    assert!(mode_c.ops.contains(&Op::Cond), "{t}");
+    assert_eq!(mode_c.precision, Precision::Exact, "{t}");
+
+    // The self-contribution joined differing op sets: widened and Inexact.
+    let self_c = source(t, &ContribSource::Field(pot.clone()));
+    assert_eq!(self_c.card, Cardinality::One);
+    assert_eq!(self_c.precision, Precision::Inexact, "{t}");
+    assert!(self_c.ops.contains(&Op::Builtin("add".into())), "{t}");
+    assert!(self_c.ops.contains(&Op::Builtin("sub".into())), "{t}");
+    assert!(!is_commutative_write(&pot, t), "{t}");
+
+    let sig = derive_signature(&ss, &["Toggle".into()], &WeakReads::AcceptAll);
+    assert_eq!(sig.joins.get("pot"), Some(&Join::OwnOverwrite), "{sig:?}");
+}
+
+#[test]
+fn clauses_on_different_sources_lose_precision() {
+    // `SameVars` fails when the clauses draw on different sources: the
+    // conditioning contribution itself becomes Inexact.
+    let src = r#"
+        library L
+        contract C ()
+        field mode : Bool = True
+        field out : Uint128 = Uint128 0
+        transition Pick (a : Uint128, b : Uint128)
+          m <- mode;
+          v = match m with
+            | True => a
+            | False => b
+            end;
+          out := v
+        end
+    "#;
+    let ss = summaries(src);
+    let s = ss.iter().find(|s| s.name == "Pick").unwrap();
+    let t = write_type(s, &PseudoField::whole("out"));
+    let mode_c = source(t, &ContribSource::Field(PseudoField::whole("mode")));
+    assert_eq!(mode_c.card, Cardinality::Zero);
+    assert!(mode_c.ops.contains(&Op::Cond));
+    assert_eq!(mode_c.precision, Precision::Inexact, "{t}");
+    // Both alternatives flow in, each only from one branch.
+    assert!(t.sources().unwrap().contains_key(&ContribSource::Param("a".into())));
+    assert!(t.sources().unwrap().contains_key(&ContribSource::Param("b".into())));
+}
+
+#[test]
+fn nested_map_keys_become_multi_key_pseudofields() {
+    let src = r#"
+        library L
+        contract C ()
+        field allowances : Map ByStr20 (Map ByStr20 Uint128) =
+          Emp ByStr20 (Map ByStr20 Uint128)
+        transition Approve (spender : ByStr20, amount : Uint128)
+          allowances[_sender][spender] := amount
+        end
+        transition Revoke (spender : ByStr20)
+          delete allowances[_sender][spender]
+        end
+    "#;
+    let ss = summaries(src);
+    let approve = ss.iter().find(|s| s.name == "Approve").unwrap();
+    assert!(!approve.has_top(), "{approve}");
+    let pf = PseudoField::entry("allowances", vec!["_sender".into(), "spender".into()]);
+    assert!(approve.has_write(&pf), "{approve}");
+
+    let revoke = ss.iter().find(|s| s.name == "Revoke").unwrap();
+    assert!(!revoke.has_top(), "{revoke}");
+    assert!(revoke.has_write(&pf), "{revoke}");
+}
+
+#[test]
+fn partial_depth_map_access_is_top() {
+    // A one-key access of a two-level map reaches a Map value, which the
+    // pseudo-field domain cannot name: the summary collapses to ⊤.
+    let src = r#"
+        library L
+        contract C ()
+        field allowances : Map ByStr20 (Map ByStr20 Uint128) =
+          Emp ByStr20 (Map ByStr20 Uint128)
+        transition Probe (a : ByStr20)
+          row <- allowances[a]
+        end
+    "#;
+    let ss = summaries(src);
+    assert!(ss[0].has_top(), "{}", ss[0]);
+}
+
+#[test]
+fn computed_map_key_is_top() {
+    // A key that is a local binder — even one that merely renames a
+    // parameter — is not a transition parameter, so dispatch could not
+    // instantiate the pseudo-field: ⊤.
+    let src = r#"
+        library L
+        contract C ()
+        field balances : Map ByStr20 Uint128 = Emp ByStr20 Uint128
+        transition Touch (who : ByStr20, amount : Uint128)
+          k = who;
+          balances[k] := amount
+        end
+    "#;
+    let ss = summaries(src);
+    assert!(ss[0].has_top(), "{}", ss[0]);
+}
+
+#[test]
+fn statement_level_match_on_field_emits_condition() {
+    // A statement-level match over a loaded field pushes `Condition(τ)` so
+    // the derivation can see the control dependency on state.
+    let src = r#"
+        library L
+        contract C ()
+        field locked : Bool = False
+        field pot : Uint128 = Uint128 0
+        transition Maybe (amount : Uint128)
+          l <- locked;
+          match l with
+          | False =>
+            p <- pot;
+            np = builtin add p amount;
+            pot := np
+          | True =>
+          end
+        end
+    "#;
+    let ss = summaries(src);
+    let s = ss.iter().find(|s| s.name == "Maybe").unwrap();
+    assert!(!s.has_top(), "{s}");
+    assert!(
+        s.effects.iter().any(|e| matches!(e, Effect::Condition(t)
+            if t.mentions_field(&PseudoField::whole("locked")))),
+        "{s}"
+    );
+    // The guarded write inside the clause is still summarised.
+    assert!(s.has_write(&PseudoField::whole("pot")), "{s}");
+}

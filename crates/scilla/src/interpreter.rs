@@ -11,6 +11,7 @@ use crate::builtins::{empty_map, eval_builtin};
 use crate::error::ExecError;
 use crate::gas::{self, GasMeter};
 use crate::state::StateStore;
+use crate::trace::EffectTracer;
 use crate::typechecker::CheckedModule;
 use crate::value::{Closure, Env, TypeClosure, Value};
 use std::collections::BTreeMap;
@@ -160,8 +161,45 @@ impl CompiledContract {
         ctx: &TransitionContext,
         gas: &mut GasMeter,
     ) -> Result<TransitionOutcome, ExecError> {
+        self.execute_instrumented(store, transition, args, contract_params, ctx, gas, None)
+    }
+
+    /// Like [`CompiledContract::execute`], but records the concrete dynamic
+    /// footprint (reads, writes with observed ops, branch conditions, accepts,
+    /// sends) into `tracer`. Tracing charges no gas and never changes the
+    /// outcome; take the footprint with [`EffectTracer::finish`] afterwards.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`CompiledContract::execute`]. The tracer holds the partial
+    /// footprint observed up to the failure point.
+    #[allow(clippy::too_many_arguments)]
+    pub fn execute_traced(
+        &self,
+        store: &mut dyn StateStore,
+        transition: &str,
+        args: &[(String, Value)],
+        contract_params: &[(String, Value)],
+        ctx: &TransitionContext,
+        gas: &mut GasMeter,
+        tracer: &mut EffectTracer,
+    ) -> Result<TransitionOutcome, ExecError> {
+        self.execute_instrumented(store, transition, args, contract_params, ctx, gas, Some(tracer))
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn execute_instrumented(
+        &self,
+        store: &mut dyn StateStore,
+        transition: &str,
+        args: &[(String, Value)],
+        contract_params: &[(String, Value)],
+        ctx: &TransitionContext,
+        gas: &mut GasMeter,
+        tracer: Option<&mut EffectTracer>,
+    ) -> Result<TransitionOutcome, ExecError> {
         let gas_before = gas.used();
-        let result = self.execute_inner(store, transition, args, contract_params, ctx, gas);
+        let result = self.execute_inner(store, transition, args, contract_params, ctx, gas, tracer);
         if telemetry::enabled() {
             telemetry::counter!("scilla.interpreter.transitions").inc();
             telemetry::counter!("scilla.interpreter.gas_charged")
@@ -173,6 +211,7 @@ impl CompiledContract {
         result
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn execute_inner(
         &self,
         store: &mut dyn StateStore,
@@ -181,6 +220,7 @@ impl CompiledContract {
         contract_params: &[(String, Value)],
         ctx: &TransitionContext,
         gas: &mut GasMeter,
+        tracer: Option<&mut EffectTracer>,
     ) -> Result<TransitionOutcome, ExecError> {
         let t = self
             .contract()
@@ -205,7 +245,7 @@ impl CompiledContract {
                 })?;
             env = env.bind(p.name.name.clone(), v);
         }
-        let mut exec = Exec { store, ctx, outcome: TransitionOutcome::default() };
+        let mut exec = Exec { store, ctx, outcome: TransitionOutcome::default(), tracer };
         exec.run_stmts(env, &t.body, gas)?;
         let mut outcome = exec.outcome;
         outcome.gas_used = gas.used();
@@ -217,6 +257,7 @@ struct Exec<'a> {
     store: &'a mut dyn StateStore,
     ctx: &'a TransitionContext,
     outcome: TransitionOutcome,
+    tracer: Option<&'a mut EffectTracer>,
 }
 
 impl Exec<'_> {
@@ -239,23 +280,40 @@ impl Exec<'_> {
                 let v = self.store.load(&field.name).ok_or_else(|| {
                     ExecError::Internal(format!("field '{}' missing from state", field.name))
                 })?;
+                if let Some(t) = self.tracer.as_deref_mut() {
+                    t.record_read(&field.name, Vec::new(), s.span());
+                }
                 Ok(env.bind(lhs.name.clone(), v))
             }
             Stmt::Store { field, rhs } => {
                 gas.charge(gas::COST_FIELD)?;
                 let v = lookup(&env, rhs)?;
-                self.store.store(&field.name, v);
+                match self.tracer.as_deref_mut() {
+                    Some(t) => {
+                        let prior = self.store.load(&field.name);
+                        self.store.store(&field.name, v.clone());
+                        t.record_write(&field.name, Vec::new(), prior, Some(v), s.span());
+                    }
+                    None => self.store.store(&field.name, v),
+                }
                 Ok(env)
             }
             Stmt::Bind { lhs, rhs } => {
-                let v = eval_expr(&env, rhs, gas)?;
+                let v = eval_expr_inner(&env, rhs, gas, self.tracer.as_deref_mut())?;
                 Ok(env.bind(lhs.name.clone(), v))
             }
             Stmt::MapUpdate { map, keys, rhs } => {
                 gas.charge(gas::COST_MAP_KEY * keys.len() as u64)?;
                 let ks = self.key_values(&env, keys)?;
                 let v = lookup(&env, rhs)?;
-                self.store.map_update(&map.name, &ks, v);
+                match self.tracer.as_deref_mut() {
+                    Some(t) => {
+                        let prior = self.store.map_get(&map.name, &ks);
+                        self.store.map_update(&map.name, &ks, v.clone());
+                        t.record_write(&map.name, ks, prior, Some(v), s.span());
+                    }
+                    None => self.store.map_update(&map.name, &ks, v),
+                }
                 Ok(env)
             }
             Stmt::MapGet { lhs, map, keys } => {
@@ -265,18 +323,31 @@ impl Exec<'_> {
                     Some(v) => Value::some(v),
                     None => Value::none(),
                 };
+                if let Some(t) = self.tracer.as_deref_mut() {
+                    t.record_read(&map.name, ks, s.span());
+                }
                 Ok(env.bind(lhs.name.clone(), v))
             }
             Stmt::MapExists { lhs, map, keys } => {
                 gas.charge(gas::COST_MAP_KEY * keys.len() as u64)?;
                 let ks = self.key_values(&env, keys)?;
                 let b = self.store.map_exists(&map.name, &ks);
+                if let Some(t) = self.tracer.as_deref_mut() {
+                    t.record_read(&map.name, ks, s.span());
+                }
                 Ok(env.bind(lhs.name.clone(), Value::bool(b)))
             }
             Stmt::MapDelete { map, keys } => {
                 gas.charge(gas::COST_MAP_KEY * keys.len() as u64)?;
                 let ks = self.key_values(&env, keys)?;
-                self.store.map_delete(&map.name, &ks);
+                match self.tracer.as_deref_mut() {
+                    Some(t) => {
+                        let prior = self.store.map_get(&map.name, &ks);
+                        self.store.map_delete(&map.name, &ks);
+                        t.record_write(&map.name, ks, prior, None, s.span());
+                    }
+                    None => self.store.map_delete(&map.name, &ks),
+                }
                 Ok(env)
             }
             Stmt::ReadBlockchain { lhs, .. } => {
@@ -285,6 +356,9 @@ impl Exec<'_> {
             }
             Stmt::Match { scrutinee, clauses, .. } => {
                 let v = lookup(&env, scrutinee)?;
+                if let Some(t) = self.tracer.as_deref_mut() {
+                    t.record_cond(v.clone(), s.span());
+                }
                 for (pat, body) in clauses {
                     if let Some(binds) = match_pattern(pat, &v) {
                         let mut inner = env.clone();
@@ -299,13 +373,20 @@ impl Exec<'_> {
             }
             Stmt::Accept(_) => {
                 self.outcome.accepted = true;
+                if let Some(t) = self.tracer.as_deref_mut() {
+                    t.record_accept();
+                }
                 Ok(env)
             }
             Stmt::Send { msgs } => {
                 let v = lookup(&env, msgs)?;
                 for m in flatten_messages(&v)? {
                     gas.charge(gas::COST_MESSAGE)?;
-                    self.outcome.messages.push(parse_out_msg(&m)?);
+                    let om = parse_out_msg(&m)?;
+                    if let Some(t) = self.tracer.as_deref_mut() {
+                        t.record_send(om.recipient, om.amount, &om.tag, s.span());
+                    }
+                    self.outcome.messages.push(om);
                 }
                 Ok(env)
             }
@@ -353,6 +434,15 @@ fn literal_value(lit: &Literal) -> Value {
 /// Fails on arithmetic errors in builtins, failed matches, out-of-gas, or
 /// internal shape mismatches (which a passed type check rules out).
 pub fn eval_expr(env: &Env, e: &Expr, gas: &mut GasMeter) -> Result<Value, ExecError> {
+    eval_expr_inner(env, e, gas, None)
+}
+
+fn eval_expr_inner(
+    env: &Env,
+    e: &Expr,
+    gas: &mut GasMeter,
+    mut tracer: Option<&mut EffectTracer>,
+) -> Result<Value, ExecError> {
     gas.charge(gas::COST_EXPR)?;
     match e {
         Expr::Lit(l, _) => Ok(literal_value(l)),
@@ -374,13 +464,16 @@ pub fn eval_expr(env: &Env, e: &Expr, gas: &mut GasMeter) -> Result<Value, ExecE
         }
         Expr::Builtin { op, args } => {
             gas.charge(if op.name.ends_with("hash") { gas::COST_HASH } else { gas::COST_BUILTIN })?;
+            if let Some(t) = tracer.as_deref_mut() {
+                t.record_builtin(&op.name);
+            }
             let vals: Result<Vec<Value>, _> = args.iter().map(|a| lookup(env, a)).collect();
             eval_builtin(&op.name, &vals?)
         }
         Expr::Let { bound, rhs, body, .. } => {
-            let v = eval_expr(env, rhs, gas)?;
+            let v = eval_expr_inner(env, rhs, gas, tracer.as_deref_mut())?;
             let inner = env.bind(bound.name.clone(), v);
-            eval_expr(&inner, body, gas)
+            eval_expr_inner(&inner, body, gas, tracer)
         }
         Expr::Fun { param, param_type, body } => Ok(Value::Clo(Arc::new(Closure {
             param: param.clone(),
@@ -392,7 +485,7 @@ pub fn eval_expr(env: &Env, e: &Expr, gas: &mut GasMeter) -> Result<Value, ExecE
             let mut f = lookup(env, func)?;
             for a in args {
                 let arg = lookup(env, a)?;
-                f = apply(f, arg, gas)?;
+                f = apply(f, arg, gas, tracer.as_deref_mut())?;
             }
             Ok(f)
         }
@@ -404,7 +497,7 @@ pub fn eval_expr(env: &Env, e: &Expr, gas: &mut GasMeter) -> Result<Value, ExecE
                     for (n, bv) in binds {
                         inner = inner.bind(n, bv);
                     }
-                    return eval_expr(&inner, body, gas);
+                    return eval_expr_inner(&inner, body, gas, tracer);
                 }
             }
             Err(ExecError::MatchFailure(format!("no clause matched {v}")))
@@ -420,7 +513,7 @@ pub fn eval_expr(env: &Env, e: &Expr, gas: &mut GasMeter) -> Result<Value, ExecE
             let mut v = lookup(env, target)?;
             for _ in type_args {
                 match v {
-                    Value::TClo(tc) => v = eval_expr(&tc.env, &tc.body, gas)?,
+                    Value::TClo(tc) => v = eval_expr_inner(&tc.env, &tc.body, gas, tracer.as_deref_mut())?,
                     other => {
                         return Err(ExecError::Internal(format!(
                             "cannot type-instantiate non-tfun value {other}"
@@ -434,11 +527,16 @@ pub fn eval_expr(env: &Env, e: &Expr, gas: &mut GasMeter) -> Result<Value, ExecE
 }
 
 /// Applies a closure to one argument.
-fn apply(f: Value, arg: Value, gas: &mut GasMeter) -> Result<Value, ExecError> {
+fn apply(
+    f: Value,
+    arg: Value,
+    gas: &mut GasMeter,
+    tracer: Option<&mut EffectTracer>,
+) -> Result<Value, ExecError> {
     match f {
         Value::Clo(c) => {
             let inner = c.env.bind(c.param.name.clone(), arg);
-            eval_expr(&inner, &c.body, gas)
+            eval_expr_inner(&inner, &c.body, gas, tracer)
         }
         other => Err(ExecError::Internal(format!("cannot apply non-function value {other}"))),
     }
@@ -686,6 +784,63 @@ mod tests {
         c.execute(&mut store, "T", &[("v".into(), Value::Uint(128, 42))], &[], &TransitionContext::zeroed(), &mut gas)
             .unwrap();
         assert_eq!(store.load("n"), Some(Value::Uint(128, 42)));
+    }
+
+    #[test]
+    fn tracer_records_transfer_footprint_without_gas_skew() {
+        use crate::trace::{EffectTracer, ObservedOp};
+        let params = vec![("owner".to_string(), Value::address(addr(99)))];
+        let c = compile(TOKEN);
+        let fields = c.init_fields(&params).unwrap();
+        let mut plain = InMemoryState::from_fields(fields.clone());
+        let mut traced = InMemoryState::from_fields(fields);
+        for store in [&mut plain, &mut traced] {
+            run(&c, store, "Mint", addr(99), &[
+                ("to".into(), Value::address(addr(1))),
+                ("amount".into(), Value::Uint(128, 100)),
+            ])
+            .unwrap();
+        }
+        let args = vec![
+            ("to".to_string(), Value::address(addr(2))),
+            ("amount".to_string(), Value::Uint(128, 30)),
+        ];
+        let ctx = TransitionContext { sender: addr(1), ..TransitionContext::zeroed() };
+
+        let mut gas_plain = GasMeter::new(1_000_000);
+        let out_plain =
+            c.execute(&mut plain, "Transfer", &args, &params, &ctx, &mut gas_plain).unwrap();
+        let mut gas_traced = GasMeter::new(1_000_000);
+        let mut tracer = EffectTracer::new("Transfer");
+        let out_traced = c
+            .execute_traced(&mut traced, "Transfer", &args, &params, &ctx, &mut gas_traced, &mut tracer)
+            .unwrap();
+        assert_eq!(gas_plain.used(), gas_traced.used(), "tracing must not charge gas");
+        assert_eq!(out_plain.gas_used, out_traced.gas_used);
+
+        let fp = tracer.finish();
+        assert_eq!(fp.transition, "Transfer");
+        // Reads: balances[_sender] and balances[to].
+        assert_eq!(fp.reads.len(), 2);
+        assert!(fp.reads.iter().all(|r| r.field == "balances"));
+        assert_eq!(fp.reads[0].keys, vec![Value::address(addr(1))]);
+        assert_eq!(fp.reads[1].keys, vec![Value::address(addr(2))]);
+        // Writes: sub 30 from the sender, add 30 to a fresh recipient entry.
+        assert_eq!(fp.writes.len(), 2);
+        assert_eq!(fp.writes[0].op, ObservedOp::Sub(30));
+        assert_eq!(fp.writes[0].keys, vec![Value::address(addr(1))]);
+        assert_eq!(fp.writes[1].op, ObservedOp::Add(30));
+        assert_eq!(fp.writes[1].prior, None);
+        // Two statement-level matches branch on state-derived data.
+        assert_eq!(fp.conditions.len(), 2);
+        assert!(fp.conditions.iter().all(|c| c.span.line > 0));
+        assert_eq!(fp.accepts, 0);
+        assert!(fp.sends.is_empty());
+        assert_eq!(fp.builtin_ops.get("sub"), Some(&1));
+        // The recipient entry is fresh, so the `None => amount` branch runs
+        // and `builtin add` is never evaluated on this path.
+        assert_eq!(fp.builtin_ops.get("add"), None);
+        assert_eq!(fp.builtin_ops.get("le"), Some(&1));
     }
 
     #[test]

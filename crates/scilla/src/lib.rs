@@ -54,6 +54,7 @@ pub mod parser;
 pub mod printer;
 pub mod span;
 pub mod state;
+pub mod trace;
 pub mod typechecker;
 pub mod types;
 pub mod value;

@@ -39,6 +39,13 @@ pub mod names {
     pub const SIM_SAFETY_VIOLATION: &str = "chain.sim.safety_violation";
     /// Divergences detected by the differential oracle.
     pub const SIM_DIVERGENCE: &str = "chain.sim.divergence.detected";
+    /// Transition executions run with the effect tracer attached.
+    pub const AUDIT_TRACED: &str = "chain.audit.traced_executions";
+    /// Containment breaches reported by the effect-trace auditor. Non-zero
+    /// means a static summary under-approximated a real execution.
+    pub const AUDIT_VIOLATION: &str = "chain.audit.violations";
+    /// Findings reported by the contract lint pass.
+    pub const LINT_FINDINGS: &str = "cosplit.lint.findings";
 }
 
 /// Number of per-counter stripes. Power of two; enough that the handful of

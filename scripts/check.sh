@@ -19,4 +19,7 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "== sim smoke (differential oracle, fixed seed) =="
 cargo run --release -q -p cosplit-bench --bin sim_smoke
 
+echo "== audit smoke (effect-trace sanitizer + corpus lint sweep) =="
+cargo run --release -q -p cosplit-bench --bin audit_smoke
+
 echo "All checks passed."
