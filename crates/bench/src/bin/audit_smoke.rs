@@ -53,14 +53,27 @@ fn main() {
     println!("audit-smoke: lint sweep done, all audited plans clean");
 }
 
-/// Lints the whole mainnet sample; returns the number of *pipeline*
-/// failures (findings themselves are advisory and only counted).
+/// The expected lint census over the 49-contract mainnet sample, per rule.
+/// Asserted (not advisory): a drift in either direction means a rule changed
+/// behaviour — recheck the findings by hand and update both this table and
+/// the DESIGN.md §6c numbers.
+const EXPECTED_CENSUS: &[(&str, usize)] = &[
+    ("top-summary", 23),
+    ("write-never-read-back", 18),
+    ("accept-no-balance-effect", 4),
+    ("dead-pseudofield", 0),
+];
+
+/// Lints the whole mainnet sample; returns the number of failures (pipeline
+/// breaks, plus a census mismatch against [`EXPECTED_CENSUS`]).
 fn lint_sweep() -> u32 {
     let counter = telemetry::registry().counter(telemetry::names::LINT_FINDINGS);
     let mut failures = 0u32;
     let mut contracts = 0usize;
     let mut flagged = 0usize;
     let mut total = 0usize;
+    let mut census: std::collections::BTreeMap<&'static str, usize> =
+        EXPECTED_CENSUS.iter().map(|(rule, _)| (*rule, 0)).collect();
     for entry in corpus::mainnet_sample() {
         contracts += 1;
         let module = match scilla::parser::parse_module(entry.source) {
@@ -82,15 +95,23 @@ fn lint_sweep() -> u32 {
         let analyzed = AnalyzedContract::analyze(&checked);
         let findings = lint_contract(&checked, &analyzed);
         counter.add(findings.len() as u64);
+        for f in &findings {
+            *census.entry(f.rule).or_insert(0) += 1;
+        }
         if !findings.is_empty() {
             flagged += 1;
             total += findings.len();
             println!("  lint {}: {} finding(s)", entry.name, findings.len());
         }
     }
-    println!(
-        "lint sweep: {contracts} contracts, {flagged} flagged, {total} findings (advisory)"
-    );
+    println!("lint sweep: {contracts} contracts, {flagged} flagged, {total} findings");
+    for (rule, expected) in EXPECTED_CENSUS {
+        let got = census.get(rule).copied().unwrap_or(0);
+        if got != *expected {
+            eprintln!("FAIL lint census: rule '{rule}' produced {got} findings, expected {expected}");
+            failures += 1;
+        }
+    }
     failures
 }
 

@@ -3,7 +3,7 @@
 //! Usage:
 //!
 //! ```text
-//! paper [fig1|fig12|fig13|table52|fig14|overheads|strategies|ablation|tracer|overflow|all] [--fast]
+//! paper [fig1|fig12|fig13|table52|fig14|overheads|strategies|ablation|tracer|parallel|overflow|all] [--fast]
 //! ```
 //!
 //! `--fast` shrinks the Fig. 14 grid (fewer epochs, smaller gas budgets) so
@@ -28,6 +28,7 @@ fn main() {
         "overflow" => overflow(),
         "ablation" => ablation_cmd(fast),
         "tracer" => tracer_cmd(fast),
+        "parallel" => parallel_cmd(fast),
         "all" => {
             fig1();
             fig12(fast);
@@ -38,11 +39,12 @@ fn main() {
             strategies_cmd();
             ablation_cmd(fast);
             tracer_cmd(fast);
+            parallel_cmd(fast);
             overflow();
         }
         other => {
             eprintln!("unknown experiment '{other}'");
-            eprintln!("expected: fig1 | fig12 | fig13 | table52 | fig14 | overheads | strategies | ablation | tracer | overflow | all");
+            eprintln!("expected: fig1 | fig12 | fig13 | table52 | fig14 | overheads | strategies | ablation | tracer | parallel | overflow | all");
             std::process::exit(2);
         }
     }
@@ -311,6 +313,54 @@ fn tracer_cmd(fast: bool) {
     );
     println!("(tracing records every field access concretely; containment is checked per");
     println!(" invocation against the static summary. zero violations = sound summaries)");
+}
+
+fn parallel_cmd(fast: bool) {
+    heading("Pairwise commutativity — matrix density and intra-shard parallel speedup");
+    let rows: Vec<Vec<String>> = matrix_densities()
+        .iter()
+        .map(|r| {
+            vec![
+                r.name.to_string(),
+                r.transitions.to_string(),
+                format!("{:5.1}%", r.conflicting * 100.0),
+                format!("{:5.1}%", r.conditional * 100.0),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(&["contract", "transitions", "conflicting", "key-conditional"], &rows)
+    );
+
+    // Population sized so transfers rarely collide on a balance cell — the
+    // lightly-contended regime intra-shard parallelism targets (heavily
+    // contended accounts serialize by necessity, matrix or not).
+    let (users, txs, reps) = if fast { (2_048, 800, 2) } else { (4_096, 2_000, 3) };
+    let s = parallel_speedup(users, txs, 8, reps);
+    let ms = |d: std::time::Duration| d.as_secs_f64() * 1e3;
+    println!(
+        "intra-shard batch: {} txs ({} committed), serial {:.1} ms, {} workers {:.1} ms — {:.2}× speedup",
+        s.txs,
+        s.committed,
+        ms(s.serial),
+        s.workers,
+        ms(s.parallel),
+        s.speedup()
+    );
+    println!(
+        "(parallel regions credited at their measured critical path — the wall-clock a host",
+    );
+    println!(
+        " with ≥{} idle cores converges to; this host has {} core(s), where the raw wall was",
+        s.workers, s.host_cores
+    );
+    println!(
+        " {:.1} ms = {:.2}×. identical deltas and receipts asserted; the conflict matrix",
+        ms(s.parallel_wall),
+        s.speedup_wall()
+    );
+    println!(" supplies the dependency edges, commuting transfers share an execution layer)");
 }
 
 fn overflow() {

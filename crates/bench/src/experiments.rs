@@ -300,6 +300,7 @@ pub fn epoch_deltas(state: &GlobalState, load: &[Transaction]) -> Vec<StateDelta
                 overflow_guard: false,
                 allow_contract_msgs: false,
                 audit: false,
+                parallel_workers: 0,
             };
             execute_batch(&cfg, state, batch).delta
         })
@@ -497,6 +498,177 @@ pub fn tracer_overhead(kind_idx: usize, users: u64, txs: usize, epochs: usize) -
         tps_on: audited.tps(),
         violations,
     }
+}
+
+// -------------------------------------------------------------- parallel
+
+/// Density statistics of one contract's transition-commutativity matrix.
+#[derive(Debug, Clone)]
+pub struct MatrixDensityRow {
+    /// Corpus contract name.
+    pub name: &'static str,
+    /// Matrix dimension (number of transitions).
+    pub transitions: usize,
+    /// Fraction of pairs that conflict unconditionally.
+    pub conflicting: f64,
+    /// Fraction of pairs that commute only under key-disjoint bindings.
+    pub conditional: f64,
+}
+
+/// Builds the conflict matrix for each §5.2 evaluation contract and reports
+/// its densities. Also records them as gauges (`x1000`) so the metrics
+/// snapshot captures the numbers.
+pub fn matrix_densities() -> Vec<MatrixDensityRow> {
+    use cosplit_analysis::conflict::ConflictMatrix;
+    ["FungibleToken", "Crowdfunding", "NonfungibleToken", "ProofIPFS", "UD_registry"]
+        .into_iter()
+        .map(|name| {
+            let analyzed = AnalyzedContract::analyze(&check_contract(name));
+            let m = ConflictMatrix::build(name, &analyzed.summaries);
+            let row = MatrixDensityRow {
+                name,
+                transitions: m.len(),
+                conflicting: m.conflict_density(),
+                conditional: m.conditional_density(),
+            };
+            telemetry::registry()
+                .gauge(&format!("bench.parallel.conflict_density_x1000.{name}"))
+                .set((row.conflicting * 1000.0) as i64);
+            row
+        })
+        .collect()
+}
+
+/// Serial vs parallel intra-shard execution of one FungibleToken batch.
+#[derive(Debug, Clone)]
+pub struct ParallelSpeedup {
+    /// Worker threads used by the parallel run.
+    pub workers: usize,
+    /// Transactions in the measured batch.
+    pub txs: usize,
+    /// Committed transactions (identical on both sides).
+    pub committed: usize,
+    /// Best-of-reps serial wall-clock.
+    pub serial: Duration,
+    /// Best-of-reps *modelled* parallel latency: the run's wall-clock with
+    /// every parallel region credited at its critical path (the maximum
+    /// per-thread CPU busy time over the region's participants) instead of
+    /// its observed wall time. On a host with at least `workers` idle cores
+    /// the two coincide; on a core-starved host the model removes exactly
+    /// the preemption stalls the executor's telemetry measured.
+    pub parallel: Duration,
+    /// Best-of-reps raw parallel wall-clock on this host.
+    pub parallel_wall: Duration,
+    /// Cores the host actually offered (`available_parallelism`), recorded
+    /// so the metrics snapshot states which regime the wall number is from.
+    pub host_cores: usize,
+}
+
+impl ParallelSpeedup {
+    /// Serial time over modelled parallel time.
+    pub fn speedup(&self) -> f64 {
+        self.serial.as_secs_f64() / self.parallel.as_secs_f64().max(1e-9)
+    }
+
+    /// Serial time over raw parallel wall-clock on this host.
+    pub fn speedup_wall(&self) -> f64 {
+        self.serial.as_secs_f64() / self.parallel_wall.as_secs_f64().max(1e-9)
+    }
+}
+
+/// Measures the conflict-matrix-driven parallel scheduler against the serial
+/// executor on one shard's FungibleToken transfer batch, asserting the two
+/// produce bit-identical deltas and receipts. Gauges the result into the
+/// metrics snapshot.
+pub fn parallel_speedup(users: u64, txs: usize, workers: usize, reps: u32) -> ParallelSpeedup {
+    use chain::dispatch::Assignment;
+    use chain::executor::{execute_batch, ExecutorConfig, MicroBlock};
+    use workloads::runner::prepare;
+    use workloads::scenarios::{build, Kind};
+
+    let scenario = build(Kind::FtTransfer, users, txs, 7);
+    let net = prepare(&scenario, 1, true);
+    let state = net.state();
+    let batch: Vec<Transaction> = scenario
+        .load
+        .iter()
+        .filter(|tx| dispatch(tx, state, 1, true).assignment == Assignment::Shard(0))
+        .cloned()
+        .collect();
+    let cfg = |parallel_workers: usize| ExecutorConfig {
+        role: Assignment::Shard(0),
+        num_shards: 1,
+        gas_limit: u64::MAX,
+        block_number: 10,
+        use_cosplit: true,
+        overflow_guard: false,
+        allow_contract_msgs: false,
+        audit: false,
+        parallel_workers,
+    };
+    // Derive summaries + matrix up front so neither side pays the one-time
+    // analysis inside its timed region.
+    for c in state.contracts.values() {
+        let _ = c.conflict_matrix();
+    }
+
+    let time = |cfg: &ExecutorConfig| -> (Duration, Duration, MicroBlock) {
+        let reg = telemetry::registry();
+        let region_wall = reg.counter(telemetry::names::PARALLEL_REGION_WALL);
+        let region_crit = reg.counter(telemetry::names::PARALLEL_REGION_CRITICAL);
+        let mut best = Duration::MAX;
+        let mut best_wall = Duration::MAX;
+        let mut out = None;
+        for _ in 0..reps.max(1) {
+            let (w0, c0) = (region_wall.get(), region_crit.get());
+            let t0 = Instant::now();
+            let mb = execute_batch(cfg, state, batch.clone());
+            let wall = t0.elapsed();
+            // Credit each parallel region at its critical path: that is the
+            // wall-clock a host with ≥ `workers` idle cores converges to,
+            // while the observed region wall additionally pays this host's
+            // preemption stalls. Serial runs leave both counters untouched,
+            // so there `modelled == wall`.
+            let stall = Duration::from_micros(region_wall.get() - w0)
+                .saturating_sub(Duration::from_micros(region_crit.get() - c0));
+            let modelled = wall.saturating_sub(stall);
+            best = best.min(modelled);
+            best_wall = best_wall.min(wall);
+            out = Some(mb);
+        }
+        (best, best_wall, out.expect("at least one rep"))
+    };
+
+    let (serial, _, mb_s) = time(&cfg(0));
+    let (parallel, parallel_wall, mb_p) = time(&cfg(workers));
+
+    // The scheduler's contract: bit-identical output.
+    assert_eq!(
+        mb_s.delta.to_wire(),
+        mb_p.delta.to_wire(),
+        "parallel delta must equal serial delta"
+    );
+    assert_eq!(mb_s.receipts, mb_p.receipts, "parallel receipts must equal serial receipts");
+
+    let result = ParallelSpeedup {
+        workers,
+        txs: batch.len(),
+        committed: mb_p.committed(),
+        serial,
+        parallel,
+        parallel_wall,
+        host_cores: std::thread::available_parallelism().map_or(1, |n| n.get()),
+    };
+    let reg = telemetry::registry();
+    reg.gauge("bench.parallel.workers").set(workers as i64);
+    reg.gauge("bench.parallel.host_cores").set(result.host_cores as i64);
+    reg.gauge("bench.parallel.batch_txs").set(result.txs as i64);
+    reg.gauge("bench.parallel.serial_micros").set(serial.as_micros() as i64);
+    reg.gauge("bench.parallel.parallel_micros").set(parallel.as_micros() as i64);
+    reg.gauge("bench.parallel.parallel_wall_micros").set(parallel_wall.as_micros() as i64);
+    reg.gauge("bench.parallel.speedup_x1000").set((result.speedup() * 1000.0) as i64);
+    reg.gauge("bench.parallel.speedup_wall_x1000").set((result.speedup_wall() * 1000.0) as i64);
+    result
 }
 
 #[cfg(test)]

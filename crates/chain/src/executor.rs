@@ -6,21 +6,36 @@
 //! its writes are undone, gas is still charged. The DS committee reuses the
 //! same executor after the shard deltas merge, with chained contract calls
 //! enabled.
+//!
+//! With `parallel_workers ≥ 2` a shard instead schedules its packet over the
+//! per-contract [`ConflictMatrix`]: transactions are topologically layered by
+//! a pairwise dependency test (the matrix for same-contract calls, account
+//! overlap otherwise), each layer runs on `std::thread::scope` workers, and
+//! the per-worker [`StateDelta`]s merge back through the PCM merge. The
+//! scheduler only omits an edge when the static analysis proves the pair
+//! touches disjoint state, so receipts, deltas, and digests stay bit-identical
+//! to the serial order.
 
 use crate::address::Address;
-use crate::delta::{compute_int_delta, read_component, Component, ContractDelta, StateDelta};
+use crate::delta::{
+    apply_int_delta, compute_int_delta, read_component, Component, ContractDelta, StateDelta,
+};
 use crate::dispatch::{component_shard, Assignment};
 use crate::tx::{Transaction, TxKind};
-use cosplit_analysis::audit::{audit_placement, audit_transition, AuditViolation};
+use cosplit_analysis::audit::{audit_placement, audit_transition, AuditViolation, ViolationKind};
+use cosplit_analysis::conflict::{concrete_pair_conflicts, keyed_accesses, ConflictMatrix};
 use cosplit_analysis::signature::Join;
 use scilla::builtins::uint_max;
 use scilla::error::ExecError;
 use scilla::gas::{GasMeter, COST_TX_BASE};
 use scilla::interpreter::{OutMsg, TransitionContext};
+use scilla::span::Span;
 use scilla::state::{InMemoryState, StateStore};
 use scilla::trace::{DynamicFootprint, EffectTracer};
 use scilla::value::Value;
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use crate::state::{DeployedContract, GlobalState};
 
@@ -44,6 +59,12 @@ pub struct ExecutorConfig {
     /// Run every transition with the effect tracer and audit its concrete
     /// footprint against the static summary and sharding discipline.
     pub audit: bool,
+    /// Worker threads for conflict-matrix-scheduled intra-shard execution.
+    /// `0` or `1` keeps the serial path. The parallel scheduler only engages
+    /// on shard committees without chained contract calls and without the
+    /// overflow guard (the guard reads the cumulative working state, which
+    /// is inherently order-dependent across a layer).
+    pub parallel_workers: usize,
 }
 
 /// Outcome of one transaction.
@@ -131,32 +152,23 @@ pub fn execute_batch(
     txs: Vec<Transaction>,
 ) -> MicroBlock {
     let _span = telemetry::span!("chain.executor.batch_duration");
-    let mut exec = Executor {
-        cfg,
-        snapshot,
-        storages: BTreeMap::new(),
-        balance: Ledger {
-            snapshot,
-            role: cfg.role,
-            num_shards: cfg.num_shards,
-            spent: BTreeMap::new(),
-            deltas: BTreeMap::new(),
-        },
-        nonce_committed: BTreeMap::new(),
-        receipts: Vec::new(),
-        deferred: Vec::new(),
-        rerouted: Vec::new(),
-        gas_used: 0,
-        violations: Vec::new(),
-    };
-    let mut over_budget = false;
-    for tx in txs {
-        if over_budget || exec.gas_used + tx.gas_limit > cfg.gas_limit {
-            over_budget = true;
-            exec.deferred.push(tx);
-            continue;
+    let mut exec = Executor::new(cfg, snapshot);
+    let parallel = cfg.parallel_workers >= 2
+        && !cfg.overflow_guard
+        && !cfg.allow_contract_msgs
+        && matches!(cfg.role, Assignment::Shard(_));
+    if parallel {
+        exec.run_parallel(txs);
+    } else {
+        let mut over_budget = false;
+        for tx in txs {
+            if over_budget || exec.gas_used + tx.gas_limit > cfg.gas_limit {
+                over_budget = true;
+                exec.deferred.push(tx);
+                continue;
+            }
+            exec.process(tx);
         }
-        exec.process(tx);
     }
     let mb = exec.finish();
     record_batch_metrics(&mb);
@@ -209,6 +221,15 @@ struct Ledger<'a> {
     spent: BTreeMap<Address, u128>,
     /// Net changes, reported in the state delta.
     deltas: BTreeMap<Address, i128>,
+    /// Prior value of every entry mutated since the last checkpoint, so a
+    /// per-transaction rollback is O(mutations) instead of cloning both maps.
+    log: Vec<LedgerUndo>,
+}
+
+/// One `Ledger` mutation's undo record (`None` = the entry did not exist).
+enum LedgerUndo {
+    Spent(Address, Option<u128>),
+    Delta(Address, Option<i128>),
 }
 
 impl Ledger<'_> {
@@ -237,26 +258,44 @@ impl Ledger<'_> {
     }
 
     fn debit(&mut self, addr: Address, amount: u128) -> Result<(), String> {
-        let spent = self.spent.get(&addr).copied().unwrap_or(0);
+        let prior = self.spent.get(&addr).copied();
+        let spent = prior.unwrap_or(0);
         if spent + amount > self.slice(&addr) {
             return Err(format!("insufficient balance slice for {addr}"));
         }
+        self.log.push(LedgerUndo::Spent(addr, prior));
         self.spent.insert(addr, spent + amount);
+        self.log.push(LedgerUndo::Delta(addr, self.deltas.get(&addr).copied()));
         *self.deltas.entry(addr).or_insert(0) -= amount as i128;
         Ok(())
     }
 
     fn credit(&mut self, addr: Address, amount: u128) {
+        self.log.push(LedgerUndo::Delta(addr, self.deltas.get(&addr).copied()));
         *self.deltas.entry(addr).or_insert(0) += amount as i128;
     }
 
-    fn undo(&mut self, checkpoint: (BTreeMap<Address, u128>, BTreeMap<Address, i128>)) {
-        self.spent = checkpoint.0;
-        self.deltas = checkpoint.1;
+    fn undo(&mut self, checkpoint: usize) {
+        while self.log.len() > checkpoint {
+            match self.log.pop().expect("len checked") {
+                LedgerUndo::Spent(a, Some(v)) => {
+                    self.spent.insert(a, v);
+                }
+                LedgerUndo::Spent(a, None) => {
+                    self.spent.remove(&a);
+                }
+                LedgerUndo::Delta(a, Some(v)) => {
+                    self.deltas.insert(a, v);
+                }
+                LedgerUndo::Delta(a, None) => {
+                    self.deltas.remove(&a);
+                }
+            }
+        }
     }
 
-    fn checkpoint(&self) -> (BTreeMap<Address, u128>, BTreeMap<Address, i128>) {
-        (self.spent.clone(), self.deltas.clone())
+    fn checkpoint(&self) -> usize {
+        self.log.len()
     }
 }
 
@@ -264,6 +303,32 @@ impl Ledger<'_> {
 struct ShardStorage {
     state: InMemoryState,
     touched: BTreeSet<Component>,
+    /// Each touched component's value when this executor first wrote it
+    /// (recorded at journal commit). A layer worker starts from a clone of
+    /// the scheduler's working state, so its priors are the layer-start
+    /// values its delta is computed against.
+    priors: BTreeMap<Component, Option<Value>>,
+}
+
+/// One audited transition invocation, retained for the pairwise conflict
+/// cross-check (populated only when `ExecutorConfig::audit` is set).
+struct TracedCall {
+    tx_id: u64,
+    contract: Address,
+    sender: Address,
+    origin: Address,
+    amount: u128,
+    args: Vec<(String, Value)>,
+    footprint: DynamicFootprint,
+}
+
+/// The per-transaction outputs of one scheduled execution, keyed by packet
+/// position so layers can re-assemble them in serial order.
+struct TxSlot {
+    receipt: Receipt,
+    violations: Vec<AuditViolation>,
+    traced: Vec<TracedCall>,
+    rerouted: Option<Transaction>,
 }
 
 struct Executor<'a> {
@@ -277,9 +342,94 @@ struct Executor<'a> {
     rerouted: Vec<Transaction>,
     gas_used: u64,
     violations: Vec<AuditViolation>,
+    traced: Vec<TracedCall>,
+    /// Id of the transaction currently in `process` (tags traced calls).
+    current_tx: u64,
+    /// On wave workers only: `(sender, committed-nonce count at wave start)`
+    /// for every sender that committed a nonce this wave, in commit order,
+    /// so the wave yield reports nonces in O(wave) instead of O(accounts).
+    wave_nonce_marks: Vec<(Address, usize)>,
+    /// Set on forked wave workers; gates `wave_nonce_marks` tracking.
+    track_wave_marks: bool,
+    /// Wall-clock spent inside this scheduler's parallel regions, and the
+    /// per-region maximum of the participants' thread-CPU busy time (the
+    /// region's critical path on an unconstrained host). Reported through
+    /// telemetry at `finish` so benchmarks can model the batch latency on a
+    /// machine with ≥ `parallel_workers` cores even when the host has fewer.
+    par_region_wall: Duration,
+    par_region_critical: Duration,
 }
 
-impl Executor<'_> {
+impl<'a> Executor<'a> {
+    fn new(cfg: &'a ExecutorConfig, snapshot: &'a GlobalState) -> Executor<'a> {
+        Executor {
+            cfg,
+            snapshot,
+            storages: BTreeMap::new(),
+            balance: Ledger {
+                snapshot,
+                role: cfg.role,
+                num_shards: cfg.num_shards,
+                spent: BTreeMap::new(),
+                deltas: BTreeMap::new(),
+                log: Vec::new(),
+            },
+            nonce_committed: BTreeMap::new(),
+            receipts: Vec::new(),
+            deferred: Vec::new(),
+            rerouted: Vec::new(),
+            gas_used: 0,
+            violations: Vec::new(),
+            traced: Vec::new(),
+            current_tx: 0,
+            wave_nonce_marks: Vec::new(),
+            track_wave_marks: false,
+            par_region_wall: Duration::ZERO,
+            par_region_critical: Duration::ZERO,
+        }
+    }
+
+    /// A worker executor for one layer: it sees the scheduler's current
+    /// working state, spent totals, and committed nonces, but accumulates
+    /// its own deltas, receipts, and priors from a clean slate.
+    fn fork(&self) -> Executor<'a> {
+        Executor {
+            cfg: self.cfg,
+            snapshot: self.snapshot,
+            storages: self
+                .storages
+                .iter()
+                .map(|(addr, s)| {
+                    (*addr, ShardStorage {
+                        state: s.state.clone(),
+                        touched: BTreeSet::new(),
+                        priors: BTreeMap::new(),
+                    })
+                })
+                .collect(),
+            balance: Ledger {
+                snapshot: self.snapshot,
+                role: self.cfg.role,
+                num_shards: self.cfg.num_shards,
+                spent: self.balance.spent.clone(),
+                deltas: BTreeMap::new(),
+                log: Vec::new(),
+            },
+            nonce_committed: self.nonce_committed.clone(),
+            receipts: Vec::new(),
+            deferred: Vec::new(),
+            rerouted: Vec::new(),
+            gas_used: 0,
+            violations: Vec::new(),
+            traced: Vec::new(),
+            current_tx: 0,
+            wave_nonce_marks: Vec::new(),
+            track_wave_marks: true,
+            par_region_wall: Duration::ZERO,
+            par_region_critical: Duration::ZERO,
+        }
+    }
+
     fn nonce_usable(&self, addr: &Address, nonce: u64) -> bool {
         let base_ok = self
             .snapshot
@@ -295,6 +445,7 @@ impl Executor<'_> {
     }
 
     fn process(&mut self, tx: Transaction) {
+        self.current_tx = tx.id;
         if !self.nonce_usable(&tx.sender, tx.nonce) {
             self.receipts.push(Receipt {
                 tx_id: tx.id,
@@ -348,7 +499,11 @@ impl Executor<'_> {
         let actual_fee = gas as u128 * tx.gas_price;
         self.balance.credit(tx.sender, fee_reserve.saturating_sub(actual_fee));
         self.gas_used += gas;
-        self.nonce_committed.entry(tx.sender).or_default().push(tx.nonce);
+        let committed = self.nonce_committed.entry(tx.sender).or_default();
+        if self.track_wave_marks {
+            self.wave_nonce_marks.push((tx.sender, committed.len()));
+        }
+        committed.push(tx.nonce);
         self.receipts.push(Receipt { tx_id: tx.id, status, gas_used: gas, events });
     }
 
@@ -468,6 +623,15 @@ impl Executor<'_> {
         };
         if let Some(fp) = footprint {
             self.audit_invocation(&deployed, &fp, args, &ctx);
+            self.traced.push(TracedCall {
+                tx_id: self.current_tx,
+                contract,
+                sender,
+                origin,
+                amount,
+                args: args.to_vec(),
+                footprint: fp,
+            });
         }
 
         if outcome.accepted && amount > 0 {
@@ -575,6 +739,7 @@ impl Executor<'_> {
         self.storages.entry(contract).or_insert_with(|| ShardStorage {
             state: self.snapshot.storage.get(&contract).cloned().unwrap_or_default(),
             touched: BTreeSet::new(),
+            priors: BTreeMap::new(),
         });
     }
 
@@ -626,7 +791,421 @@ impl Executor<'_> {
             .map(|s| &s.joins)
     }
 
+    // ------------------------------------------------------------ parallel
+
+    /// Conflict-matrix-scheduled execution of one packet (the tentpole).
+    ///
+    /// Gas admission mirrors the serial loop exactly: a window of
+    /// transactions is admitted while the sum of their gas *limits* still
+    /// fits the remaining budget — so every admitted transaction would also
+    /// have passed the serial per-transaction check — and after the window
+    /// commits, the next transaction is re-tested against the *actual* gas
+    /// used. The first transaction that cannot fit defers itself and, as in
+    /// the serial path, everything behind it.
+    fn run_parallel(&mut self, txs: Vec<Transaction>) {
+        if telemetry::enabled() {
+            telemetry::counter!(telemetry::names::PARALLEL_BATCHES).inc();
+        }
+        let mut pending: VecDeque<Transaction> = txs.into();
+        let mut over_budget = false;
+        while let Some(front) = pending.front() {
+            if over_budget || self.gas_used + front.gas_limit > self.cfg.gas_limit {
+                over_budget = true;
+                let tx = pending.pop_front().expect("front exists");
+                self.deferred.push(tx);
+                continue;
+            }
+            let mut window = Vec::new();
+            let mut planned = self.gas_used;
+            while let Some(tx) = pending.front() {
+                if planned + tx.gas_limit > self.cfg.gas_limit {
+                    break;
+                }
+                planned += tx.gas_limit;
+                window.push(pending.pop_front().expect("front exists"));
+            }
+            self.run_window(window);
+        }
+    }
+
+    /// Executes one gas-admitted window: topologically layer the dependency
+    /// graph, run each multi-transaction layer on scoped workers, and
+    /// re-assemble every per-transaction output in packet order.
+    fn run_window(&mut self, window: Vec<Transaction>) {
+        let layers = {
+            let nodes: Vec<TxNode> =
+                window.iter().map(|tx| TxNode::of(tx, self.snapshot)).collect();
+            // layer(k) = 1 + max layer over earlier transactions k depends
+            // on. "No edge" is a *symmetric* no-interference guarantee, so a
+            // later-packet transaction may safely run in an earlier wave:
+            // neither side reads, writes, or debits anything the other
+            // touches, hence both receipts and the final state match the
+            // serial packet order.
+            let layer = layer_window(&nodes);
+            let num_layers = layer.iter().max().map_or(0, |m| m + 1);
+            let mut layers: Vec<Vec<usize>> = vec![Vec::new(); num_layers];
+            for (k, l) in layer.iter().enumerate() {
+                layers[*l].push(k);
+            }
+            layers
+        };
+        if telemetry::enabled() {
+            telemetry::histogram!(telemetry::names::PARALLEL_LAYERS, telemetry::SIZE_BUCKETS)
+                .record(layers.len() as u64);
+            for wave in &layers {
+                telemetry::histogram!(
+                    telemetry::names::PARALLEL_LAYER_WIDTH,
+                    telemetry::SIZE_BUCKETS
+                )
+                .record(wave.len() as u64);
+            }
+        }
+
+        let mut slots: Vec<Option<TxSlot>> = Vec::new();
+        slots.resize_with(window.len(), || None);
+        let mut window: Vec<Option<Transaction>> = window.into_iter().map(Some).collect();
+        // Workers are forked once, at the first multi-transaction wave, and
+        // persist for the rest of the window: re-cloning the full working
+        // state every wave would cost O(state × workers × waves), while
+        // re-syncing persistent workers with their peers' wave deltas costs
+        // O(touched × workers). Until that first fork, single-transaction
+        // waves run inline on the scheduler; afterwards they go through a
+        // worker like any other wave so every copy of the state stays in
+        // lock-step.
+        let mut workers: Vec<Executor<'a>> = Vec::new();
+        for wave in layers {
+            if wave.len() == 1 && workers.is_empty() {
+                let k = wave[0];
+                let tx = window[k].take().expect("tx scheduled once");
+                slots[k] = Some(self.process_slotted(tx));
+                continue;
+            }
+            if workers.is_empty() {
+                workers = (0..self.cfg.parallel_workers).map(|_| self.fork()).collect();
+            }
+            self.run_wave(&wave, &mut window, &mut slots, &mut workers);
+        }
+        for slot in slots.into_iter().flatten() {
+            self.receipts.push(slot.receipt);
+            self.violations.extend(slot.violations);
+            self.traced.extend(slot.traced);
+            if let Some(tx) = slot.rerouted {
+                self.rerouted.push(tx);
+            }
+        }
+    }
+
+    /// Runs one wave on the window's scoped worker threads, merges the
+    /// per-worker state deltas back through the PCM merge, and brings every
+    /// worker in sync with its peers' contributions.
+    fn run_wave(
+        &mut self,
+        wave: &[usize],
+        window: &mut [Option<Transaction>],
+        slots: &mut [Option<TxSlot>],
+        workers: &mut [Executor<'a>],
+    ) {
+        let active = workers.len().min(wave.len());
+        let chunk_size = wave.len().div_ceil(active);
+        // Contiguous chunks keep packet order within and across workers.
+        let chunks: Vec<Vec<(usize, Transaction)>> = wave
+            .chunks(chunk_size)
+            .map(|c| {
+                c.iter().map(|&k| (k, window[k].take().expect("tx scheduled once"))).collect()
+            })
+            .collect();
+
+        // Phase A: execute the chunks on scoped worker threads. Each worker
+        // reports its thread-CPU busy time alongside its yield so the
+        // region's critical path is known even when the host has fewer cores
+        // than workers (the wall-clock then includes preemption stalls that
+        // a machine with ≥ `parallel_workers` cores would not see).
+        let wall_a = Instant::now();
+        type WaveYield =
+            (Vec<(usize, TxSlot)>, StateDelta, BTreeMap<Address, u128>, u64, Duration);
+        let yields: Vec<WaveYield> = std::thread::scope(|scope| {
+            let handles: Vec<_> = workers
+                .iter_mut()
+                .zip(chunks)
+                .map(|(w, chunk)| {
+                    scope.spawn(move || {
+                        let cpu0 = thread_cpu_time();
+                        let mut out = Vec::new();
+                        for (k, tx) in chunk {
+                            out.push((k, w.process_slotted(tx)));
+                        }
+                        let (delta, spent_diff, gas) = w.take_wave_yield();
+                        (out, delta, spent_diff, gas, thread_cpu_time().saturating_sub(cpu0))
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("layer worker panicked")).collect()
+        });
+        let wall_a = wall_a.elapsed();
+
+        let mut wave_deltas = Vec::new();
+        let mut spent_diffs = Vec::new();
+        let mut max_busy = Duration::ZERO;
+        for (out, delta, spent_diff, gas, busy) in yields {
+            for (k, slot) in out {
+                slots[k] = Some(slot);
+            }
+            self.gas_used += gas;
+            wave_deltas.push(delta);
+            spent_diffs.push(spent_diff);
+            max_busy = max_busy.max(busy);
+        }
+        self.par_region_wall += wall_a;
+        self.par_region_critical += max_busy.min(wall_a);
+
+        // The wave's cells are pairwise disjoint across workers — that is
+        // exactly what the missing dependency edges prove — so the PCM merge
+        // cannot hit an overwrite collision. Asserted in debug builds;
+        // release builds apply the disjoint deltas directly.
+        #[cfg(debug_assertions)]
+        StateDelta::merge(wave_deltas.iter().cloned()).expect("wave deltas are disjoint");
+
+        // Phase B: each worker already holds its own writes; scoped threads
+        // hand it the peers', which apply against the very priors they were
+        // computed from (disjointness again). The scheduler concurrently
+        // folds every delta into its own working copy on this thread — its
+        // storages are distinct from all the workers'.
+        let wall_b = Instant::now();
+        let (sched_busy, sync_busies): (Duration, Vec<Duration>) = std::thread::scope(|scope| {
+            let wave_deltas = &wave_deltas;
+            let spent_diffs = &spent_diffs;
+            let handles: Vec<_> = workers
+                .iter_mut()
+                .enumerate()
+                .map(|(wi, w)| {
+                    scope.spawn(move || {
+                        let cpu0 = thread_cpu_time();
+                        for (di, delta) in wave_deltas.iter().enumerate() {
+                            if di != wi {
+                                w.sync_peer_delta(delta, &spent_diffs[di]);
+                            }
+                        }
+                        thread_cpu_time().saturating_sub(cpu0)
+                    })
+                })
+                .collect();
+            let cpu0 = thread_cpu_time();
+            for (delta, spent_diff) in wave_deltas.iter().zip(spent_diffs) {
+                self.apply_wave_delta(delta);
+                for (addr, v) in spent_diff {
+                    *self.balance.spent.entry(*addr).or_insert(0) += v;
+                }
+            }
+            let sched = thread_cpu_time().saturating_sub(cpu0);
+            let busies =
+                handles.into_iter().map(|h| h.join().expect("sync worker panicked")).collect();
+            (sched, busies)
+        });
+        let wall_b = wall_b.elapsed();
+        let crit_b = sync_busies.into_iter().fold(sched_busy, Duration::max);
+        self.par_region_wall += wall_b;
+        self.par_region_critical += crit_b.min(wall_b);
+    }
+
+    /// Runs one transaction and captures its outputs as a slot instead of
+    /// leaving them appended to the executor's running vectors.
+    fn process_slotted(&mut self, tx: Transaction) -> TxSlot {
+        let v0 = self.violations.len();
+        let t0 = self.traced.len();
+        let r0 = self.rerouted.len();
+        self.process(tx);
+        TxSlot {
+            receipt: self.receipts.pop().expect("process pushes one receipt"),
+            violations: self.violations.split_off(v0),
+            traced: self.traced.split_off(t0),
+            rerouted: if self.rerouted.len() > r0 { self.rerouted.pop() } else { None },
+        }
+    }
+
+    /// Yields a persistent layer worker's contribution against the wave
+    /// start — a [`StateDelta`] (integer deltas wherever the change is a
+    /// plain add/sub, overwrites otherwise), the gross spent increments, and
+    /// the gas it consumed — and resets the per-wave tracking so the next
+    /// wave's yield reports only its own work. The worker's balance deltas
+    /// are wave-local (`debit` never consults them), so taking the whole map
+    /// is exact; `spent` is cumulative and stays. Everything is
+    /// reconstructed from per-wave journals (touched components, nonce
+    /// marks, the ledger's undo log), so a yield costs O(wave work), not
+    /// O(accounts touched since the window began).
+    fn take_wave_yield(&mut self) -> (StateDelta, BTreeMap<Address, u128>, u64) {
+        let mut delta = StateDelta::new();
+        for (addr, storage) in &mut self.storages {
+            if storage.touched.is_empty() {
+                continue;
+            }
+            let mut cd = ContractDelta::default();
+            for comp in &storage.touched {
+                let final_v = read_component(&storage.state, comp);
+                let prior = storage.priors.get(comp).cloned().flatten();
+                let id = final_v.as_ref().and_then(|v| compute_int_delta(prior.as_ref(), v));
+                match id {
+                    Some(id) => {
+                        cd.int_deltas.insert(comp.clone(), id);
+                    }
+                    None => {
+                        cd.overwrites.insert(comp.clone(), final_v);
+                    }
+                }
+            }
+            storage.touched.clear();
+            storage.priors.clear();
+            delta.contracts.insert(*addr, cd);
+        }
+        delta.balances = std::mem::take(&mut self.balance.deltas);
+        // The first `Spent` undo record per address carries its wave-start
+        // gross total (later records only re-confirm it).
+        let mut spent_base: BTreeMap<Address, u128> = BTreeMap::new();
+        for entry in &self.balance.log {
+            if let LedgerUndo::Spent(addr, prior) = entry {
+                spent_base.entry(*addr).or_insert(prior.unwrap_or(0));
+            }
+        }
+        self.balance.log.clear();
+        let mut spent_diff = BTreeMap::new();
+        for (addr, base) in spent_base {
+            let cur = self.balance.spent.get(&addr).copied().unwrap_or(0);
+            if cur > base {
+                spent_diff.insert(addr, cur - base);
+            }
+        }
+        // Likewise, the first nonce mark per sender carries its wave-start
+        // committed count.
+        for (addr, start) in std::mem::take(&mut self.wave_nonce_marks) {
+            if delta.nonces.contains_key(&addr) {
+                continue;
+            }
+            let ns = &self.nonce_committed[&addr];
+            if ns.len() > start {
+                delta.nonces.insert(addr, ns[start..].to_vec());
+            }
+        }
+        (delta, spent_diff, std::mem::take(&mut self.gas_used))
+    }
+
+    /// Applies a peer worker's wave delta to this worker's working copy so
+    /// the next wave starts from the merged state. Deliberately does *not*
+    /// record anything as touched: peer writes are context, not this
+    /// worker's contribution, and must not resurface in its next yield.
+    /// (Peer balance deltas are skipped outright — worker deltas are
+    /// wave-local and nothing on the worker reads them.)
+    fn sync_peer_delta(&mut self, delta: &StateDelta, spent_diff: &BTreeMap<Address, u128>) {
+        for (addr, cd) in &delta.contracts {
+            self.ensure_storage(*addr);
+            let storage = self.storages.get_mut(addr).expect("ensured above");
+            for (comp, id) in &cd.int_deltas {
+                let cur = read_component(&storage.state, comp);
+                let new = apply_int_delta(cur.as_ref(), id).expect("wave delta applies");
+                write_component(&mut storage.state, comp, Some(new));
+            }
+            for (comp, val) in &cd.overwrites {
+                write_component(&mut storage.state, comp, val.clone());
+            }
+        }
+        for (addr, ns) in &delta.nonces {
+            self.nonce_committed.entry(*addr).or_default().extend(ns.iter().copied());
+        }
+        for (addr, v) in spent_diff {
+            *self.balance.spent.entry(*addr).or_insert(0) += v;
+        }
+    }
+
+    /// Applies one worker's wave delta onto the scheduler's working state
+    /// (workers' deltas are disjoint, so applying them one by one equals
+    /// applying their merge).
+    fn apply_wave_delta(&mut self, delta: &StateDelta) {
+        for (addr, cd) in &delta.contracts {
+            self.ensure_storage(*addr);
+            let storage = self.storages.get_mut(addr).expect("ensured above");
+            for (comp, id) in &cd.int_deltas {
+                let cur = read_component(&storage.state, comp);
+                // At most one transaction per wave touches any component, so
+                // `cur` is exactly the prior the delta was computed against
+                // and the addition reproduces the worker's final value.
+                let new = apply_int_delta(cur.as_ref(), id).expect("wave delta applies");
+                write_component(&mut storage.state, comp, Some(new));
+                storage.touched.insert(comp.clone());
+            }
+            for (comp, val) in &cd.overwrites {
+                write_component(&mut storage.state, comp, val.clone());
+                storage.touched.insert(comp.clone());
+            }
+        }
+        for (addr, d) in &delta.balances {
+            *self.balance.deltas.entry(*addr).or_insert(0) += d;
+        }
+        for (addr, ns) in &delta.nonces {
+            self.nonce_committed.entry(*addr).or_default().extend(ns.iter().copied());
+        }
+    }
+
+    /// Satellite cross-check (audit mode): every pair of traced invocations
+    /// whose *concrete* footprints interfere must also be flagged by the
+    /// static conflict matrix under the pair's concrete bindings — otherwise
+    /// the parallel scheduler could have run them in the same layer.
+    /// Invocations of the same transaction are exempt (a chained call
+    /// interfering with its own caller is sequenced by the interpreter, not
+    /// the scheduler).
+    fn conflict_cross_check(&mut self) {
+        if self.traced.len() < 2 {
+            return;
+        }
+        let mut found = Vec::new();
+        for i in 0..self.traced.len() {
+            for j in i + 1..self.traced.len() {
+                let (a, b) = (&self.traced[i], &self.traced[j]);
+                if a.contract != b.contract || a.tx_id == b.tx_id {
+                    continue;
+                }
+                let Some(clash) = concrete_pair_conflicts(&a.footprint, &b.footprint) else {
+                    continue;
+                };
+                let Some(deployed) = self.snapshot.contracts.get(&a.contract) else {
+                    continue;
+                };
+                let matrix = deployed.conflict_matrix();
+                let bind_a = trace_binding(a, deployed);
+                let bind_b = trace_binding(b, deployed);
+                if matrix.conflicts_concrete(
+                    &a.footprint.transition,
+                    &bind_a,
+                    &b.footprint.transition,
+                    &bind_b,
+                ) {
+                    continue;
+                }
+                found.push(AuditViolation {
+                    kind: ViolationKind::ConflictMissed,
+                    transition: a.footprint.transition.clone(),
+                    pseudofield: None,
+                    concrete: format!(
+                        "pair with '{}' (tx {} vs tx {}): {clash}",
+                        b.footprint.transition, a.tx_id, b.tx_id
+                    ),
+                    abstract_op: None,
+                    observed_op: None,
+                    span: Span::default(),
+                });
+            }
+        }
+        if telemetry::enabled() && !found.is_empty() {
+            telemetry::counter!(telemetry::names::AUDIT_VIOLATION).add(found.len() as u64);
+        }
+        self.violations.extend(found);
+    }
+
     fn finish(mut self) -> MicroBlock {
+        self.conflict_cross_check();
+        if telemetry::enabled() && self.par_region_wall > Duration::ZERO {
+            telemetry::counter!(telemetry::names::PARALLEL_REGION_WALL)
+                .add(self.par_region_wall.as_micros() as u64);
+            telemetry::counter!(telemetry::names::PARALLEL_REGION_CRITICAL)
+                .add(self.par_region_critical.as_micros() as u64);
+        }
         let mut delta = StateDelta::new();
         for (addr, storage) in &self.storages {
             if storage.touched.is_empty() {
@@ -686,6 +1265,14 @@ struct TxJournal {
 
 impl TxJournal {
     fn commit(self, storages: &mut BTreeMap<Address, ShardStorage>) {
+        // The first undo entry per component carries the value it had before
+        // this executor ever wrote it — a layer worker turns those into its
+        // against-layer-start delta.
+        for (addr, comp, prior) in self.undo {
+            if let Some(s) = storages.get_mut(&addr) {
+                s.priors.entry(comp).or_insert(prior);
+            }
+        }
         for (addr, comp) in self.touched {
             if let Some(s) = storages.get_mut(&addr) {
                 s.touched.insert(comp);
@@ -760,5 +1347,456 @@ impl StateStore for JournaledStore<'_, '_> {
     fn map_delete(&mut self, field: &str, keys: &[Value]) {
         self.record(field, keys);
         self.inner.map_delete(field, keys);
+    }
+}
+
+/// The calling thread's consumed CPU time (`CLOCK_THREAD_CPUTIME_ID`),
+/// queried straight through the vDSO to keep the crate free of a libc
+/// dependency. Returns zero if the clock is unavailable, which only skews
+/// the *modelled* speedup telemetry, never execution results.
+fn thread_cpu_time() -> Duration {
+    #[repr(C)]
+    struct Timespec {
+        sec: i64,
+        nsec: i64,
+    }
+    extern "C" {
+        fn clock_gettime(clockid: i32, tp: *mut Timespec) -> i32;
+    }
+    const CLOCK_THREAD_CPUTIME_ID: i32 = 3;
+    let mut ts = Timespec { sec: 0, nsec: 0 };
+    // SAFETY: `ts` is a valid, writable struct with `struct timespec`'s
+    // layout on every 64-bit Linux ABI.
+    let rc = unsafe { clock_gettime(CLOCK_THREAD_CPUTIME_ID, &mut ts) };
+    if rc == 0 {
+        Duration::new(ts.sec as u64, ts.nsec as u32)
+    } else {
+        Duration::ZERO
+    }
+}
+
+/// Scheduling metadata for one transaction in a parallel window.
+struct TxNode<'t> {
+    tx: &'t Transaction,
+    /// For contract calls: the deployed contract and its conflict matrix.
+    call: Option<(Arc<DeployedContract>, Arc<ConflictMatrix>)>,
+}
+
+impl<'t> TxNode<'t> {
+    fn of(tx: &'t Transaction, snapshot: &GlobalState) -> TxNode<'t> {
+        let call = match &tx.kind {
+            TxKind::Call { contract, .. } => {
+                snapshot.contracts.get(contract).map(|d| (Arc::clone(d), d.conflict_matrix()))
+            }
+            TxKind::Payment { .. } => None,
+        };
+        TxNode { tx, call }
+    }
+}
+
+/// Assigns every window transaction its dependency layer without testing all
+/// `O(n²)` pairs: each transaction is only paired against *candidates* pulled
+/// from token indices, and [`depends`] stays the authority on every candidate
+/// pair. Token generation over-approximates `depends` (see the bucket
+/// catalogue on [`CandidateIndex`]), so the resulting layers are identical to
+/// the exhaustive double loop — a transaction with no shared token shares no
+/// sender, no account, and (via the matrix's verdict structure) no static
+/// conflict or aliasing key clash with the other side.
+fn layer_window(nodes: &[TxNode]) -> Vec<usize> {
+    let mut scheds: BTreeMap<Address, ContractSched> = BTreeMap::new();
+    for node in nodes {
+        if let (TxKind::Call { contract, .. }, Some((deployed, matrix))) =
+            (&node.tx.kind, &node.call)
+        {
+            scheds.entry(*contract).or_insert_with(|| ContractSched::of(deployed, matrix));
+        }
+    }
+    let tokens: Vec<TxTokens> = nodes.iter().map(|nd| TxTokens::of(nd, &scheds)).collect();
+
+    let mut index = CandidateIndex::default();
+    let mut layer = vec![0usize; nodes.len()];
+    // Dedup marker: a candidate surfacing from several buckets is tested once.
+    let mut seen = vec![usize::MAX; nodes.len()];
+    for k in 0..nodes.len() {
+        let (done, todo) = layer.split_at_mut(k);
+        let lk = &mut todo[0];
+        index.consult(&nodes[k], &tokens[k], &scheds, |j| {
+            if seen[j] != k {
+                seen[j] = k;
+                // Skipping when layer(j) < layer(k) is sound: layer(k) only
+                // grows, so j could never raise it anyway.
+                if done[j] >= *lk && depends(&nodes[j], &nodes[k]) {
+                    *lk = done[j] + 1;
+                }
+            }
+        });
+        index.insert(k, &nodes[k], &tokens[k]);
+    }
+    layer
+}
+
+/// Per-contract scheduling tables, derived once per window.
+struct ContractSched {
+    /// For each matrix row: the rows whose verdict against it is a static
+    /// `Conflict`. Those pairs depend for *every* argument binding, so the
+    /// candidate test needs no key values — transition identity is enough.
+    conflict_peers: Vec<Vec<usize>>,
+    /// For each matrix row: the keyed `(field hash, key params)` accesses of
+    /// the transition's summary (the clash vocabulary of its verdicts).
+    accesses: Vec<Vec<(u64, Vec<String>)>>,
+}
+
+impl ContractSched {
+    fn of(deployed: &DeployedContract, matrix: &ConflictMatrix) -> ContractSched {
+        let n = matrix.len();
+        let mut conflict_peers = vec![Vec::new(); n];
+        for (i, peers) in conflict_peers.iter_mut().enumerate() {
+            for j in 0..n {
+                if matrix.verdict_at(i, j).is_conflict() {
+                    peers.push(j);
+                }
+            }
+        }
+        let summaries = deployed.summaries();
+        let accesses = matrix
+            .transitions
+            .iter()
+            .map(|t| {
+                summaries
+                    .iter()
+                    .find(|s| &s.name == t)
+                    .map(|s| {
+                        keyed_accesses(s)
+                            .into_iter()
+                            .map(|(field, keys)| (fnv_bytes(FNV_OFFSET, field.as_bytes()), keys))
+                            .collect()
+                    })
+                    .unwrap_or_default()
+            })
+            .collect();
+        ContractSched { conflict_peers, accesses }
+    }
+}
+
+/// FNV-1a, used to render token cells as fixed-width hashes instead of
+/// allocated strings. Hash collisions only ever surface *spurious*
+/// candidates — [`depends`] re-checks every candidate pair — so the cheap
+/// non-cryptographic hash is sound here.
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+fn fnv_bytes(mut h: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+fn fnv_u64(h: u64, v: u64) -> u64 {
+    fnv_bytes(h, &v.to_le_bytes())
+}
+
+/// Structural hash of one resolved key value: equal values hash equal (the
+/// property the cell-token match relies on — a `CommuteUnless` clash fires
+/// only when both sides resolved equal key tuples), with a variant tag per
+/// arm so distinct values separate at FNV odds.
+fn fnv_value(h: u64, v: &Value) -> u64 {
+    match v {
+        Value::Int(bits, x) => {
+            fnv_bytes(fnv_u64(fnv_u64(h, 1), u64::from(*bits)), &x.to_le_bytes())
+        }
+        Value::Uint(bits, x) => {
+            fnv_bytes(fnv_u64(fnv_u64(h, 2), u64::from(*bits)), &x.to_le_bytes())
+        }
+        Value::Str(s) => fnv_bytes(fnv_u64(h, 3), s.as_bytes()),
+        Value::ByStr(bs) => fnv_bytes(fnv_u64(h, 4), bs),
+        Value::BNum(n) => fnv_u64(fnv_u64(h, 5), *n),
+        Value::Map(m) => {
+            let mut h = fnv_u64(h, 6);
+            for (k, val) in m {
+                h = fnv_value(fnv_value(h, k), val);
+            }
+            h
+        }
+        Value::Adt { ctor, args } => {
+            let mut h = fnv_bytes(fnv_u64(h, 7), ctor.as_bytes());
+            for a in args {
+                h = fnv_value(h, a);
+            }
+            h
+        }
+        // Closures and messages never appear as map keys in practice; lump
+        // them into one bucket (over-approximation stays sound).
+        _ => fnv_u64(h, 8),
+    }
+}
+
+/// The index tokens of one transaction. Tokens only prune candidates; they
+/// must over-approximate [`depends`], never refine it.
+#[derive(Default)]
+struct TxTokens {
+    /// Matrix row of the called transition, when the matrix knows it.
+    row: Option<usize>,
+    /// Call the analysis cannot vouch for (unknown contract or transition):
+    /// conservatively pairs with every call on the same contract.
+    serial: bool,
+    /// Resolved concrete cells, one hash per keyed access whose key tuple
+    /// fully resolves under the call's binding. A `CommuteUnless` clash fires
+    /// only when both sides resolve one of their tuples to equal values — in
+    /// which case both rendered the same cell hash.
+    cells: Vec<u64>,
+    /// Field hashes of keyed accesses (paired against unresolved peers).
+    fields: Vec<u64>,
+    /// Fields with an unresolvable key: the clash cannot be refuted, so pair
+    /// with every transaction touching the field.
+    unresolved: Vec<u64>,
+}
+
+impl TxTokens {
+    fn of(node: &TxNode, scheds: &BTreeMap<Address, ContractSched>) -> TxTokens {
+        let TxKind::Call { contract, transition, args, amount } = &node.tx.kind else {
+            return TxTokens::default();
+        };
+        let Some((deployed, matrix)) = &node.call else {
+            return TxTokens { serial: true, ..TxTokens::default() };
+        };
+        let Some(row) = matrix.index_of(transition) else {
+            return TxTokens { serial: true, ..TxTokens::default() };
+        };
+        let sched = &scheds[contract];
+        let bind = call_binding(node.tx.sender, *contract, *amount, args, deployed);
+        let mut out = TxTokens { row: Some(row), ..TxTokens::default() };
+        for (field_h, keys) in &sched.accesses[row] {
+            if !out.fields.contains(field_h) {
+                out.fields.push(*field_h);
+            }
+            let mut cell = fnv_u64(*field_h, keys.len() as u64);
+            let mut resolved = true;
+            for k in keys {
+                match bind(k) {
+                    Some(v) => cell = fnv_value(cell, &v),
+                    None => {
+                        resolved = false;
+                        break;
+                    }
+                }
+            }
+            if resolved {
+                out.cells.push(cell);
+            } else if !out.unresolved.contains(field_h) {
+                out.unresolved.push(*field_h);
+            }
+        }
+        out.cells.sort_unstable();
+        out.cells.dedup();
+        out
+    }
+}
+
+/// Token buckets mapping each dependency source of [`depends`] to a narrow
+/// candidate list:
+///
+/// * same sender → `by_sender`;
+/// * account overlap (payments, and the cross-contract / mixed cases) →
+///   `by_account` (payment endpoints and call senders) × `by_call` (the
+///   contract address a call debits);
+/// * same-contract calls → the matrix decomposition: static `Conflict`
+///   verdicts via `by_row` (per-transition lists), key clashes via `by_cell`
+///   (fires ⇒ both sides rendered the identical cell) with `by_field` /
+///   `by_field_unresolved` catching unresolvable keys, and `by_call` /
+///   `by_call_serial` pairing calls the analysis cannot vouch for with
+///   everything on their contract.
+///
+/// Same-contract call pairs deliberately do *not* meet through the contract's
+/// own account entry (that would re-create the quadratic scan); their funds
+/// movement is a `NativeFunds` matrix conflict, covered by `by_row`.
+#[derive(Default)]
+struct CandidateIndex {
+    by_sender: BTreeMap<Address, Vec<usize>>,
+    by_account: BTreeMap<Address, Vec<usize>>,
+    by_call: BTreeMap<Address, Vec<usize>>,
+    by_call_serial: BTreeMap<Address, Vec<usize>>,
+    by_row: BTreeMap<(Address, usize), Vec<usize>>,
+    by_cell: BTreeMap<(Address, u64), Vec<usize>>,
+    by_field: BTreeMap<(Address, u64), Vec<usize>>,
+    by_field_unresolved: BTreeMap<(Address, u64), Vec<usize>>,
+}
+
+impl CandidateIndex {
+    fn consult(
+        &self,
+        node: &TxNode,
+        t: &TxTokens,
+        scheds: &BTreeMap<Address, ContractSched>,
+        mut visit: impl FnMut(usize),
+    ) {
+        let mut scan = |list: Option<&Vec<usize>>| {
+            for &j in list.into_iter().flatten() {
+                visit(j);
+            }
+        };
+        scan(self.by_sender.get(&node.tx.sender));
+        match &node.tx.kind {
+            TxKind::Payment { to, .. } => {
+                for acc in [node.tx.sender, *to] {
+                    scan(self.by_account.get(&acc));
+                    scan(self.by_call.get(&acc));
+                }
+            }
+            TxKind::Call { contract, .. } => {
+                scan(self.by_account.get(&node.tx.sender));
+                scan(self.by_call.get(&node.tx.sender));
+                scan(self.by_account.get(contract));
+                if t.serial {
+                    scan(self.by_call.get(contract));
+                    return;
+                }
+                scan(self.by_call_serial.get(contract));
+                let row = t.row.expect("non-serial call has a matrix row");
+                for &p in &scheds[contract].conflict_peers[row] {
+                    scan(self.by_row.get(&(*contract, p)));
+                }
+                for cell in &t.cells {
+                    scan(self.by_cell.get(&(*contract, *cell)));
+                }
+                for f in &t.fields {
+                    scan(self.by_field_unresolved.get(&(*contract, *f)));
+                }
+                for f in &t.unresolved {
+                    scan(self.by_field.get(&(*contract, *f)));
+                }
+            }
+        }
+    }
+
+    fn insert(&mut self, k: usize, node: &TxNode, t: &TxTokens) {
+        self.by_sender.entry(node.tx.sender).or_default().push(k);
+        match &node.tx.kind {
+            TxKind::Payment { to, .. } => {
+                self.by_account.entry(node.tx.sender).or_default().push(k);
+                self.by_account.entry(*to).or_default().push(k);
+            }
+            TxKind::Call { contract, .. } => {
+                self.by_account.entry(node.tx.sender).or_default().push(k);
+                self.by_call.entry(*contract).or_default().push(k);
+                if t.serial {
+                    self.by_call_serial.entry(*contract).or_default().push(k);
+                    return;
+                }
+                let row = t.row.expect("non-serial call has a matrix row");
+                self.by_row.entry((*contract, row)).or_default().push(k);
+                for cell in &t.cells {
+                    self.by_cell.entry((*contract, *cell)).or_default().push(k);
+                }
+                for f in &t.fields {
+                    self.by_field.entry((*contract, *f)).or_default().push(k);
+                }
+                for f in &t.unresolved {
+                    self.by_field_unresolved.entry((*contract, *f)).or_default().push(k);
+                }
+            }
+        }
+    }
+}
+
+/// The protocol accounts a transaction can directly debit or credit (the
+/// conservative non-matrix dependency test).
+fn tx_accounts(tx: &Transaction) -> [Address; 2] {
+    match &tx.kind {
+        TxKind::Payment { to, .. } => [tx.sender, *to],
+        TxKind::Call { contract, .. } => [tx.sender, *contract],
+    }
+}
+
+/// Must the two transactions observe each other's effects? Same-sender pairs
+/// always depend (nonce sequencing and fee accounting). Calls into the same
+/// contract consult the conflict matrix under the pair's concrete argument
+/// bindings — a funds-moving transition is a matrix conflict, so a commuting
+/// verdict also proves the contract's own balance is untouched. Everything
+/// else falls back to sender/recipient account overlap.
+fn depends(a: &TxNode, b: &TxNode) -> bool {
+    if a.tx.sender == b.tx.sender {
+        return true;
+    }
+    if let (
+        TxKind::Call { contract: ca, transition: ta, args: args_a, amount: amt_a },
+        TxKind::Call { contract: cb, transition: tb, args: args_b, amount: amt_b },
+    ) = (&a.tx.kind, &b.tx.kind)
+    {
+        if ca == cb {
+            let Some((deployed, matrix)) = &a.call else {
+                // Unknown contract: both calls fail without touching state,
+                // but stay conservative.
+                return true;
+            };
+            let bind_a = call_binding(a.tx.sender, *ca, *amt_a, args_a, deployed);
+            let bind_b = call_binding(b.tx.sender, *cb, *amt_b, args_b, deployed);
+            return matrix.conflicts_concrete(ta, &bind_a, tb, &bind_b);
+        }
+    }
+    let accounts = tx_accounts(a.tx);
+    tx_accounts(b.tx).iter().any(|x| accounts.contains(x))
+}
+
+/// The implicit-and-explicit parameter binding of a top-level call, shaped
+/// for `ConflictMatrix::conflicts_concrete`.
+fn call_binding<'t>(
+    sender: Address,
+    contract: Address,
+    amount: u128,
+    args: &'t [(String, Value)],
+    deployed: &'t DeployedContract,
+) -> impl Fn(&str) -> Option<Value> + 't {
+    move |name: &str| match name {
+        "_sender" | "_origin" => Some(Value::address(sender.0)),
+        "_amount" => Some(Value::Uint(128, amount)),
+        "_this_address" => Some(Value::address(contract.0)),
+        _ => args
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.clone())
+            .or_else(|| deployed.param(name).cloned()),
+    }
+}
+
+/// The binding of one traced invocation (sender and origin may differ for
+/// chained calls on the DS committee).
+fn trace_binding<'t>(
+    call: &'t TracedCall,
+    deployed: &'t DeployedContract,
+) -> impl Fn(&str) -> Option<Value> + 't {
+    move |name: &str| match name {
+        "_sender" => Some(Value::address(call.sender.0)),
+        "_origin" => Some(Value::address(call.origin.0)),
+        "_amount" => Some(Value::Uint(128, call.amount)),
+        "_this_address" => Some(Value::address(call.contract.0)),
+        _ => call
+            .args
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.clone())
+            .or_else(|| deployed.param(name).cloned()),
+    }
+}
+
+/// Writes (or deletes) one component in a working storage.
+fn write_component(state: &mut InMemoryState, comp: &Component, value: Option<Value>) {
+    let (field, keys) = comp;
+    match value {
+        Some(v) => {
+            if keys.is_empty() {
+                state.store(field, v);
+            } else {
+                state.map_update(field, keys, v);
+            }
+        }
+        None => {
+            if keys.is_empty() {
+                state.remove_field(field);
+            } else {
+                state.map_delete(field, keys);
+            }
+        }
     }
 }

@@ -44,6 +44,11 @@ pub struct ChainConfig {
     /// sharding discipline. On by default in the scaled-down test/sim
     /// configuration, off in the benchmark configuration.
     pub audit: bool,
+    /// Worker threads for conflict-matrix-scheduled intra-shard execution
+    /// (`0`/`1` = serial). Applies to transaction shards only; the DS
+    /// committee always executes serially because chained cross-contract
+    /// calls escape the pairwise dependency analysis.
+    pub parallel_intra_shard: usize,
 }
 
 impl ChainConfig {
@@ -63,6 +68,7 @@ impl ChainConfig {
             max_packet_txs: 10_000,
             relaxed_nonces: true,
             audit: false,
+            parallel_intra_shard: 0,
         }
     }
 
@@ -323,6 +329,7 @@ impl Network {
             overflow_guard: self.config.overflow_guard,
             allow_contract_msgs: false,
             audit: self.config.audit,
+            parallel_workers: self.config.parallel_intra_shard,
         }
     }
 
@@ -337,6 +344,7 @@ impl Network {
             overflow_guard: false,
             allow_contract_msgs: true,
             audit: self.config.audit,
+            parallel_workers: 0,
         }
     }
 

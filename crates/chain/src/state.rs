@@ -3,6 +3,7 @@
 use crate::account::Account;
 use crate::address::Address;
 use cosplit_analysis::analysis::summarize_contract;
+use cosplit_analysis::conflict::ConflictMatrix;
 use cosplit_analysis::effects::TransitionSummary;
 use cosplit_analysis::signature::ShardingSignature;
 use scilla::interpreter::CompiledContract;
@@ -27,6 +28,10 @@ pub struct DeployedContract {
     /// effect-trace auditor. Derived on first use so chains that never audit
     /// pay nothing.
     summaries: RwLock<Option<Arc<Vec<TransitionSummary>>>>,
+    /// Lazily derived pairwise commutativity matrix over the summaries,
+    /// consumed by the parallel intra-shard scheduler and the conflict
+    /// cross-check. Follows the same derive-on-first-use discipline.
+    conflicts: RwLock<Option<Arc<ConflictMatrix>>>,
 }
 
 impl DeployedContract {
@@ -37,7 +42,14 @@ impl DeployedContract {
         params: Vec<(String, Value)>,
         signature: Option<ShardingSignature>,
     ) -> Self {
-        DeployedContract { address, compiled, params, signature, summaries: RwLock::new(None) }
+        DeployedContract {
+            address,
+            compiled,
+            params,
+            signature,
+            summaries: RwLock::new(None),
+            conflicts: RwLock::new(None),
+        }
     }
 
     /// Looks up an immutable contract parameter by name.
@@ -62,12 +74,26 @@ impl DeployedContract {
         self.summaries().iter().find(|s| s.name == transition).cloned()
     }
 
+    /// The pairwise transition-commutativity matrix, derived on demand from
+    /// the summaries (so an overridden summary set also rebuilds it).
+    pub fn conflict_matrix(&self) -> Arc<ConflictMatrix> {
+        if let Some(m) = self.conflicts.read().expect("conflict matrix lock").as_ref() {
+            return Arc::clone(m);
+        }
+        let derived =
+            Arc::new(ConflictMatrix::build(&self.address.to_string(), &self.summaries()));
+        let mut slot = self.conflicts.write().expect("conflict matrix lock");
+        Arc::clone(slot.get_or_insert(derived))
+    }
+
     /// Test hook: pins the summaries the auditor will check against,
     /// bypassing the analysis — replaces any already-derived set (the world
     /// builders execute setup transitions, which derives summaries before a
-    /// test gets hold of the contract).
+    /// test gets hold of the contract). Invalidates the derived conflict
+    /// matrix so it is rebuilt from the pinned summaries.
     pub fn override_summaries(&self, summaries: Vec<TransitionSummary>) {
         *self.summaries.write().expect("summaries lock") = Some(Arc::new(summaries));
+        *self.conflicts.write().expect("conflict matrix lock") = None;
     }
 }
 

@@ -21,6 +21,7 @@ fn cfg(role: Assignment, num_shards: u32) -> ExecutorConfig {
         overflow_guard: false,
         allow_contract_msgs: matches!(role, Assignment::Ds),
         audit: true,
+        parallel_workers: 0,
     }
 }
 
@@ -346,6 +347,7 @@ fn cross_contract_message_reroutes_with_cause() {
         overflow_guard: false,
         allow_contract_msgs: false,
         audit: true,
+        parallel_workers: 0,
     };
     let mb = execute_batch(&cfg, net.state(), vec![tx]);
     assert_eq!(mb.receipts[0].status, TxStatus::Rerouted(RerouteCause::CrossContract));

@@ -66,6 +66,10 @@ pub enum ViolationKind {
     NotOwnedWrite,
     /// A transition with the unsatisfiable constraint executed on a shard.
     UnsatOnShard,
+    /// A pair of invocations whose concrete footprints interfere, yet the
+    /// static conflict matrix judged them commuting under the pair's
+    /// bindings — the parallel scheduler would have run them in one layer.
+    ConflictMissed,
 }
 
 impl ViolationKind {
@@ -80,6 +84,7 @@ impl ViolationKind {
             ViolationKind::NotOwnedRead => "NotOwnedRead",
             ViolationKind::NotOwnedWrite => "NotOwnedWrite",
             ViolationKind::UnsatOnShard => "UnsatOnShard",
+            ViolationKind::ConflictMissed => "ConflictMissed",
         }
     }
 
@@ -93,12 +98,13 @@ impl ViolationKind {
             "NotOwnedRead" => ViolationKind::NotOwnedRead,
             "NotOwnedWrite" => ViolationKind::NotOwnedWrite,
             "UnsatOnShard" => ViolationKind::UnsatOnShard,
+            "ConflictMissed" => ViolationKind::ConflictMissed,
             _ => return None,
         })
     }
 
     /// All variants, for exhaustive wire tests.
-    pub fn all() -> [ViolationKind; 8] {
+    pub fn all() -> [ViolationKind; 9] {
         [
             ViolationKind::UnsummarisedRead,
             ViolationKind::UnsummarisedWrite,
@@ -108,6 +114,7 @@ impl ViolationKind {
             ViolationKind::NotOwnedRead,
             ViolationKind::NotOwnedWrite,
             ViolationKind::UnsatOnShard,
+            ViolationKind::ConflictMissed,
         ]
     }
 }
@@ -566,9 +573,14 @@ impl fmt::Display for LintFinding {
 /// Runs the lint rule catalogue over an analysed contract.
 ///
 /// Rules:
-/// * `write-never-read-back` — a field some transition writes but no
-///   transition ever reads: every write is a potential lost update (nothing
-///   downstream observes it), or the field is write-only telemetry.
+/// * `write-never-read-back` — a field some transition writes but whose
+///   value no transition of the contract ever consumes: every write is a
+///   potential lost update (nothing downstream observes it), or the field is
+///   write-only telemetry. "Consumes" is contract-global and counts every
+///   reading position — explicit loads/map gets, condition scrutinees,
+///   outgoing-message recipients and amounts, and contributions flowing
+///   into any field's written value (a read in *one* transition clears the
+///   field for the whole contract).
 /// * `top-summary` — a transition whose summary collapsed to `⊤`, with the
 ///   first construct that caused it (computed map key, read-after-write,
 ///   partial map access) and its span, so the author can restructure.
@@ -594,8 +606,14 @@ pub fn lint_contract(checked: &CheckedModule, analyzed: &AnalyzedContract) -> Ve
         for (pf, t) in s.writes() {
             written_fields.insert(&pf.field);
             mentioned.insert(&pf.field);
+            // A contribution flowing into a written value consumes the
+            // source field's current value — that is a read-back, even when
+            // the summariser elides the paired `Read` effect. This includes
+            // the field's own RMW self-contribution (`x := x + 1` observes
+            // the previous write of `x`).
             for f in t.fields() {
                 mentioned.insert(&f.field);
+                read_fields.insert(&f.field);
             }
         }
         for e in &s.effects {
@@ -605,8 +623,11 @@ pub fn lint_contract(checked: &CheckedModule, analyzed: &AnalyzedContract) -> Ve
                 _ => vec![],
             };
             for t in ts {
+                // Condition scrutinees and message payloads consume the
+                // field's value just as writes do.
                 for f in t.fields() {
                     mentioned.insert(&f.field);
+                    read_fields.insert(&f.field);
                 }
             }
         }

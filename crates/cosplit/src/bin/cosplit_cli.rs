@@ -20,10 +20,17 @@
 //! increments the `cosplit.lint.findings` telemetry counter so CI can gate
 //! on the metrics snapshot.
 //!
+//! `cosplit matrix` builds the pairwise transition-commutativity matrix
+//! (conflict matrix) from the Fig-6 footprints and prints it as a grid —
+//! `.` commute, `?` commute unless keys alias, `X` conflict — followed by
+//! the conditional pairs' key clashes. With `--json` it prints the
+//! matrix's JSON wire form instead.
+//!
 //! `--metrics <path>` (or the `COSPLIT_METRICS` environment variable) writes
 //! the telemetry snapshot of the run as JSON on exit.
 
 use cosplit_analysis::audit::lint_contract;
+use cosplit_analysis::conflict::{ConflictMatrix, Verdict};
 use cosplit_analysis::ge::ge_stats;
 use cosplit_analysis::repair::repair_contract;
 use cosplit_analysis::signature::WeakReads;
@@ -40,6 +47,7 @@ struct Args {
     repair: bool,
     ge: bool,
     lint: bool,
+    matrix: bool,
     metrics: Option<String>,
 }
 
@@ -49,6 +57,7 @@ fn usage() -> ! {
          \x20             [--weak-reads f1,f2,... | --accept-stale]\n\
          \x20             [--summaries] [--json] [--repair] [--ge]\n\
          \x20      cosplit lint <file.scilla | corpus:Name>   (alias: audit)\n\
+         \x20      cosplit matrix <file.scilla | corpus:Name> [--json]\n\
          \n\
          \x20 --transitions   transitions to shard (default: all)\n\
          \x20 --weak-reads    fields whose reads may be stale (paper §4.2.3)\n\
@@ -58,6 +67,7 @@ fn usage() -> ! {
          \x20 --repair        attempt the §6 compare-and-swap repair first\n\
          \x20 --ge            print good-enough signature statistics (Fig. 13)\n\
          \x20 --lint          run the contract lint pass (same as `lint` mode)\n\
+         \x20 --matrix        print the conflict matrix (same as `matrix` mode)\n\
          \x20 --metrics       write the run's telemetry snapshot (JSON) to a file\n\
          \x20                 (also COSPLIT_METRICS=<path>)"
     );
@@ -74,6 +84,7 @@ fn parse_args() -> Args {
         repair: false,
         ge: false,
         lint: false,
+        matrix: false,
         metrics: std::env::var("COSPLIT_METRICS").ok(),
     };
     let mut it = std::env::args().skip(1);
@@ -96,11 +107,16 @@ fn parse_args() -> Args {
             "--repair" => args.repair = true,
             "--ge" => args.ge = true,
             "--lint" => args.lint = true,
+            "--matrix" => args.matrix = true,
             "--help" | "-h" => usage(),
-            // A leading `lint`/`audit` word selects the lint mode; the next
-            // positional argument is then the contract source.
+            // A leading `lint`/`audit`/`matrix` word selects the mode; the
+            // next positional argument is then the contract source.
             "lint" | "audit" if first_positional => {
                 args.lint = true;
+                first_positional = false;
+            }
+            "matrix" if first_positional => {
+                args.matrix = true;
                 first_positional = false;
             }
             other if args.source_arg.is_empty() && !other.starts_with('-') => {
@@ -206,6 +222,41 @@ fn run(args: Args) -> ExitCode {
                 if findings.len() == 1 { "" } else { "s" }
             );
         }
+        return ExitCode::SUCCESS;
+    }
+
+    if args.matrix {
+        let matrix = ConflictMatrix::build(&analyzed.name, &analyzed.summaries);
+        if args.json {
+            println!(
+                "{}",
+                cosplit_analysis::conflict::wire::matrix_to_value(&matrix)
+            );
+            return ExitCode::SUCCESS;
+        }
+        print!("{}", matrix.render());
+        let mut conditional = Vec::new();
+        for i in 0..matrix.len() {
+            for j in i..matrix.len() {
+                if let Verdict::CommuteUnless(clashes) = matrix.verdict_at(i, j) {
+                    conditional.push((i, j, clashes));
+                }
+            }
+        }
+        if !conditional.is_empty() {
+            println!("conditional pairs:");
+            for (i, j, clashes) in conditional {
+                println!("  {} / {}:", matrix.transitions[i], matrix.transitions[j]);
+                for c in clashes {
+                    println!("    unless {c}");
+                }
+            }
+        }
+        println!(
+            "density: {:.0}% conflict, {:.0}% conditional",
+            matrix.conflict_density() * 100.0,
+            matrix.conditional_density() * 100.0
+        );
         return ExitCode::SUCCESS;
     }
 

@@ -46,6 +46,28 @@ pub mod names {
     pub const AUDIT_VIOLATION: &str = "chain.audit.violations";
     /// Findings reported by the contract lint pass.
     pub const LINT_FINDINGS: &str = "cosplit.lint.findings";
+    /// Conflict matrices derived by the pairwise commutativity pass.
+    pub const CONFLICT_MATRICES: &str = "cosplit.conflict.matrices";
+    /// Ordered transition pairs classified by the conflict pass.
+    pub const CONFLICT_PAIRS: &str = "cosplit.conflict.pairs";
+    /// Ordered transition pairs that conflict unconditionally.
+    pub const CONFLICT_CONFLICTING: &str = "cosplit.conflict.conflicting_pairs";
+    /// Packets executed by the conflict-matrix-scheduled parallel path.
+    pub const PARALLEL_BATCHES: &str = "chain.executor.parallel.batches";
+    /// Dependency layers per admitted window (histogram).
+    pub const PARALLEL_LAYERS: &str = "chain.executor.parallel.layers";
+    /// Transactions per dependency layer (histogram); width >1 means real
+    /// intra-shard parallelism.
+    pub const PARALLEL_LAYER_WIDTH: &str = "chain.executor.parallel.layer_width";
+    /// Wall-clock micros spent inside parallel regions (worker scopes and
+    /// peer-sync scopes) by the scheduling executor.
+    pub const PARALLEL_REGION_WALL: &str = "chain.executor.parallel.region_wall_micros";
+    /// Critical-path micros of the same regions: per region, the maximum
+    /// thread-CPU busy time over its participants. On a machine with at
+    /// least `parallel_workers` idle cores the region's wall-clock converges
+    /// to this number, so `wall - region_wall + region_critical` models the
+    /// batch latency unconstrained by the host's core count.
+    pub const PARALLEL_REGION_CRITICAL: &str = "chain.executor.parallel.region_critical_micros";
 }
 
 /// Number of per-counter stripes. Power of two; enough that the handful of

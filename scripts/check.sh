@@ -22,4 +22,7 @@ cargo run --release -q -p cosplit-bench --bin sim_smoke
 echo "== audit smoke (effect-trace sanitizer + corpus lint sweep) =="
 cargo run --release -q -p cosplit-bench --bin audit_smoke
 
+echo "== matrix smoke (corpus-wide conflict-matrix derivation + pair verdicts) =="
+cargo run --release -q -p cosplit-bench --bin matrix_smoke
+
 echo "All checks passed."
