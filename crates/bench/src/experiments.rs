@@ -671,6 +671,96 @@ pub fn parallel_speedup(users: u64, txs: usize, workers: usize, reps: u32) -> Pa
     result
 }
 
+// ------------------------------------------------------- state scaling
+
+/// One row of the CoW-state scaling sweep: a fixed transfer packet executed
+/// against a token contract whose `balances` map holds `holders` entries.
+#[derive(Debug, Clone)]
+pub struct StateScalingRow {
+    /// Pre-populated token holders (untouched by the packet).
+    pub holders: u64,
+    /// Transactions committed in the measured epoch.
+    pub committed: usize,
+    /// Best-of-reps wall-clock of one full epoch.
+    pub epoch_wall: Duration,
+    /// `chain.state.snapshots` recorded during that epoch.
+    pub snapshots: u64,
+    /// `chain.state.forks` recorded during that epoch.
+    pub forks: u64,
+    /// `chain.state.cow_breaks` recorded during that epoch.
+    pub cow_breaks: u64,
+    /// `chain.state.bytes_cloned` recorded during that epoch.
+    pub bytes_cloned: u64,
+}
+
+/// Runs the same `txs`-transaction FungibleToken transfer packet (64 active
+/// users) against pre-populated holder counts, measuring epoch wall time
+/// and the CoW telemetry counters. With O(1) snapshots and O(writes) forks
+/// both must stay flat as the untouched holder set grows 100×; a deep-copy
+/// regression shows up as `bytes_cloned` scaling with `holders`.
+pub fn state_scaling(holder_counts: &[u64], txs: usize, reps: u32) -> Vec<StateScalingRow> {
+    use scilla::value::Value;
+    use workloads::runner::prepare_with;
+    use workloads::scenarios::{build, contract_addr, Kind};
+
+    telemetry::set_enabled(true);
+    let reg = telemetry::registry();
+    let mut out = Vec::new();
+    for &holders in holder_counts {
+        // Same seed for every holder count: the measured packet is
+        // identical, only the untouched base state grows.
+        let scenario = build(Kind::FtTransfer, 64, txs, 11);
+        // Parallel intra-shard workers fork the working state per layer, so
+        // the sweep exercises the fork path too (not just base snapshots).
+        let config = ChainConfig { parallel_intra_shard: 4, ..ChainConfig::evaluation(2, true) };
+        let mut best: Option<StateScalingRow> = None;
+        for _ in 0..reps.max(1) {
+            let mut net = prepare_with(&scenario, config.clone());
+            // Holder addresses are disjoint from the 64 active users, so
+            // the packet never touches their balance entries.
+            net.seed_map_field(
+                contract_addr(),
+                "balances",
+                (0..holders).map(|i| {
+                    (chain::address::Address::from_index(1_000_000 + i).to_value(),
+                     Value::Uint(128, 7))
+                }),
+            );
+            let mut pool = scenario.load.clone();
+            let before = reg.snapshot();
+            let t0 = Instant::now();
+            let report = net.run_epoch(&mut pool);
+            let wall = t0.elapsed();
+            let delta = reg.snapshot().diff(&before);
+            let row = StateScalingRow {
+                holders,
+                committed: report.committed,
+                epoch_wall: wall,
+                snapshots: delta.counter(telemetry::names::STATE_SNAPSHOTS),
+                forks: delta.counter(telemetry::names::STATE_FORKS),
+                cow_breaks: delta.counter(telemetry::names::STATE_COW_BREAKS),
+                bytes_cloned: delta.counter(telemetry::names::STATE_BYTES_CLONED),
+            };
+            if best.as_ref().is_none_or(|b| row.epoch_wall < b.epoch_wall) {
+                best = Some(row);
+            }
+        }
+        let row = best.expect("at least one rep");
+        for (name, v) in [
+            ("wall_micros", row.epoch_wall.as_micros() as i64),
+            ("committed", row.committed as i64),
+            ("snapshots", row.snapshots as i64),
+            ("forks", row.forks as i64),
+            ("cow_breaks", row.cow_breaks as i64),
+            ("bytes_cloned", row.bytes_cloned as i64),
+        ] {
+            reg.gauge(&format!("bench.state.holders_{holders}.{name}")).set(v);
+        }
+        out.push(row);
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

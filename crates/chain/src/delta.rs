@@ -15,6 +15,7 @@
 use crate::address::Address;
 use crate::error::MergeError;
 use crate::state::GlobalState;
+use std::sync::Arc;
 use scilla::builtins::uint_max;
 use scilla::state::{delete_at, descend, insert_at, StateStore};
 use scilla::value::Value;
@@ -93,12 +94,28 @@ impl StateDelta {
     /// [`MergeError::OverwriteConflict`] if two deltas overwrite the same
     /// component — impossible under correct ownership dispatch.
     pub fn merge(deltas: impl IntoIterator<Item = StateDelta>) -> Result<StateDelta, MergeError> {
+        // Component values are Arc-shared, so merging from references is as
+        // cheap as merging by move; keep the by-value form for callers that
+        // own their deltas.
+        let owned: Vec<StateDelta> = deltas.into_iter().collect();
+        Self::merge_ref(owned.iter())
+    }
+
+    /// [`StateDelta::merge`] over borrowed deltas — the DS committee merges
+    /// micro-block deltas in place without cloning each one first.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`StateDelta::merge`].
+    pub fn merge_ref<'a>(
+        deltas: impl IntoIterator<Item = &'a StateDelta>,
+    ) -> Result<StateDelta, MergeError> {
         let mut out = StateDelta::new();
         for d in deltas {
-            for (addr, cd) in d.contracts {
-                let target = out.contracts.entry(addr).or_default();
-                for (comp, id) in cd.int_deltas {
-                    let entry = target.int_deltas.entry(comp).or_insert(IntDelta {
+            for (addr, cd) in &d.contracts {
+                let target = out.contracts.entry(*addr).or_default();
+                for (comp, id) in &cd.int_deltas {
+                    let entry = target.int_deltas.entry(comp.clone()).or_insert(IntDelta {
                         delta: 0,
                         width: id.width,
                         signed: id.signed,
@@ -110,20 +127,20 @@ impl StateDelta {
                         }
                     })?;
                 }
-                for (comp, ow) in cd.overwrites {
-                    if target.overwrites.insert(comp.clone(), ow).is_some() {
+                for (comp, ow) in &cd.overwrites {
+                    if target.overwrites.insert(comp.clone(), ow.clone()).is_some() {
                         return Err(MergeError::OverwriteConflict {
                             contract: addr.to_string(),
-                            component: component_name(&comp),
+                            component: component_name(comp),
                         });
                     }
                 }
             }
-            for (addr, b) in d.balances {
-                *out.balances.entry(addr).or_insert(0) += b;
+            for (addr, b) in &d.balances {
+                *out.balances.entry(*addr).or_insert(0) += b;
             }
-            for (addr, ns) in d.nonces {
-                out.nonces.entry(addr).or_default().extend(ns);
+            for (addr, ns) in &d.nonces {
+                out.nonces.entry(*addr).or_default().extend(ns.iter().copied());
             }
         }
         // Canonical multiset representation: merging is commutative and
@@ -143,7 +160,11 @@ impl StateDelta {
     /// type's range — the situation the paper's §6 overflow guard prevents.
     pub fn apply(&self, state: &mut GlobalState) -> Result<(), MergeError> {
         for (addr, cd) in &self.contracts {
-            let storage = state.storage.entry(*addr).or_default();
+            // In the normal epoch flow the shard executors' snapshot views
+            // have been dropped by merge time, so `make_mut` mutates in
+            // place; a surviving snapshot (e.g. a held block digest input)
+            // triggers one shallow O(fields) copy, never a value deep-copy.
+            let storage = Arc::make_mut(state.storage.entry(*addr).or_default());
             for (comp, ow) in &cd.overwrites {
                 let (field, keys) = comp;
                 match ow {
@@ -457,7 +478,7 @@ mod tests {
     fn apply_adds_deltas_to_base_values() {
         let c = addr(100);
         let mut state = GlobalState::new();
-        let storage = state.storage.entry(c).or_default();
+        let storage = Arc::make_mut(state.storage.entry(c).or_default());
         storage.map_update("balances", &[key(1)], Value::Uint(128, 100));
 
         let mut sd = StateDelta::new();
@@ -496,7 +517,7 @@ mod tests {
     fn apply_rejects_width_overflow() {
         let c = addr(100);
         let mut state = GlobalState::new();
-        let storage = state.storage.entry(c).or_default();
+        let storage = Arc::make_mut(state.storage.entry(c).or_default());
         storage.store("counter", Value::Uint(32, u32::MAX as u128 - 1));
         let mut sd = StateDelta::new();
         sd.contracts.entry(c).or_default().int_deltas.insert(

@@ -30,7 +30,7 @@ use scilla::error::ExecError;
 use scilla::gas::{GasMeter, COST_TX_BASE};
 use scilla::interpreter::{OutMsg, TransitionContext};
 use scilla::span::Span;
-use scilla::state::{InMemoryState, StateStore};
+use scilla::state::{CowState, StateStore};
 use scilla::trace::{DynamicFootprint, EffectTracer};
 use scilla::value::Value;
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
@@ -299,9 +299,12 @@ impl Ledger<'_> {
     }
 }
 
-/// A shard's working copy of one contract's storage, with touched components.
+/// A shard's working view of one contract's storage, with touched
+/// components. The view is a copy-on-write overlay over the epoch-start
+/// snapshot: creating it is O(1) and writes land in the overlay, so an
+/// epoch's cost is O(touched state), never O(total state).
 struct ShardStorage {
-    state: InMemoryState,
+    state: CowState,
     touched: BTreeSet<Component>,
     /// Each touched component's value when this executor first wrote it
     /// (recorded at journal commit). A layer worker starts from a clone of
@@ -401,7 +404,7 @@ impl<'a> Executor<'a> {
                 .iter()
                 .map(|(addr, s)| {
                     (*addr, ShardStorage {
-                        state: s.state.clone(),
+                        state: s.state.fork(),
                         touched: BTreeSet::new(),
                         priors: BTreeMap::new(),
                     })
@@ -737,7 +740,14 @@ impl<'a> Executor<'a> {
 
     fn ensure_storage(&mut self, contract: Address) {
         self.storages.entry(contract).or_insert_with(|| ShardStorage {
-            state: self.snapshot.storage.get(&contract).cloned().unwrap_or_default(),
+            // O(1): the epoch-start store is Arc-shared, not copied; all
+            // writes land in the CowState overlay.
+            state: self
+                .snapshot
+                .storage
+                .get(&contract)
+                .map(|base| CowState::new(Arc::clone(base)))
+                .unwrap_or_default(),
             touched: BTreeSet::new(),
             priors: BTreeMap::new(),
         });
@@ -759,7 +769,8 @@ impl<'a> Executor<'a> {
                     continue;
                 }
                 let base_storage = self.snapshot.storage.get(addr);
-                let initial: u128 = match base_storage.and_then(|s| read_component(s, comp)) {
+                let initial: u128 = match base_storage.and_then(|s| read_component(s.as_ref(), comp))
+                {
                     Some(Value::Uint(_, n)) => n,
                     None => 0,
                     // A non-integer epoch-start value cannot be guarded;
@@ -1219,7 +1230,7 @@ impl<'a> Executor<'a> {
                 let merge = joins.get(&comp.0) == Some(&Join::IntMerge);
                 let delta = match (&final_v, merge) {
                     (Some(v), true) => {
-                        let initial = base.and_then(|s| read_component(s, comp));
+                        let initial = base.and_then(|s| read_component(s.as_ref(), comp));
                         compute_int_delta(initial.as_ref(), v)
                     }
                     _ => None,
@@ -1308,7 +1319,7 @@ impl TxJournal {
 /// components into the transaction journal.
 struct JournaledStore<'a, 'j> {
     contract: Address,
-    inner: &'a mut InMemoryState,
+    inner: &'a mut CowState,
     journal: &'j mut TxJournal,
 }
 
@@ -1514,7 +1525,7 @@ fn fnv_value(h: u64, v: &Value) -> u64 {
         Value::BNum(n) => fnv_u64(fnv_u64(h, 5), *n),
         Value::Map(m) => {
             let mut h = fnv_u64(h, 6);
-            for (k, val) in m {
+            for (k, val) in m.iter() {
                 h = fnv_value(fnv_value(h, k), val);
             }
             h
@@ -1781,7 +1792,7 @@ fn trace_binding<'t>(
 }
 
 /// Writes (or deletes) one component in a working storage.
-fn write_component(state: &mut InMemoryState, comp: &Component, value: Option<Value>) {
+fn write_component(state: &mut CowState, comp: &Component, value: Option<Value>) {
     let (field, keys) = comp;
     match value {
         Some(v) => {

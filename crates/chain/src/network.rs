@@ -179,7 +179,26 @@ impl Network {
 
     /// One contract's storage (for assertions in tests/examples).
     pub fn storage_of(&self, addr: &Address) -> Option<&InMemoryState> {
-        self.state.storage.get(addr)
+        self.state.storage.get(addr).map(Arc::as_ref)
+    }
+
+    /// Bench/test world-builder hook: bulk-writes entries straight into a
+    /// deployed contract's map field, bypassing transition execution. The
+    /// result is indistinguishable from the equivalent transitions having
+    /// run serially in earlier epochs; scaling experiments use it because
+    /// pre-populating 100k token holders through `Mint` calls would dominate
+    /// setup time. Production state changes must go through transactions.
+    pub fn seed_map_field(
+        &mut self,
+        contract: Address,
+        field: &str,
+        entries: impl IntoIterator<Item = (Value, Value)>,
+    ) {
+        use scilla::state::StateStore;
+        let storage = Arc::make_mut(self.state.storage.entry(contract).or_default());
+        for (k, v) in entries {
+            storage.map_update(field, &[k], v);
+        }
     }
 
     /// Deploys a contract, running the full miner validation pipeline:
@@ -229,7 +248,7 @@ impl Network {
 
         let compiled = CompiledContract::compile(checked)?;
         let fields = compiled.init_fields(&params)?;
-        self.state.storage.insert(addr, InMemoryState::from_fields(fields));
+        self.state.storage.insert(addr, Arc::new(InMemoryState::from_fields(fields)));
         self.state
             .accounts
             .entry(addr)
@@ -267,7 +286,7 @@ impl Network {
         let checked = scilla::typechecker::typecheck(module)?;
         let compiled = CompiledContract::compile(checked)?;
         let fields = compiled.init_fields(&params)?;
-        self.state.storage.insert(addr, InMemoryState::from_fields(fields));
+        self.state.storage.insert(addr, Arc::new(InMemoryState::from_fields(fields)));
         self.state
             .accounts
             .entry(addr)
@@ -378,10 +397,11 @@ impl Network {
     /// simulation harness can report byzantine signatures as divergences.
     pub fn merge_shard_deltas(&mut self, microblocks: &[MicroBlock]) -> Result<usize, MergeError> {
         let _span = telemetry::span!("chain.network.phase.merge");
-        let deltas: Vec<StateDelta> = microblocks.iter().map(|mb| mb.delta.clone()).collect();
-        let merged = StateDelta::merge(deltas).inspect_err(|_| {
-            telemetry::counter!("chain.network.merge_conflicts").inc();
-        })?;
+        // Merge straight from the micro-blocks — no per-delta clone.
+        let merged = StateDelta::merge_ref(microblocks.iter().map(|mb| &mb.delta))
+            .inspect_err(|_| {
+                telemetry::counter!("chain.network.merge_conflicts").inc();
+            })?;
         let components = merged.changed_components();
         telemetry::histogram!("chain.network.merged_components", telemetry::SIZE_BUCKETS)
             .record(components as u64);

@@ -25,13 +25,30 @@ pub struct DeployedContract {
     /// The validated sharding signature, if one was submitted.
     pub signature: Option<ShardingSignature>,
     /// Lazily derived static effect summaries, shared by every shard's
-    /// effect-trace auditor. Derived on first use so chains that never audit
-    /// pay nothing.
-    summaries: RwLock<Option<Arc<Vec<TransitionSummary>>>>,
+    /// effect-trace auditor, indexed by transition name for O(log n) lookup.
+    /// Derived on first use so chains that never audit pay nothing.
+    summaries: RwLock<Option<Arc<SummaryIndex>>>,
     /// Lazily derived pairwise commutativity matrix over the summaries,
     /// consumed by the parallel intra-shard scheduler and the conflict
     /// cross-check. Follows the same derive-on-first-use discipline.
     conflicts: RwLock<Option<Arc<ConflictMatrix>>>,
+}
+
+/// Derived transition summaries: the ordered list (wire/report order) plus a
+/// by-name index built once at derivation, so per-invocation lookups are a
+/// map probe returning a shared `Arc` instead of a linear scan plus clone.
+#[derive(Debug)]
+struct SummaryIndex {
+    list: Arc<Vec<TransitionSummary>>,
+    by_name: BTreeMap<String, Arc<TransitionSummary>>,
+}
+
+impl SummaryIndex {
+    fn build(list: Vec<TransitionSummary>) -> SummaryIndex {
+        let by_name =
+            list.iter().map(|s| (s.name.clone(), Arc::new(s.clone()))).collect();
+        SummaryIndex { list: Arc::new(list), by_name }
+    }
 }
 
 impl DeployedContract {
@@ -59,19 +76,25 @@ impl DeployedContract {
 
     /// The static effect summaries of every transition, derived on demand.
     pub fn summaries(&self) -> Arc<Vec<TransitionSummary>> {
+        Arc::clone(&self.summary_index().list)
+    }
+
+    /// The static summary of one transition, if it exists. O(log n) via the
+    /// name index built at derivation; the returned entry is shared, not
+    /// cloned per call.
+    pub fn summary(&self, transition: &str) -> Option<Arc<TransitionSummary>> {
+        self.summary_index().by_name.get(transition).cloned()
+    }
+
+    fn summary_index(&self) -> Arc<SummaryIndex> {
         if let Some(s) = self.summaries.read().expect("summaries lock").as_ref() {
             return Arc::clone(s);
         }
         // Derive outside the write lock; a racing deriver produces the same
         // result, and the first store wins.
-        let derived = Arc::new(summarize_contract(self.compiled.checked()));
+        let derived = Arc::new(SummaryIndex::build(summarize_contract(self.compiled.checked())));
         let mut slot = self.summaries.write().expect("summaries lock");
         Arc::clone(slot.get_or_insert(derived))
-    }
-
-    /// The static summary of one transition, if it exists.
-    pub fn summary(&self, transition: &str) -> Option<TransitionSummary> {
-        self.summaries().iter().find(|s| s.name == transition).cloned()
     }
 
     /// The pairwise transition-commutativity matrix, derived on demand from
@@ -92,7 +115,8 @@ impl DeployedContract {
     /// test gets hold of the contract). Invalidates the derived conflict
     /// matrix so it is rebuilt from the pinned summaries.
     pub fn override_summaries(&self, summaries: Vec<TransitionSummary>) {
-        *self.summaries.write().expect("summaries lock") = Some(Arc::new(summaries));
+        *self.summaries.write().expect("summaries lock") =
+            Some(Arc::new(SummaryIndex::build(summaries)));
         *self.conflicts.write().expect("conflict matrix lock") = None;
     }
 }
@@ -105,8 +129,12 @@ pub struct GlobalState {
     pub accounts: BTreeMap<Address, Account>,
     /// Deployed contract code + metadata (immutable once deployed).
     pub contracts: BTreeMap<Address, Arc<DeployedContract>>,
-    /// Mutable contract fields, per contract.
-    pub storage: BTreeMap<Address, InMemoryState>,
+    /// Mutable contract fields, per contract. `Arc`-shared so a per-shard
+    /// epoch snapshot is a pointer bump: executors layer a
+    /// [`scilla::state::CowState`] overlay over these bases, and the merge
+    /// step writes back through `Arc::make_mut` (in place once the shard
+    /// views are dropped).
+    pub storage: BTreeMap<Address, Arc<InMemoryState>>,
 }
 
 impl GlobalState {

@@ -1,0 +1,102 @@
+//! Telemetry-audited zero-copy guarantees of the CoW state layer: forking
+//! a working state over a large base, snapshotting a clean store, and
+//! epoch-snapshotting `GlobalState` must not deep-copy a single map node.
+
+use chain::state::GlobalState;
+use chain::address::Address;
+use scilla::state::{CowState, InMemoryState, StateStore};
+use scilla::value::Value;
+use std::sync::{Arc, Mutex};
+use telemetry::names;
+
+/// Serialises tests in this binary: telemetry counters are process-global.
+static TELEMETRY_GUARD: Mutex<()> = Mutex::new(());
+
+fn key(i: u64) -> Value {
+    Value::Uint(128, i as u128)
+}
+
+/// A base store with one large map field plus a few scalars — the shape of
+/// a token contract with `n` holders.
+fn big_base(n: u64) -> Arc<InMemoryState> {
+    let mut s = InMemoryState::new();
+    for i in 0..n {
+        s.map_update("balances", &[key(i)], Value::Uint(128, 1_000));
+    }
+    s.store("total_supply", Value::Uint(128, 1_000 * n as u128));
+    s.store("owner", Value::Str("genesis".into()));
+    Arc::new(s)
+}
+
+fn counters() -> telemetry::Snapshot {
+    telemetry::registry().snapshot()
+}
+
+#[test]
+fn fork_with_untouched_fields_copies_zero_bytes() {
+    let _g = TELEMETRY_GUARD.lock().unwrap_or_else(|e| e.into_inner());
+    telemetry::set_enabled(true);
+    let base = big_base(10_000);
+    let working = CowState::new(Arc::clone(&base));
+
+    let before = counters();
+    // Layer-style fan-out: eight workers fork the same working state and
+    // write disjoint overlay entries; none of the 10k base entries moves.
+    let mut forks: Vec<CowState> = (0..8).map(|_| working.fork()).collect();
+    for (w, f) in forks.iter_mut().enumerate() {
+        for t in 0..10u64 {
+            f.map_update("balances", &[key(w as u64 * 10 + t)], Value::Uint(128, t as u128));
+        }
+        // Reads through the overlay stay clone-free too.
+        assert!(f.map_exists("balances", &[key(9_999)]));
+        assert_eq!(f.map_get("balances", &[key(9_999)]), Some(Value::Uint(128, 1_000)));
+    }
+    let delta = counters().diff(&before);
+
+    assert_eq!(delta.counter(names::STATE_FORKS), 8, "one count per fork");
+    assert_eq!(delta.counter(names::STATE_COW_BREAKS), 0, "no shared map node was copied");
+    assert_eq!(delta.counter(names::STATE_BYTES_CLONED), 0, "fork + overlay writes are O(writes)");
+}
+
+#[test]
+fn clean_snapshot_is_the_same_allocation() {
+    let _g = TELEMETRY_GUARD.lock().unwrap_or_else(|e| e.into_inner());
+    telemetry::set_enabled(true);
+    let base = big_base(1_000);
+    let working = CowState::new(Arc::clone(&base));
+
+    let before = counters();
+    let snap = working.snapshot();
+    let delta = counters().diff(&before);
+
+    assert!(Arc::ptr_eq(&snap, &base), "clean snapshot is a pointer bump");
+    assert_eq!(delta.counter(names::STATE_SNAPSHOTS), 1);
+    assert_eq!(delta.counter(names::STATE_BYTES_CLONED), 0);
+}
+
+#[test]
+fn global_state_epoch_snapshot_shares_storage() {
+    let _g = TELEMETRY_GUARD.lock().unwrap_or_else(|e| e.into_inner());
+    telemetry::set_enabled(true);
+    let mut state = GlobalState::new();
+    let contract = Address::from_index(7);
+    state.storage.insert(contract, big_base(10_000));
+
+    let before = counters();
+    // The per-shard epoch snapshot the executor takes is a plain clone of
+    // GlobalState: per-contract stores are Arc-shared, not deep-copied.
+    let epoch_view = state.clone();
+    let delta = counters().diff(&before);
+
+    assert!(Arc::ptr_eq(&state.storage[&contract], &epoch_view.storage[&contract]));
+    assert_eq!(delta.counter(names::STATE_COW_BREAKS), 0);
+    assert_eq!(delta.counter(names::STATE_BYTES_CLONED), 0);
+
+    // A shard-side overlay write never reaches the snapshot's base.
+    let mut shard = CowState::new(Arc::clone(&epoch_view.storage[&contract]));
+    shard.map_update("balances", &[key(3)], Value::Uint(128, 0));
+    assert_eq!(
+        state.storage[&contract].map_get("balances", &[key(3)]),
+        Some(Value::Uint(128, 1_000))
+    );
+}

@@ -10,7 +10,6 @@ use crate::error::{ExecError, TypeError};
 use crate::span::Span;
 use crate::types::Type;
 use crate::value::Value;
-use std::collections::BTreeMap;
 
 /// Returns `true` if `op` names a known builtin.
 pub fn is_builtin(op: &str) -> bool {
@@ -196,7 +195,7 @@ pub fn eval_builtin(op: &str, args: &[Value]) -> Result<Value, ExecError> {
         }
         ("put", [Value::Map(m), k, v]) => {
             let mut m = m.clone();
-            m.insert(k.clone(), v.clone());
+            crate::state::map_make_mut(&mut m).insert(k.clone(), v.clone());
             Ok(Value::Map(m))
         }
         ("get", [Value::Map(m), k]) => {
@@ -205,7 +204,9 @@ pub fn eval_builtin(op: &str, args: &[Value]) -> Result<Value, ExecError> {
         ("contains", [Value::Map(m), k]) => Ok(Value::bool(m.contains_key(k))),
         ("remove", [Value::Map(m), k]) => {
             let mut m = m.clone();
-            m.remove(k);
+            if m.contains_key(k) {
+                crate::state::map_make_mut(&mut m).remove(k);
+            }
             Ok(Value::Map(m))
         }
         ("size", [Value::Map(m)]) => Ok(Value::Uint(32, m.len() as u128)),
@@ -334,7 +335,7 @@ pub fn builtin_result_type(op: &str, arg_types: &[Type], span: Span) -> Result<T
 
 /// An empty map value (helper for initialisers).
 pub fn empty_map() -> Value {
-    Value::Map(BTreeMap::new())
+    Value::empty_map()
 }
 
 #[cfg(test)]

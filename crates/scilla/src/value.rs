@@ -48,8 +48,11 @@ pub enum Value {
     ByStr(Vec<u8>),
     /// Block number.
     BNum(u64),
-    /// A (possibly nested) map.
-    Map(BTreeMap<Value, Value>),
+    /// A (possibly nested) map. The entry tree is `Arc`-shared: cloning a
+    /// map value is a pointer bump, and mutation goes through
+    /// [`crate::state::map_make_mut`], which copies the node only when it is
+    /// shared (copy-on-write).
+    Map(Arc<BTreeMap<Value, Value>>),
     /// A constructed ADT value; type arguments are erased at runtime.
     Adt {
         /// Constructor name (`Some`, `True`, `Cons`, …).
@@ -79,6 +82,16 @@ impl Value {
     /// `None`.
     pub fn none() -> Value {
         Value::Adt { ctor: "None".into(), args: vec![] }
+    }
+
+    /// An empty map value.
+    pub fn empty_map() -> Value {
+        Value::Map(Arc::new(BTreeMap::new()))
+    }
+
+    /// Builds a map value from entries.
+    pub fn map_from(entries: BTreeMap<Value, Value>) -> Value {
+        Value::Map(Arc::new(entries))
     }
 
     /// Extracts a boolean, if this is a `Bool` value.
@@ -323,7 +336,7 @@ mod tests {
     fn maps_use_structural_keys() {
         let mut m = BTreeMap::new();
         m.insert(Value::Str("k".into()), Value::Uint(128, 5));
-        let v = Value::Map(m);
+        let v = Value::map_from(m);
         if let Value::Map(m) = &v {
             assert_eq!(m.get(&Value::Str("k".into())), Some(&Value::Uint(128, 5)));
         }

@@ -80,7 +80,7 @@ pub fn from_json(j: &Json) -> Result<Value, String> {
                 let pair = e.as_array().filter(|a| a.len() == 2).ok_or("map entry must be a pair")?;
                 m.insert(from_json(&pair[0])?, from_json(&pair[1])?);
             }
-            Ok(Value::Map(m))
+            Ok(Value::map_from(m))
         }
         "ADT" => {
             let ctor = obj.get("c").and_then(Json::as_str).ok_or("missing constructor")?;
@@ -127,7 +127,7 @@ mod tests {
         let mut m = BTreeMap::new();
         m.insert(Value::address([1; 20]), Value::Uint(128, 100));
         m.insert(Value::address([2; 20]), Value::Uint(128, 200));
-        roundtrip(&Value::Map(m));
+        roundtrip(&Value::map_from(m));
         roundtrip(&Value::some(Value::bool(true)));
         roundtrip(&Value::Adt {
             ctor: "Pair".into(),

@@ -20,7 +20,8 @@ fn value() -> impl Strategy<Value = Value> {
     ];
     leaf.prop_recursive(3, 32, 4, |inner| {
         prop_oneof![
-            prop::collection::btree_map(inner.clone(), inner.clone(), 0..4).prop_map(Value::Map),
+            prop::collection::btree_map(inner.clone(), inner.clone(), 0..4)
+                .prop_map(Value::map_from),
             (prop_oneof![Just("Some"), Just("Pair"), Just("Cons")], prop::collection::vec(inner.clone(), 1..3))
                 .prop_map(|(c, args)| Value::Adt { ctor: c.to_string(), args }),
             prop::collection::btree_map("[a-z_]{1,8}", inner, 0..3)

@@ -68,6 +68,16 @@ pub mod names {
     /// to this number, so `wall - region_wall + region_critical` models the
     /// batch latency unconstrained by the host's core count.
     pub const PARALLEL_REGION_CRITICAL: &str = "chain.executor.parallel.region_critical_micros";
+    /// O(1) copy-on-write snapshot views taken over a shared state base
+    /// (flattening `CowState::snapshot` calls included).
+    pub const STATE_SNAPSHOTS: &str = "chain.state.snapshots";
+    /// Copy-on-write forks of a working state (per-layer parallel workers,
+    /// speculative clones). Each is O(pending writes), never O(state).
+    pub const STATE_FORKS: &str = "chain.state.forks";
+    /// Shared map nodes copied because a write landed on them (CoW breaks).
+    pub const STATE_COW_BREAKS: &str = "chain.state.cow_breaks";
+    /// Approximate bytes shallow-copied by those CoW breaks.
+    pub const STATE_BYTES_CLONED: &str = "chain.state.bytes_cloned";
 }
 
 /// Number of per-counter stripes. Power of two; enough that the handful of

@@ -25,4 +25,7 @@ cargo run --release -q -p cosplit-bench --bin audit_smoke
 echo "== matrix smoke (corpus-wide conflict-matrix derivation + pair verdicts) =="
 cargo run --release -q -p cosplit-bench --bin matrix_smoke
 
+echo "== state smoke (CoW snapshot/fork cost stays flat as state grows) =="
+cargo run --release -q -p cosplit-bench --bin state_smoke
+
 echo "All checks passed."

@@ -43,7 +43,7 @@ fn delta(shard: usize) -> impl Strategy<Value = StateDelta> {
 fn base_state() -> GlobalState {
     let mut state = GlobalState::new();
     let contract = Address::from_index(42);
-    let storage = state.storage.entry(contract).or_default();
+    let storage = std::sync::Arc::make_mut(state.storage.entry(contract).or_default());
     for k in 0u8..6 {
         storage.map_update("counters", &[addr(k).to_value()], Value::Uint(128, 1_000));
     }
