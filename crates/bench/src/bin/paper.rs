@@ -3,7 +3,7 @@
 //! Usage:
 //!
 //! ```text
-//! paper [fig1|fig12|fig13|table52|fig14|overheads|strategies|ablation|tracer|parallel|overflow|all] [--fast]
+//! paper [fig1|fig12|fig13|table52|fig14|overheads|strategies|ablation|tracer|parallel|state|trace|overflow|all] [--fast]
 //! ```
 //!
 //! `--fast` shrinks the Fig. 14 grid (fewer epochs, smaller gas budgets) so
@@ -30,6 +30,7 @@ fn main() {
         "tracer" => tracer_cmd(fast),
         "parallel" => parallel_cmd(fast),
         "state" => state_cmd(fast),
+        "trace" => trace_cmd(fast),
         "all" => {
             fig1();
             fig12(fast);
@@ -42,11 +43,12 @@ fn main() {
             tracer_cmd(fast);
             parallel_cmd(fast);
             state_cmd(fast);
+            trace_cmd(fast);
             overflow();
         }
         other => {
             eprintln!("unknown experiment '{other}'");
-            eprintln!("expected: fig1 | fig12 | fig13 | table52 | fig14 | overheads | strategies | ablation | tracer | parallel | state | overflow | all");
+            eprintln!("expected: fig1 | fig12 | fig13 | table52 | fig14 | overheads | strategies | ablation | tracer | parallel | state | trace | overflow | all");
             std::process::exit(2);
         }
     }
@@ -396,6 +398,92 @@ fn state_cmd(fast: bool) {
         rows_data.last().map_or(1, |r| r.holders) / rows_data.first().map_or(1, |r| r.holders)
     );
     println!("pointer bumps, and writes copy O(pending entries), never the resident maps.");
+}
+
+fn trace_cmd(fast: bool) {
+    use telemetry::trace;
+    use workloads::scenarios::Kind;
+
+    heading("Transaction-lifecycle tracing — coverage, DS-fallback attribution, parallel gap");
+    let (users, txs, epochs, workers, reps) =
+        if fast { (24, 120, 2, 2, 2) } else { (60, 600, 3, 4, 3) };
+    // Fast mode keeps one ownership-heavy, one commutativity-heavy, and one
+    // DS-heavy workload so the attribution section still has content.
+    let kinds: Vec<Kind> = if fast {
+        vec![Kind::FtTransfer, Kind::NftMint, Kind::IpfsRegister]
+    } else {
+        Kind::all().to_vec()
+    };
+    let e = trace_experiment(&kinds, users, txs, epochs, workers, reps);
+
+    let rows: Vec<Vec<String>> = e
+        .runs
+        .iter()
+        .map(|r| {
+            vec![
+                r.label.to_string(),
+                r.committed.to_string(),
+                r.lifecycles.len().to_string(),
+                r.missing_chains.to_string(),
+                r.ds.to_string(),
+                r.shard.to_string(),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            &["workload", "committed", "lifecycles", "missing chains", "DS final", "shard final"],
+            &rows
+        )
+    );
+    let missing: usize = e.runs.iter().map(|r| r.missing_chains).sum();
+    println!("every committed transaction has a complete dispatch→commit chain: {}", missing == 0);
+
+    println!("\nDS-fallback attribution — top contracts/transitions by DS residency:");
+    if e.attribution.is_empty() {
+        println!("  (none — every transaction stayed on a transaction shard)");
+    }
+    for a in e.attribution.iter().take(8) {
+        let reasons: Vec<String> =
+            a.reasons.iter().map(|(reason, n)| format!("{reason}×{n}")).collect();
+        println!("  {:>5} txs  {:<18} {:<22} [{}]", a.ds_txs, a.workload, a.transition, reasons.join(", "));
+    }
+
+    let ms = |d: std::time::Duration| d.as_secs_f64() * 1e3;
+    let wall = ms(e.region_wall);
+    let crit = ms(e.region_critical);
+    println!(
+        "\nparallel executor: region wall {:.1} ms vs critical path {:.1} ms — gap {:.1} ms ({:.0}% of wall is scheduling/imbalance)",
+        wall,
+        crit,
+        (wall - crit).max(0.0),
+        if wall > 0.0 { (wall - crit).max(0.0) / wall * 100.0 } else { 0.0 }
+    );
+    println!("tracing overhead: {:.2}× traced vs untraced (gate ceiling 1.50×)", e.overhead);
+
+    let chrome_path = std::env::var("TRACE_CHROME").unwrap_or_else(|_| "TRACE_chrome.json".into());
+    match std::fs::write(&chrome_path, trace::chrome_trace_json(&e.records)) {
+        Ok(()) => println!("chrome trace ({} records) written to {chrome_path} — load in ui.perfetto.dev", e.records.len()),
+        Err(err) => eprintln!("failed to write {chrome_path}: {err}"),
+    }
+    // Transaction ids are per-scenario, so the lifecycle export nests one
+    // array per workload instead of concatenating colliding ids.
+    let mut lj = String::from("{\"workloads\":{");
+    for (i, r) in e.runs.iter().enumerate() {
+        if i > 0 {
+            lj.push(',');
+        }
+        lj.push_str(&format!("\n\"{}\":", r.label));
+        lj.push_str(trace::lifecycle_json(&r.lifecycles).trim_end());
+    }
+    lj.push_str("\n}}\n");
+    let lifecycle_path =
+        std::env::var("TRACE_LIFECYCLE").unwrap_or_else(|_| "TRACE_lifecycle.json".into());
+    match std::fs::write(&lifecycle_path, lj) {
+        Ok(()) => println!("lifecycle export written to {lifecycle_path}"),
+        Err(err) => eprintln!("failed to write {lifecycle_path}: {err}"),
+    }
 }
 
 fn overflow() {

@@ -14,7 +14,10 @@ use cosplit_analysis::signature::ShardingSignature;
 use cosplit_analysis::solver::AnalyzedContract;
 use scilla::corpus;
 use scilla::typechecker::CheckedModule;
+use std::collections::{BTreeMap, BTreeSet};
 use std::time::{Duration, Instant};
+use telemetry::trace::{self, TraceRecord, TxLifecycle};
+use workloads::scenarios::Kind;
 
 /// Parses and type-checks a corpus contract (helper shared by experiments).
 pub fn check_contract(name: &str) -> CheckedModule {
@@ -759,6 +762,427 @@ pub fn state_scaling(holder_counts: &[u64], txs: usize, reps: u32) -> Vec<StateS
         out.push(row);
     }
     out
+}
+
+// ------------------------------------------------------ lifecycle tracing
+
+/// One DS-residency bucket of the trace experiment: a workload/transition
+/// pair with the number of transactions whose *final* execution landed on
+/// the DS committee, and the dispatch reasons that sent them there.
+#[derive(Debug, Clone)]
+pub struct DsAttribution {
+    /// Workload label.
+    pub workload: &'static str,
+    /// Transition name, or `"(payment)"` for native transfers.
+    pub transition: String,
+    /// Transactions resident on the DS committee.
+    pub ds_txs: usize,
+    /// Dispatch-reason distribution over those transactions.
+    pub reasons: BTreeMap<String, usize>,
+}
+
+/// One traced workload run inside [`trace_experiment`].
+#[derive(Debug, Clone)]
+pub struct TraceRunReport {
+    /// Workload label.
+    pub label: &'static str,
+    /// Measured-phase committed transactions (successful receipts).
+    pub committed: usize,
+    /// Committed transactions whose lifecycle is *not* a complete
+    /// dispatch→commit chain — must be zero; the smoke gate asserts on it.
+    pub missing_chains: usize,
+    /// Assembled lifecycles (setup phase included).
+    pub lifecycles: Vec<TxLifecycle>,
+    /// Lifecycles whose final execution ran on the DS committee.
+    pub ds: usize,
+    /// Lifecycles whose final execution ran on a transaction shard.
+    pub shard: usize,
+}
+
+/// The `paper -- trace` experiment: tracer overhead, per-workload lifecycle
+/// coverage, DS-fallback attribution, and the parallel executor's
+/// critical-path-vs-wall gap — plus the raw records for the Chrome export.
+#[derive(Debug, Clone)]
+pub struct TraceExperiment {
+    /// Per-workload traced runs.
+    pub runs: Vec<TraceRunReport>,
+    /// DS-residency attribution across all runs, most-resident first.
+    pub attribution: Vec<DsAttribution>,
+    /// Wall-clock spent inside parallel regions during the traced runs.
+    pub region_wall: Duration,
+    /// Critical-path time of the same regions (max per-thread busy time).
+    pub region_critical: Duration,
+    /// Traced-over-untraced wall-clock ratio (best-of-reps).
+    pub overhead: f64,
+    /// Every trace record from every run, for [`trace::chrome_trace_json`].
+    pub records: Vec<TraceRecord>,
+}
+
+/// Best-of-reps wall-clock ratio of a traced FungibleToken run over the
+/// same run with tracing off. Interleaved so host noise hits both sides.
+pub fn tracing_overhead(users: u64, txs: usize, epochs: usize, workers: usize, reps: u32) -> f64 {
+    use workloads::runner::run_with;
+    use workloads::scenarios::build;
+    use workloads::seeds;
+
+    let scenario = build(Kind::FtTransfer, users, txs, seeds::derive(0x7eace, "overhead"));
+    let config = || {
+        let mut c = ChainConfig::small(4, true);
+        c.audit = false;
+        c.parallel_intra_shard = workers;
+        c
+    };
+    let mut best_off = Duration::MAX;
+    let mut best_on = Duration::MAX;
+    for _ in 0..reps.max(1) {
+        trace::set_tracing(false);
+        let t0 = Instant::now();
+        std::hint::black_box(run_with(&scenario, config(), epochs));
+        best_off = best_off.min(t0.elapsed());
+
+        trace::set_tracing(true);
+        trace::recorder().clear();
+        let t0 = Instant::now();
+        std::hint::black_box(run_with(&scenario, config(), epochs));
+        best_on = best_on.min(t0.elapsed());
+        trace::set_tracing(false);
+        trace::recorder().clear();
+    }
+    best_on.as_secs_f64() / best_off.as_secs_f64().max(1e-9)
+}
+
+/// Runs each workload once with tracing on and assembles the full report.
+/// The flight recorder is drained between runs because transaction ids are
+/// per-scenario. Gauges the headline numbers (`trace.*`) into the metrics
+/// snapshot; tracing is left off on return.
+pub fn trace_experiment(
+    kinds: &[Kind],
+    users: u64,
+    txs: usize,
+    epochs: usize,
+    workers: usize,
+    overhead_reps: u32,
+) -> TraceExperiment {
+    use workloads::runner::run_with;
+    use workloads::scenarios::build;
+    use workloads::seeds;
+
+    telemetry::set_enabled(true);
+    let overhead = tracing_overhead(users, txs, epochs, workers, overhead_reps);
+
+    let config = || {
+        let mut c = ChainConfig::small(4, true);
+        c.audit = false;
+        c.parallel_intra_shard = workers;
+        c
+    };
+    let reg = telemetry::registry();
+    let wall0 = reg.counter(telemetry::names::PARALLEL_REGION_WALL).get();
+    let crit0 = reg.counter(telemetry::names::PARALLEL_REGION_CRITICAL).get();
+
+    let mut runs = Vec::new();
+    let mut records = Vec::new();
+    let mut attribution: BTreeMap<(&'static str, String), DsAttribution> = BTreeMap::new();
+    for &kind in kinds {
+        let scenario = build(kind, users, txs, seeds::derive(0x7eace, kind.label()));
+        trace::set_tracing(true);
+        trace::recorder().clear();
+        let result = run_with(&scenario, config(), epochs);
+        let run_records = trace::recorder().drain();
+        trace::set_tracing(false);
+
+        let lifecycles = trace::build_lifecycles(&run_records);
+        let committed_ids: BTreeSet<u64> = result
+            .reports
+            .iter()
+            .flat_map(|r| r.receipts.iter())
+            .filter(|r| r.status == chain::executor::TxStatus::Success)
+            .map(|r| r.tx_id)
+            .collect();
+        let complete: BTreeSet<u64> = lifecycles
+            .iter()
+            .filter(|lc| lc.complete_commit_chain())
+            .map(|lc| lc.tx_id)
+            .collect();
+        let missing_chains = committed_ids.difference(&complete).count();
+        let mut ds = 0;
+        let mut shard = 0;
+        for lc in &lifecycles {
+            match lc.assignment() {
+                Some("ds") => {
+                    ds += 1;
+                    let transition =
+                        lc.transition().unwrap_or("(payment)").to_string();
+                    let entry = attribution
+                        .entry((kind.label(), transition.clone()))
+                        .or_insert_with(|| DsAttribution {
+                            workload: kind.label(),
+                            transition,
+                            ds_txs: 0,
+                            reasons: BTreeMap::new(),
+                        });
+                    entry.ds_txs += 1;
+                    if let Some(reason) = lc.dispatch_reason() {
+                        *entry.reasons.entry(reason.to_string()).or_insert(0) += 1;
+                    }
+                }
+                Some(_) => shard += 1,
+                None => {}
+            }
+        }
+        runs.push(TraceRunReport {
+            label: kind.label(),
+            committed: result.committed(),
+            missing_chains,
+            lifecycles,
+            ds,
+            shard,
+        });
+        records.extend(run_records);
+    }
+
+    let region_wall =
+        Duration::from_micros(reg.counter(telemetry::names::PARALLEL_REGION_WALL).get() - wall0);
+    let region_critical = Duration::from_micros(
+        reg.counter(telemetry::names::PARALLEL_REGION_CRITICAL).get() - crit0,
+    );
+    let mut attribution: Vec<DsAttribution> = attribution.into_values().collect();
+    attribution.sort_by_key(|a| std::cmp::Reverse(a.ds_txs));
+
+    reg.gauge("trace.overhead_x1000").set((overhead * 1000.0) as i64);
+    reg.gauge("trace.records").set(records.len() as i64);
+    reg.gauge("trace.ds_txs").set(runs.iter().map(|r| r.ds).sum::<usize>() as i64);
+    reg.gauge("trace.shard_txs").set(runs.iter().map(|r| r.shard).sum::<usize>() as i64);
+    reg.gauge("trace.missing_chains")
+        .set(runs.iter().map(|r| r.missing_chains).sum::<usize>() as i64);
+    reg.gauge("trace.region_wall_micros").set(region_wall.as_micros() as i64);
+    reg.gauge("trace.region_critical_micros").set(region_critical.as_micros() as i64);
+
+    TraceExperiment { runs, attribution, region_wall, region_critical, overhead, records }
+}
+
+// ---------------------------------------------------------- perf baseline
+
+/// The perf-regression floor committed as `BENCH_baseline.json`: serial
+/// throughput, epoch wall, dispatch fractions, and tracer overhead. Wall
+/// metrics are best-of-reps; dispatch fractions are deterministic.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BaselineMeasurement {
+    /// Committed transactions per wall-clock second, serial one-shard
+    /// FungibleToken batch.
+    pub serial_tps: f64,
+    /// Best-of-reps wall-clock of one full small-config epoch.
+    pub epoch_wall: Duration,
+    /// Dispatch decisions per reason, in permille of the sampled load.
+    pub reason_permille: BTreeMap<String, u64>,
+    /// Share of the sampled load routed to the DS committee, in permille.
+    pub to_ds_permille: u64,
+    /// Tracing overhead factor ([`tracing_overhead`]).
+    pub trace_overhead: f64,
+}
+
+impl BaselineMeasurement {
+    /// Serialises as a telemetry [`telemetry::Snapshot`] (gauges only) so
+    /// the baseline file shares the `BENCH_metrics.json` format.
+    pub fn to_snapshot(&self) -> telemetry::Snapshot {
+        let mut s = telemetry::Snapshot::default();
+        s.gauges.insert("baseline.serial_tps_x1000".into(), (self.serial_tps * 1000.0) as i64);
+        s.gauges.insert("baseline.epoch_wall_micros".into(), self.epoch_wall.as_micros() as i64);
+        s.gauges.insert("baseline.to_ds_permille".into(), self.to_ds_permille as i64);
+        s.gauges.insert(
+            "baseline.trace_overhead_x1000".into(),
+            (self.trace_overhead * 1000.0) as i64,
+        );
+        for (reason, v) in &self.reason_permille {
+            s.gauges.insert(format!("baseline.reason_permille.{reason}"), *v as i64);
+        }
+        s
+    }
+
+    /// Element-wise conservative envelope of two measurements of the same
+    /// host: the slower wall numbers and the higher overhead win. `write`
+    /// mode commits the envelope of repeated measurements so the baseline
+    /// floor absorbs host noise that best-of-reps alone does not; the
+    /// deterministic dispatch fractions must agree.
+    pub fn conservative(mut self, other: &BaselineMeasurement) -> BaselineMeasurement {
+        assert_eq!(
+            self.reason_permille, other.reason_permille,
+            "dispatch fractions are deterministic across measurements"
+        );
+        assert_eq!(self.to_ds_permille, other.to_ds_permille);
+        self.serial_tps = self.serial_tps.min(other.serial_tps);
+        self.epoch_wall = self.epoch_wall.max(other.epoch_wall);
+        self.trace_overhead = self.trace_overhead.max(other.trace_overhead);
+        self
+    }
+
+    /// Parses the snapshot form written by [`BaselineMeasurement::to_snapshot`].
+    ///
+    /// # Errors
+    ///
+    /// Reports missing gauges.
+    pub fn from_snapshot(s: &telemetry::Snapshot) -> Result<BaselineMeasurement, String> {
+        let gauge = |name: &str| {
+            s.gauges.get(name).copied().ok_or_else(|| format!("baseline missing gauge '{name}'"))
+        };
+        let mut reason_permille = BTreeMap::new();
+        for (k, v) in &s.gauges {
+            if let Some(reason) = k.strip_prefix("baseline.reason_permille.") {
+                reason_permille.insert(reason.to_string(), *v as u64);
+            }
+        }
+        Ok(BaselineMeasurement {
+            serial_tps: gauge("baseline.serial_tps_x1000")? as f64 / 1000.0,
+            epoch_wall: Duration::from_micros(gauge("baseline.epoch_wall_micros")? as u64),
+            reason_permille,
+            to_ds_permille: gauge("baseline.to_ds_permille")? as u64,
+            trace_overhead: gauge("baseline.trace_overhead_x1000")? as f64 / 1000.0,
+        })
+    }
+}
+
+/// Measures the baseline on this host. `reps` controls the best-of loop on
+/// the wall-clock metrics; the dispatch fractions are exact.
+pub fn measure_baseline(reps: u32) -> BaselineMeasurement {
+    use chain::dispatch::Assignment;
+    use chain::executor::{execute_batch, ExecutorConfig};
+    use workloads::runner::{prepare, prepare_with};
+    use workloads::scenarios::build;
+
+    telemetry::set_enabled(true);
+    trace::set_tracing(false);
+
+    // Serial tx/s: one shard's FungibleToken batch through the serial
+    // executor, gas-unlimited so the batch size is the denominator.
+    let (serial_tps, _committed) = {
+        let scenario = build(Kind::FtTransfer, 60, 1_500, 7);
+        let net = prepare(&scenario, 1, true);
+        let state = net.state();
+        let batch: Vec<Transaction> = scenario
+            .load
+            .iter()
+            .filter(|tx| dispatch(tx, state, 1, true).assignment == Assignment::Shard(0))
+            .cloned()
+            .collect();
+        let cfg = ExecutorConfig {
+            role: Assignment::Shard(0),
+            num_shards: 1,
+            gas_limit: u64::MAX,
+            block_number: 10,
+            use_cosplit: true,
+            overflow_guard: false,
+            allow_contract_msgs: false,
+            audit: false,
+            parallel_workers: 0,
+        };
+        let mut best = Duration::MAX;
+        let mut committed = 0;
+        for _ in 0..reps.max(1) {
+            let t0 = Instant::now();
+            let mb = execute_batch(&cfg, state, batch.clone());
+            best = best.min(t0.elapsed());
+            committed = mb.committed();
+        }
+        (committed as f64 / best.as_secs_f64().max(1e-9), committed)
+    };
+
+    // Full-epoch wall: dispatch → parallel shards → merge → DS on the
+    // small config (fresh world per rep; run_epoch consumes the pool).
+    let epoch_wall = {
+        let scenario = build(Kind::FtTransfer, 60, 1_200, 11);
+        let config = {
+            let mut c = ChainConfig::small(3, true);
+            c.audit = false;
+            c
+        };
+        let mut best = Duration::MAX;
+        for _ in 0..reps.max(1) {
+            let mut net = prepare_with(&scenario, config.clone());
+            let mut pool = scenario.load.clone();
+            let t0 = Instant::now();
+            std::hint::black_box(net.run_epoch(&mut pool));
+            best = best.min(t0.elapsed());
+        }
+        best
+    };
+
+    // Dispatch fractions over three representative workloads (ownership-,
+    // commutativity-, and DS-heavy): deterministic, so drift here means the
+    // dispatch policy itself changed, not the host.
+    let (reason_permille, to_ds_permille) = {
+        let mut reasons: BTreeMap<String, u64> = BTreeMap::new();
+        let mut ds = 0u64;
+        let mut total = 0u64;
+        for kind in [Kind::FtTransfer, Kind::NftMint, Kind::IpfsRegister] {
+            let scenario = build(kind, 40, 500, 13);
+            let net = prepare(&scenario, 3, true);
+            for tx in &scenario.load {
+                let d = dispatch(tx, net.state(), 3, true);
+                *reasons.entry(d.reason.name().to_string()).or_insert(0) += 1;
+                if d.assignment == Assignment::Ds {
+                    ds += 1;
+                }
+                total += 1;
+            }
+        }
+        let permille = |n: u64| n * 1000 / total.max(1);
+        (reasons.into_iter().map(|(k, v)| (k, permille(v))).collect(), permille(ds))
+    };
+
+    let trace_overhead = tracing_overhead(40, 600, 2, 2, reps.max(1));
+
+    BaselineMeasurement { serial_tps, epoch_wall, reason_permille, to_ds_permille, trace_overhead }
+}
+
+/// Compares a fresh measurement against the committed baseline. Wall
+/// metrics fail past `1 + tolerance` (the check.sh gate uses 0.20);
+/// deterministic dispatch fractions fail past ±10 permille — those cannot
+/// drift from host noise, only from a behaviour change.
+pub fn check_baseline(
+    current: &BaselineMeasurement,
+    committed: &BaselineMeasurement,
+    tolerance: f64,
+) -> Vec<String> {
+    let mut failures = Vec::new();
+    let slack = 1.0 + tolerance;
+    if current.serial_tps < committed.serial_tps / slack {
+        failures.push(format!(
+            "serial throughput regressed: {:.0} tx/s vs baseline {:.0} tx/s",
+            current.serial_tps, committed.serial_tps
+        ));
+    }
+    if current.epoch_wall.as_secs_f64() > committed.epoch_wall.as_secs_f64() * slack {
+        failures.push(format!(
+            "epoch wall regressed: {:?} vs baseline {:?}",
+            current.epoch_wall, committed.epoch_wall
+        ));
+    }
+    // The tracer must stay cheap in absolute terms too (satellite: <1.5×).
+    let overhead_ceiling = (committed.trace_overhead * slack).max(1.5);
+    if current.trace_overhead > overhead_ceiling {
+        failures.push(format!(
+            "tracing overhead regressed: {:.3}x vs baseline {:.3}x (ceiling {:.3}x)",
+            current.trace_overhead, committed.trace_overhead, overhead_ceiling
+        ));
+    }
+    let keys: BTreeSet<&String> =
+        current.reason_permille.keys().chain(committed.reason_permille.keys()).collect();
+    for key in keys {
+        let cur = current.reason_permille.get(key).copied().unwrap_or(0);
+        let base = committed.reason_permille.get(key).copied().unwrap_or(0);
+        if cur.abs_diff(base) > 10 {
+            failures.push(format!(
+                "dispatch fraction '{key}' moved: {cur}‰ vs baseline {base}‰"
+            ));
+        }
+    }
+    if current.to_ds_permille.abs_diff(committed.to_ds_permille) > 10 {
+        failures.push(format!(
+            "DS fallback share moved: {}‰ vs baseline {}‰",
+            current.to_ds_permille, committed.to_ds_permille
+        ));
+    }
+    failures
 }
 
 #[cfg(test)]

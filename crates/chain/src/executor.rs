@@ -151,7 +151,9 @@ pub fn execute_batch(
     snapshot: &GlobalState,
     txs: Vec<Transaction>,
 ) -> MicroBlock {
-    let _span = telemetry::span!("chain.executor.batch_duration");
+    let mut _span = telemetry::span!("chain.executor.batch_duration");
+    _span.attr("role", crate::network::assignment_label(cfg.role));
+    _span.attr("txs", txs.len());
     let mut exec = Executor::new(cfg, snapshot);
     let parallel = cfg.parallel_workers >= 2
         && !cfg.overflow_guard
@@ -164,6 +166,10 @@ pub fn execute_batch(
         for tx in txs {
             if over_budget || exec.gas_used + tx.gas_limit > cfg.gas_limit {
                 over_budget = true;
+                telemetry::trace::instant_with(telemetry::names::TX_DEFER, |a| {
+                    a.push(("tx", tx.id.to_string()));
+                    a.push(("why", "gas_budget".to_string()));
+                });
                 exec.deferred.push(tx);
                 continue;
             }
@@ -354,6 +360,10 @@ struct Executor<'a> {
     wave_nonce_marks: Vec<(Address, usize)>,
     /// Set on forked wave workers; gates `wave_nonce_marks` tracking.
     track_wave_marks: bool,
+    /// `(wave, worker)` labels for the per-transaction trace span, set by
+    /// the parallel scheduler on its wave workers; `None` on the serial
+    /// path and the scheduler itself.
+    trace_ctx: Option<(u64, usize)>,
     /// Wall-clock spent inside this scheduler's parallel regions, and the
     /// per-region maximum of the participants' thread-CPU busy time (the
     /// region's critical path on an unconstrained host). Reported through
@@ -387,6 +397,7 @@ impl<'a> Executor<'a> {
             current_tx: 0,
             wave_nonce_marks: Vec::new(),
             track_wave_marks: false,
+            trace_ctx: None,
             par_region_wall: Duration::ZERO,
             par_region_critical: Duration::ZERO,
         }
@@ -428,6 +439,7 @@ impl<'a> Executor<'a> {
             current_tx: 0,
             wave_nonce_marks: Vec::new(),
             track_wave_marks: true,
+            trace_ctx: None,
             par_region_wall: Duration::ZERO,
             par_region_critical: Duration::ZERO,
         }
@@ -447,7 +459,40 @@ impl<'a> Executor<'a> {
                 .is_some_and(|ns| ns.contains(&nonce))
     }
 
+    /// Runs one transaction, wrapped in a per-transaction trace span
+    /// (`chain.tx.exec`) carrying the committee, worker placement, and the
+    /// receipt's outcome. `process_inner` pushes exactly one receipt, so
+    /// the outcome is read off `receipts.last()`.
     fn process(&mut self, tx: Transaction) {
+        if !telemetry::trace::tracing_enabled() {
+            self.process_inner(tx);
+            return;
+        }
+        let mut span = telemetry::span!(telemetry::names::TX_EXEC);
+        span.attr("tx", tx.id);
+        span.attr("role", crate::network::assignment_label(self.cfg.role));
+        if let Some((wave, worker)) = self.trace_ctx {
+            span.attr("wave", wave);
+            span.attr("worker", worker);
+        }
+        self.process_inner(tx);
+        if let Some(receipt) = self.receipts.last() {
+            let status = match &receipt.status {
+                TxStatus::Success => "success".to_string(),
+                TxStatus::Failed(e) => format!("failed:{e}"),
+                TxStatus::Rerouted(RerouteCause::OverflowGuard) => {
+                    "rerouted:overflow_guard".to_string()
+                }
+                TxStatus::Rerouted(RerouteCause::CrossContract) => {
+                    "rerouted:cross_contract".to_string()
+                }
+            };
+            span.attr("status", status);
+            span.attr("gas", receipt.gas_used);
+        }
+    }
+
+    fn process_inner(&mut self, tx: Transaction) {
         self.current_tx = tx.id;
         if !self.nonce_usable(&tx.sender, tx.nonce) {
             self.receipts.push(Receipt {
@@ -823,6 +868,10 @@ impl<'a> Executor<'a> {
             if over_budget || self.gas_used + front.gas_limit > self.cfg.gas_limit {
                 over_budget = true;
                 let tx = pending.pop_front().expect("front exists");
+                telemetry::trace::instant_with(telemetry::names::TX_DEFER, |a| {
+                    a.push(("tx", tx.id.to_string()));
+                    a.push(("why", "gas_budget".to_string()));
+                });
                 self.deferred.push(tx);
                 continue;
             }
@@ -884,7 +933,7 @@ impl<'a> Executor<'a> {
         // worker like any other wave so every copy of the state stays in
         // lock-step.
         let mut workers: Vec<Executor<'a>> = Vec::new();
-        for wave in layers {
+        for (wave_no, wave) in layers.into_iter().enumerate() {
             if wave.len() == 1 && workers.is_empty() {
                 let k = wave[0];
                 let tx = window[k].take().expect("tx scheduled once");
@@ -894,7 +943,7 @@ impl<'a> Executor<'a> {
             if workers.is_empty() {
                 workers = (0..self.cfg.parallel_workers).map(|_| self.fork()).collect();
             }
-            self.run_wave(&wave, &mut window, &mut slots, &mut workers);
+            self.run_wave(wave_no as u64, &wave, &mut window, &mut slots, &mut workers);
         }
         for slot in slots.into_iter().flatten() {
             self.receipts.push(slot.receipt);
@@ -911,6 +960,7 @@ impl<'a> Executor<'a> {
     /// worker in sync with its peers' contributions.
     fn run_wave(
         &mut self,
+        wave_no: u64,
         wave: &[usize],
         window: &mut [Option<Transaction>],
         slots: &mut [Option<TxSlot>],
@@ -934,12 +984,18 @@ impl<'a> Executor<'a> {
         let wall_a = Instant::now();
         type WaveYield =
             (Vec<(usize, TxSlot)>, StateDelta, BTreeMap<Address, u128>, u64, Duration);
+        // Wave workers are fresh threads with empty span stacks; nest their
+        // per-transaction spans under the batch span running on this thread.
+        let trace_parent = telemetry::trace::current_span();
         let yields: Vec<WaveYield> = std::thread::scope(|scope| {
             let handles: Vec<_> = workers
                 .iter_mut()
+                .enumerate()
                 .zip(chunks)
-                .map(|(w, chunk)| {
+                .map(|((wi, w), chunk)| {
                     scope.spawn(move || {
+                        let _adopt = telemetry::trace::adopt_parent(trace_parent);
+                        w.trace_ctx = Some((wave_no, wi));
                         let cpu0 = thread_cpu_time();
                         let mut out = Vec::new();
                         for (k, tx) in chunk {

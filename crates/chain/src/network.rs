@@ -302,6 +302,9 @@ impl Network {
     /// Transactions that do not fit their packet (`max_packet_txs`) are
     /// pushed back into the pool for a later epoch.
     pub fn form_packets(&self, pool: &mut Vec<Transaction>) -> EpochPackets {
+        // Both `run_epoch` and the sim harness enter the epoch through this
+        // stage, so the flight recorder's epoch tag is advanced here.
+        telemetry::trace::begin_epoch(self.block_number);
         let mut packets = EpochPackets {
             shard_batches: (0..self.config.num_shards).map(|_| Vec::new()).collect(),
             ..Default::default()
@@ -323,11 +326,23 @@ impl Network {
                 if packet.len() >= self.config.max_packet_txs {
                     // The packet is full; the transaction waits for a later
                     // epoch (and is not counted as dispatched this epoch).
+                    telemetry::trace::instant_with(telemetry::names::TX_HELD_BACK, |a| {
+                        a.push(("tx", tx.id.to_string()));
+                    });
                     held_back.push(tx);
                     continue;
                 }
                 *packets.dispatch_reasons.entry(decision.reason.name().to_string()).or_insert(0) +=
                     1;
+                telemetry::trace::instant_with(telemetry::names::TX_DISPATCH, |a| {
+                    a.push(("tx", tx.id.to_string()));
+                    a.push(("reason", decision.reason.name().to_string()));
+                    a.push(("assign", assignment_label(decision.assignment)));
+                    if let crate::tx::TxKind::Call { contract, transition, .. } = &tx.kind {
+                        a.push(("contract", contract.to_string()));
+                        a.push(("transition", transition.clone()));
+                    }
+                });
                 packet.push(tx);
             }
         }
@@ -372,13 +387,19 @@ impl Network {
     pub fn execute_shards(&self, shard_batches: Vec<Vec<Transaction>>) -> Vec<MicroBlock> {
         let snapshot = &self.state;
         let _span = telemetry::span!("chain.network.phase.shard_exec");
+        // Shard threads start with an empty span stack; hand them this
+        // phase's span id so their batch spans nest under it.
+        let parent = _span.trace_id();
         std::thread::scope(|scope| {
             let handles: Vec<_> = shard_batches
                 .into_iter()
                 .enumerate()
                 .map(|(s, batch)| {
                     let cfg = self.shard_executor_config(s as u32);
-                    scope.spawn(move || execute_batch(&cfg, snapshot, batch))
+                    scope.spawn(move || {
+                        let _adopt = telemetry::trace::adopt_parent(parent);
+                        execute_batch(&cfg, snapshot, batch)
+                    })
                 })
                 .collect();
             handles.into_iter().map(|h| h.join().expect("shard thread")).collect()
@@ -438,7 +459,8 @@ impl Network {
     /// [`Network::execute_ds`]); the simulation harness ([`crate::sim`])
     /// drives the same stages with fault injection in between.
     pub fn run_epoch(&mut self, pool: &mut Vec<Transaction>) -> EpochReport {
-        let _epoch_span = telemetry::span!("chain.network.epoch_duration");
+        let mut _epoch_span = telemetry::span!("chain.network.epoch_duration");
+        _epoch_span.attr("epoch", self.block_number);
         let mut report =
             EpochReport { sim_seconds: self.config.epoch_duration_secs, ..Default::default() };
 
@@ -485,6 +507,14 @@ impl Network {
     /// Runs `epochs` epochs, returning all reports.
     pub fn run_epochs(&mut self, pool: &mut Vec<Transaction>, epochs: usize) -> Vec<EpochReport> {
         (0..epochs).map(|_| self.run_epoch(pool)).collect()
+    }
+}
+
+/// Trace-attribute label for a committee assignment (`"ds"`/`"shard<i>"`).
+pub fn assignment_label(a: Assignment) -> String {
+    match a {
+        Assignment::Shard(s) => format!("shard{s}"),
+        Assignment::Ds => "ds".to_string(),
     }
 }
 

@@ -350,6 +350,8 @@ pub fn run_sim(
     let mut epoch: u64 = 0;
 
     while (!pool.is_empty() || !delayed.is_empty()) && epoch < cfg.max_epochs {
+        let mut _epoch_span = telemetry::span!("chain.sim.epoch_duration");
+        _epoch_span.attr("epoch", epoch);
         // Virtual clock tick: redeliver packets whose backoff expired.
         let (due, still): (Vec<_>, Vec<_>) =
             delayed.into_iter().partition(|(release, _)| *release <= epoch);

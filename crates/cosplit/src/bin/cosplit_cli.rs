@@ -26,6 +26,14 @@
 //! the conditional pairs' key clashes. With `--json` it prints the
 //! matrix's JSON wire form instead.
 //!
+//! `cosplit trace` runs the same offline pipeline (parse → typecheck →
+//! analyse → query) with structured tracing on and writes the span tree as
+//! Chrome `trace_event` JSON — load it in `chrome://tracing` or
+//! <https://ui.perfetto.dev>. `--out <path>` overrides the default
+//! `TRACE_cosplit.json`; a per-span timing summary is printed to stdout.
+//! (Full transaction-lifecycle traces come from the chain side:
+//! `paper trace` in `cosplit-bench`.)
+//!
 //! `--metrics <path>` (or the `COSPLIT_METRICS` environment variable) writes
 //! the telemetry snapshot of the run as JSON on exit.
 
@@ -48,6 +56,8 @@ struct Args {
     ge: bool,
     lint: bool,
     matrix: bool,
+    trace: bool,
+    trace_out: String,
     metrics: Option<String>,
 }
 
@@ -58,6 +68,7 @@ fn usage() -> ! {
          \x20             [--summaries] [--json] [--repair] [--ge]\n\
          \x20      cosplit lint <file.scilla | corpus:Name>   (alias: audit)\n\
          \x20      cosplit matrix <file.scilla | corpus:Name> [--json]\n\
+         \x20      cosplit trace <file.scilla | corpus:Name> [--out <path>]\n\
          \n\
          \x20 --transitions   transitions to shard (default: all)\n\
          \x20 --weak-reads    fields whose reads may be stale (paper §4.2.3)\n\
@@ -68,6 +79,8 @@ fn usage() -> ! {
          \x20 --ge            print good-enough signature statistics (Fig. 13)\n\
          \x20 --lint          run the contract lint pass (same as `lint` mode)\n\
          \x20 --matrix        print the conflict matrix (same as `matrix` mode)\n\
+         \x20 --out           Chrome trace output path for `trace` mode\n\
+         \x20                 (default TRACE_cosplit.json)\n\
          \x20 --metrics       write the run's telemetry snapshot (JSON) to a file\n\
          \x20                 (also COSPLIT_METRICS=<path>)"
     );
@@ -85,6 +98,8 @@ fn parse_args() -> Args {
         ge: false,
         lint: false,
         matrix: false,
+        trace: false,
+        trace_out: "TRACE_cosplit.json".to_string(),
         metrics: std::env::var("COSPLIT_METRICS").ok(),
     };
     let mut it = std::env::args().skip(1);
@@ -102,6 +117,7 @@ fn parse_args() -> Args {
             }
             "--accept-stale" => args.weak_reads = WeakReads::AcceptAll,
             "--metrics" => args.metrics = Some(it.next().unwrap_or_else(|| usage())),
+            "--out" => args.trace_out = it.next().unwrap_or_else(|| usage()),
             "--summaries" => args.summaries = true,
             "--json" => args.json = true,
             "--repair" => args.repair = true,
@@ -117,6 +133,10 @@ fn parse_args() -> Args {
             }
             "matrix" if first_positional => {
                 args.matrix = true;
+                first_positional = false;
+            }
+            "trace" if first_positional => {
+                args.trace = true;
                 first_positional = false;
             }
             other if args.source_arg.is_empty() && !other.starts_with('-') => {
@@ -144,7 +164,31 @@ fn load_source(arg: &str) -> Result<String, String> {
 fn main() -> ExitCode {
     let args = parse_args();
     let metrics = args.metrics.clone();
+    let trace_out = args.trace.then(|| args.trace_out.clone());
+    if args.trace {
+        telemetry::trace::set_tracing(true);
+        telemetry::trace::recorder().clear();
+    }
     let code = run(args);
+    if let Some(path) = trace_out {
+        telemetry::trace::set_tracing(false);
+        let records = telemetry::trace::recorder().drain();
+        let mut by_name: std::collections::BTreeMap<&str, (usize, u64)> =
+            std::collections::BTreeMap::new();
+        for r in &records {
+            let e = by_name.entry(r.name).or_insert((0, 0));
+            e.0 += 1;
+            e.1 += r.dur_micros;
+        }
+        for (name, (count, total)) in &by_name {
+            println!("  {name:<40} ×{count:<3} {total:>7} µs");
+        }
+        if let Err(e) = std::fs::write(&path, telemetry::trace::chrome_trace_json(&records)) {
+            eprintln!("error: cannot write trace to {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("chrome trace ({} spans) written to {path} — load in ui.perfetto.dev", records.len());
+    }
     if let Some(path) = metrics {
         let json = telemetry::registry().snapshot().to_json();
         if let Err(e) = std::fs::write(&path, json) {
@@ -164,19 +208,29 @@ fn run(args: Args) -> ExitCode {
         }
     };
 
+    let mut _pipeline_span = telemetry::span!("cosplit.cli.pipeline");
+    _pipeline_span.attr("source", &args.source_arg);
+
     // The miner-side pipeline: parse → typecheck.
-    let module = match scilla::parser::parse_module(&source) {
-        Ok(m) => m,
-        Err(e) => {
-            eprintln!("error: {e}");
-            return ExitCode::FAILURE;
+    let module = {
+        let mut _span = telemetry::span!("scilla.parse_duration");
+        _span.attr("bytes", source.len());
+        match scilla::parser::parse_module(&source) {
+            Ok(m) => m,
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
         }
     };
-    let mut checked = match scilla::typechecker::typecheck(module) {
-        Ok(c) => c,
-        Err(e) => {
-            eprintln!("error: {e}");
-            return ExitCode::FAILURE;
+    let mut checked = {
+        let _span = telemetry::span!("scilla.typecheck_duration");
+        match scilla::typechecker::typecheck(module) {
+            Ok(c) => c,
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
         }
     };
 

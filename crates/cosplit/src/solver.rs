@@ -42,7 +42,8 @@ impl AnalyzedContract {
     /// assert!(sig.transition("Put").unwrap().is_shardable());
     /// ```
     pub fn analyze(checked: &CheckedModule) -> Self {
-        let _span = telemetry::span!("cosplit.analysis.analyze_duration");
+        let mut _span = telemetry::span!("cosplit.analysis.analyze_duration");
+        _span.attr("contract", &checked.contract().name.name);
         let analyzed = AnalyzedContract {
             name: checked.contract().name.name.clone(),
             summaries: summarize_contract(checked),
@@ -73,7 +74,9 @@ impl AnalyzedContract {
     /// Derives the sharding signature for a selection of transitions
     /// (paper Fig. 11: the sharding query solver).
     pub fn query(&self, selected: &[String], weak_reads: &WeakReads) -> ShardingSignature {
-        let _span = telemetry::span!("cosplit.analysis.query_duration");
+        let mut _span = telemetry::span!("cosplit.analysis.query_duration");
+        _span.attr("contract", &self.name);
+        _span.attr("selected", selected.len());
         let sig = derive_signature(&self.summaries, selected, weak_reads);
         if telemetry::enabled() {
             telemetry::counter!("cosplit.analysis.queries").inc();

@@ -198,8 +198,12 @@ impl CompiledContract {
         gas: &mut GasMeter,
         tracer: Option<&mut EffectTracer>,
     ) -> Result<TransitionOutcome, ExecError> {
+        let mut _tspan = telemetry::span!("scilla.interpreter.transition");
+        _tspan.attr("transition", transition);
         let gas_before = gas.used();
         let result = self.execute_inner(store, transition, args, contract_params, ctx, gas, tracer);
+        _tspan.attr("ok", result.is_ok());
+        _tspan.attr("gas", gas.used().saturating_sub(gas_before));
         if telemetry::enabled() {
             telemetry::counter!("scilla.interpreter.transitions").inc();
             telemetry::counter!("scilla.interpreter.gas_charged")

@@ -1,0 +1,14 @@
+#!/usr/bin/env bash
+# Measures this host's performance baseline and writes BENCH_baseline.json —
+# the floor scripts/check.sh gates against (>20% regression fails). Run it
+# once per host (or after an intentional perf change) and commit the result.
+#
+# Usage: scripts/bench_baseline.sh [path]   (default: BENCH_baseline.json)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export CARGO_NET_OFFLINE=true
+
+PATH_OUT="${1:-BENCH_baseline.json}"
+cargo run --release -q -p cosplit-bench --bin bench_baseline -- write "$PATH_OUT"
+echo "Baseline written. Commit $PATH_OUT so scripts/check.sh can gate on it."

@@ -28,4 +28,18 @@ cargo run --release -q -p cosplit-bench --bin matrix_smoke
 echo "== state smoke (CoW snapshot/fork cost stays flat as state grows) =="
 cargo run --release -q -p cosplit-bench --bin state_smoke
 
+echo "== trace smoke (exports parse, lifecycle coverage 100%, overhead < 1.5x) =="
+cargo run --release -q -p cosplit-bench --bin trace_smoke
+
+# Perf-regression gate against the committed BENCH_baseline.json: fails on
+# >20% wall-clock regression or any deterministic dispatch-fraction drift.
+# Opt out on hosts unrelated to the baseline's with COSPLIT_SKIP_BENCH_GATE=1;
+# refresh the baseline with scripts/bench_baseline.sh.
+if [ "${COSPLIT_SKIP_BENCH_GATE:-0}" = "1" ]; then
+  echo "== bench baseline gate skipped (COSPLIT_SKIP_BENCH_GATE=1) =="
+else
+  echo "== bench baseline gate (20% regression budget vs BENCH_baseline.json) =="
+  cargo run --release -q -p cosplit-bench --bin bench_baseline -- check BENCH_baseline.json
+fi
+
 echo "All checks passed."
