@@ -1,0 +1,114 @@
+//! Cross-shard-commit smoke test for CI (`scripts/check.sh`).
+//!
+//! Three workloads (ownership-heavy, commutativity-heavy, and the
+//! split-footprint ProofIPFS register) × three fault plans (fault-free, a
+//! generated sweep over all ten fault kinds, and a handcrafted cross-shard
+//! protocol storm of coordinator crashes + lost votes) run through the
+//! differential oracle with the two-phase commit enabled. Any divergence
+//! from the 1-shard sequential reference fails loudly, as does a DS
+//! dispatch share at or above the 10% acceptance budget.
+//!
+//! Usage: `xshard_smoke [seed]` (default seed 2027).
+
+use chain::network::ChainConfig;
+use chain::sim::{differential, reference_config, FaultEvent, FaultKind, FaultPlan, SimConfig};
+use cosplit_bench::experiments::DS_REASONS;
+use workloads::runner::{run_with, world_builder};
+use workloads::scenarios::{build, Kind};
+use workloads::seeds;
+
+const SHARDS: u32 = 4;
+
+fn main() {
+    let seed: u64 = std::env::args()
+        .nth(1)
+        .map(|s| s.parse().expect("seed must be a u64"))
+        .unwrap_or(2027);
+    println!("xshard-smoke: master seed {seed}");
+
+    let sharded_cfg = ChainConfig { cross_shard_commit: true, ..ChainConfig::small(SHARDS, true) };
+    let reference_cfg = reference_config(&sharded_cfg);
+    let kinds = [Kind::FtTransfer, Kind::NftMint, Kind::IpfsRegister];
+
+    // Plan 2: every epoch crashes one coordinator and loses one vote — the
+    // two protocol faults whose recovery path (stale-lock break + retry)
+    // this gate exists to protect.
+    let storm = FaultPlan {
+        events: (0..8u64)
+            .flat_map(|epoch| {
+                [
+                    FaultEvent { epoch, shard: epoch as u32, kind: FaultKind::CoordinatorCrash },
+                    FaultEvent {
+                        epoch,
+                        shard: epoch as u32 + 1,
+                        kind: FaultKind::LostVote,
+                    },
+                ]
+            })
+            .collect(),
+    };
+
+    let mut failures = 0u32;
+    for kind in kinds {
+        let scenario = build(kind, 40, 500, seeds::derive(seed, kind.label()));
+        let builder = world_builder(&scenario);
+        let label = scenario.kind.label();
+        let plans = [
+            ("fault-free", FaultPlan::none()),
+            (
+                "generated",
+                FaultPlan::generate(seeds::derive(seed, "xshard-plan"), 8, SHARDS, 0.35),
+            ),
+            ("crash+lost-vote storm", storm.clone()),
+        ];
+        for (plan_label, plan) in &plans {
+            let diff = differential(
+                &builder,
+                &scenario.load,
+                &sharded_cfg,
+                &reference_cfg,
+                &SimConfig::new(seed),
+                plan,
+            );
+            if diff.is_clean() {
+                println!(
+                    "  ok {label} [{plan_label}]: {} outcomes, {} aborts retried",
+                    diff.sharded.outcomes.len(),
+                    diff.sharded.recoveries.get("xshard-abort-retry").copied().unwrap_or(0),
+                );
+            } else {
+                failures += 1;
+                eprintln!("FAIL {label} [{plan_label}]: {} divergence(s)", diff.divergences.len());
+                for d in diff.divergences.iter().take(10) {
+                    eprintln!("    {d}");
+                }
+            }
+        }
+
+        // Dispatch-quality gate: under 100‰ of decisions may serialise at
+        // the DS when the cross-shard stage is on.
+        let result = run_with(&scenario, sharded_cfg.clone(), 4);
+        let (mut total, mut ds) = (0u64, 0u64);
+        for report in &result.reports {
+            for (reason, n) in &report.dispatch_reasons {
+                total += *n as u64;
+                if DS_REASONS.contains(&reason.as_str()) {
+                    ds += *n as u64;
+                }
+            }
+        }
+        let permille = ds * 1000 / total.max(1);
+        if permille < 100 {
+            println!("  ok {label}: DS share {permille}‰ ({ds}/{total})");
+        } else {
+            failures += 1;
+            eprintln!("FAIL {label}: DS share {permille}‰ breaches the 100‰ budget ({ds}/{total})");
+        }
+    }
+
+    if failures > 0 {
+        eprintln!("xshard-smoke: {failures} failure(s)");
+        std::process::exit(1);
+    }
+    println!("xshard-smoke: all clean");
+}

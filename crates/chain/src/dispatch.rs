@@ -8,16 +8,22 @@
 use crate::address::{fnv1a, Address};
 use crate::state::{DeployedContract, GlobalState};
 use crate::tx::{Transaction, TxKind};
+use crate::xshard::{LockKey, XShardPlan};
 use cosplit_analysis::domain::PseudoField;
 use cosplit_analysis::signature::Constraint;
 use scilla::value::Value;
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Where a transaction is processed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Assignment {
     /// One of the transaction shards.
     Shard(u32),
+    /// The cross-shard atomic-commit stage: the footprint spans several
+    /// shards, and a coordinator drives an S-BAC-style two-phase commit
+    /// over them instead of serialising at the DS committee
+    /// ([`crate::xshard`]).
+    XShard,
     /// The DS committee (sequential, after the shards).
     Ds,
 }
@@ -42,6 +48,9 @@ pub enum DispatchReason {
     Unconstrained,
     /// Ownership constraints span several shards.
     SplitFootprint,
+    /// Ownership constraints span several shards and the cross-shard
+    /// two-phase commit takes it (instead of DS serialisation).
+    CrossShard,
     /// Two map keys alias at runtime.
     AliasConflict,
     /// A `UserAddr` parameter holds a contract address.
@@ -66,6 +75,7 @@ impl DispatchReason {
             DispatchReason::OwnershipPinned => "ownership",
             DispatchReason::Unconstrained => "commutative",
             DispatchReason::SplitFootprint => "split-footprint",
+            DispatchReason::CrossShard => "xshard",
             DispatchReason::AliasConflict => "alias",
             DispatchReason::NotUserAddr => "not-user-addr",
             DispatchReason::BadArguments => "bad-args",
@@ -74,7 +84,7 @@ impl DispatchReason {
     }
 }
 
-const ALL_REASONS: [DispatchReason; 12] = [
+const ALL_REASONS: [DispatchReason; 13] = [
     DispatchReason::Payment,
     DispatchReason::BaselineLocal,
     DispatchReason::BaselineCross,
@@ -83,6 +93,7 @@ const ALL_REASONS: [DispatchReason; 12] = [
     DispatchReason::OwnershipPinned,
     DispatchReason::Unconstrained,
     DispatchReason::SplitFootprint,
+    DispatchReason::CrossShard,
     DispatchReason::AliasConflict,
     DispatchReason::NotUserAddr,
     DispatchReason::BadArguments,
@@ -97,7 +108,7 @@ fn record_decision(d: &Decision) {
     if !telemetry::enabled() {
         return;
     }
-    static COUNTERS: OnceLock<[Arc<telemetry::Counter>; 12]> = OnceLock::new();
+    static COUNTERS: OnceLock<[Arc<telemetry::Counter>; 13]> = OnceLock::new();
     let counters = COUNTERS.get_or_init(|| {
         ALL_REASONS.map(|r| {
             telemetry::registry().counter(&format!("chain.dispatch.reason.{}", r.name()))
@@ -107,6 +118,9 @@ fn record_decision(d: &Decision) {
     telemetry::counter!("chain.dispatch.total").inc();
     if d.assignment == Assignment::Ds {
         telemetry::counter!("chain.dispatch.to_ds").inc();
+    }
+    if d.assignment == Assignment::XShard {
+        telemetry::counter!("chain.dispatch.to_xshard").inc();
     }
 }
 
@@ -163,6 +177,11 @@ pub struct DispatchPolicy {
     /// decision away from the sender's home shard is demoted to the DS
     /// committee (ablation mode; the paper's model always relaxes).
     pub relaxed_nonces: bool,
+    /// Route split-footprint transactions to the cross-shard two-phase
+    /// commit stage instead of the DS committee (S-BAC-style,
+    /// [`crate::xshard`]). Off = every multi-shard footprint serialises
+    /// at DS, as in the plain Zilliqa model.
+    pub cross_shard_commit: bool,
 }
 
 /// Dispatches one transaction (paper §4.3, "Assigning Transactions to
@@ -177,21 +196,27 @@ pub fn dispatch(
     num_shards: u32,
     use_cosplit: bool,
 ) -> Decision {
-    dispatch_policy(tx, state, &DispatchPolicy { num_shards, use_cosplit, relaxed_nonces: true })
+    dispatch_policy(
+        tx,
+        state,
+        &DispatchPolicy { num_shards, use_cosplit, relaxed_nonces: true, cross_shard_commit: false },
+    )
 }
 
 /// [`dispatch`] with explicit protocol switches.
 pub fn dispatch_policy(tx: &Transaction, state: &GlobalState, policy: &DispatchPolicy) -> Decision {
-    let inner = dispatch_inner(tx, state, policy.num_shards, policy.use_cosplit);
+    let inner = dispatch_inner(tx, state, policy);
     let decision = if policy.relaxed_nonces {
         inner
     } else {
         // Strict nonces: a sender's transactions must be totally ordered, so
-        // anything not in the sender's home shard serialises at the DS.
+        // anything not in the sender's home shard serialises at the DS. The
+        // cross-shard stage commits out of nonce order too, so it demotes
+        // the same way under the ablation.
         match inner.assignment {
             Assignment::Shard(s) if s == tx.sender.home_shard(policy.num_shards) => inner,
             Assignment::Ds => inner,
-            Assignment::Shard(_) => {
+            Assignment::Shard(_) | Assignment::XShard => {
                 Decision { assignment: Assignment::Ds, reason: DispatchReason::StrictNonceOrder }
             }
         }
@@ -200,12 +225,8 @@ pub fn dispatch_policy(tx: &Transaction, state: &GlobalState, policy: &DispatchP
     decision
 }
 
-fn dispatch_inner(
-    tx: &Transaction,
-    state: &GlobalState,
-    num_shards: u32,
-    use_cosplit: bool,
-) -> Decision {
+fn dispatch_inner(tx: &Transaction, state: &GlobalState, policy: &DispatchPolicy) -> Decision {
+    let num_shards = policy.num_shards;
     match &tx.kind {
         TxKind::Payment { .. } => Decision {
             assignment: Assignment::Shard(tx.sender.home_shard(num_shards)),
@@ -216,15 +237,23 @@ fn dispatch_inner(
                 // Unknown contract: let the DS committee reject it.
                 return Decision { assignment: Assignment::Ds, reason: DispatchReason::BadArguments };
             };
-            if use_cosplit {
+            if policy.use_cosplit {
                 if let Some(sig) = &deployed.signature {
                     if let Some(tc) = sig.transition(transition) {
-                        return dispatch_with_constraints(tx, state, deployed, &tc.constraints, args, num_shards);
+                        return dispatch_with_constraints(
+                            tx,
+                            state,
+                            deployed,
+                            &tc.constraints,
+                            args,
+                            num_shards,
+                            policy.cross_shard_commit,
+                        );
                     }
                     return Decision { assignment: Assignment::Ds, reason: DispatchReason::Unselected };
                 }
             }
-            baseline(tx, *contract, num_shards)
+            baseline(tx, state, *contract, num_shards)
         }
     }
 }
@@ -232,9 +261,9 @@ fn dispatch_inner(
 /// The default Zilliqa strategy (paper §4.1): contract and user are
 /// statically assigned to shards; same-shard calls execute in the shard,
 /// cross-shard calls go to the DS committee.
-fn baseline(tx: &Transaction, contract: Address, num_shards: u32) -> Decision {
+fn baseline(tx: &Transaction, state: &GlobalState, contract: Address, num_shards: u32) -> Decision {
     let user_shard = tx.sender.home_shard(num_shards);
-    let contract_shard = contract.home_shard(num_shards);
+    let contract_shard = state.home_shard_of(&contract, num_shards);
     if user_shard == contract_shard {
         Decision { assignment: Assignment::Shard(contract_shard), reason: DispatchReason::BaselineLocal }
     } else {
@@ -242,15 +271,37 @@ fn baseline(tx: &Transaction, contract: Address, num_shards: u32) -> Decision {
     }
 }
 
-fn dispatch_with_constraints(
+/// The transaction's concrete ownership footprint: every lockable resource
+/// its constraints pin, with the shard owning each. Dispatch derives the
+/// assignment from the shard set; the cross-shard coordinator derives its
+/// lock plan from the same resolution, so the two can never disagree.
+struct Footprint {
+    /// `lock → owning shard`, deduplicated and in global lock order.
+    locks: BTreeMap<LockKey, u32>,
+}
+
+impl Footprint {
+    fn shards(&self) -> BTreeSet<u32> {
+        self.locks.values().copied().collect()
+    }
+}
+
+/// Instantiates a transition's symbolic constraints with the transaction's
+/// concrete arguments (the shared core of [`dispatch`] and
+/// [`xshard_plan`]).
+///
+/// # Errors
+///
+/// The dispatch reason that forces DS routing: `Unsat` summaries, missing
+/// arguments, runtime key aliasing, contract-valued `UserAddr` parameters.
+fn resolve_footprint(
     tx: &Transaction,
     state: &GlobalState,
     deployed: &DeployedContract,
     constraints: &BTreeSet<Constraint>,
     args: &[(String, Value)],
     num_shards: u32,
-) -> Decision {
-    let ds = |reason| Decision { assignment: Assignment::Ds, reason };
+) -> Result<Footprint, DispatchReason> {
     let resolve = |name: &str| -> Option<Value> {
         match name {
             "_sender" | "_origin" => Some(tx.sender.to_value()),
@@ -262,33 +313,47 @@ fn dispatch_with_constraints(
         }
     };
 
-    let mut required: BTreeSet<u32> = BTreeSet::new();
+    let mut locks: BTreeMap<LockKey, u32> = BTreeMap::new();
     for c in constraints {
         match c {
-            Constraint::Unsat => return ds(DispatchReason::Unsat),
+            Constraint::Unsat => return Err(DispatchReason::Unsat),
             Constraint::Owns(PseudoField { field, keys }) => {
                 let mut key_vals = Vec::with_capacity(keys.len());
                 for k in keys {
                     match resolve(k) {
                         Some(v) => key_vals.push(v),
-                        None => return ds(DispatchReason::BadArguments),
+                        None => return Err(DispatchReason::BadArguments),
                     }
                 }
-                required.insert(component_shard(deployed.address, field, &key_vals, num_shards));
+                let shard = component_shard(deployed.address, field, &key_vals, num_shards);
+                locks.insert(
+                    LockKey::Component {
+                        contract: deployed.address,
+                        field: field.clone(),
+                        keys: key_vals.iter().map(|v| v.to_string()).collect(),
+                    },
+                    shard,
+                );
             }
             Constraint::SenderShard => {
-                required.insert(tx.sender.home_shard(num_shards));
+                locks.insert(
+                    LockKey::Account(tx.sender),
+                    tx.sender.home_shard(num_shards),
+                );
             }
             Constraint::ContractShard => {
-                required.insert(deployed.address.home_shard(num_shards));
+                locks.insert(
+                    LockKey::Account(deployed.address),
+                    state.home_shard_of(&deployed.address, num_shards),
+                );
             }
             Constraint::UserAddr(p) => match resolve(p).as_ref().and_then(Value::as_address) {
                 Some(bytes) => {
                     if state.is_contract(&Address(bytes)) {
-                        return ds(DispatchReason::NotUserAddr);
+                        return Err(DispatchReason::NotUserAddr);
                     }
                 }
-                None => return ds(DispatchReason::BadArguments),
+                None => return Err(DispatchReason::BadArguments),
             },
             Constraint::NoAliases(t1, t2) => {
                 let v1: Option<Vec<Value>> = t1.iter().map(|k| resolve(k)).collect();
@@ -296,15 +361,32 @@ fn dispatch_with_constraints(
                 match (v1, v2) {
                     (Some(a), Some(b)) => {
                         if a == b {
-                            return ds(DispatchReason::AliasConflict);
+                            return Err(DispatchReason::AliasConflict);
                         }
                     }
-                    _ => return ds(DispatchReason::BadArguments),
+                    _ => return Err(DispatchReason::BadArguments),
                 }
             }
         }
     }
+    Ok(Footprint { locks })
+}
 
+#[allow(clippy::too_many_arguments)]
+fn dispatch_with_constraints(
+    tx: &Transaction,
+    state: &GlobalState,
+    deployed: &DeployedContract,
+    constraints: &BTreeSet<Constraint>,
+    args: &[(String, Value)],
+    num_shards: u32,
+    cross_shard_commit: bool,
+) -> Decision {
+    let footprint = match resolve_footprint(tx, state, deployed, constraints, args, num_shards) {
+        Ok(f) => f,
+        Err(reason) => return Decision { assignment: Assignment::Ds, reason },
+    };
+    let required = footprint.shards();
     match required.len() {
         0 => {
             // Fully commutative footprint: spread by transaction id.
@@ -315,8 +397,54 @@ fn dispatch_with_constraints(
             assignment: Assignment::Shard(*required.iter().next().expect("one element")),
             reason: DispatchReason::OwnershipPinned,
         },
-        _ => ds(DispatchReason::SplitFootprint),
+        _ if cross_shard_commit => {
+            Decision { assignment: Assignment::XShard, reason: DispatchReason::CrossShard }
+        }
+        _ => Decision { assignment: Assignment::Ds, reason: DispatchReason::SplitFootprint },
     }
+}
+
+/// Resolves the coordinator's lock plan for a cross-shard transaction: the
+/// same constraint instantiation as [`dispatch`], reified as `(shard,
+/// lock)` pairs instead of a bare shard set. The coordinator is the lowest
+/// participant; the lock vector is in global key order, which is the
+/// deadlock-free acquisition order.
+///
+/// # Errors
+///
+/// The [`DispatchReason`] that should send this transaction to the DS
+/// committee instead (the state may have changed between packet formation
+/// and the commit stage).
+pub fn xshard_plan(
+    tx: &Transaction,
+    state: &GlobalState,
+    num_shards: u32,
+) -> Result<XShardPlan, DispatchReason> {
+    let TxKind::Call { contract, transition, args, .. } = &tx.kind else {
+        return Err(DispatchReason::Payment);
+    };
+    let Some(deployed) = state.contracts.get(contract) else {
+        return Err(DispatchReason::BadArguments);
+    };
+    let Some(sig) = &deployed.signature else {
+        return Err(DispatchReason::BaselineCross);
+    };
+    let Some(tc) = sig.transition(transition) else {
+        return Err(DispatchReason::Unselected);
+    };
+    let footprint =
+        resolve_footprint(tx, state, deployed, &tc.constraints, args, num_shards)?;
+    let participants = footprint.shards();
+    let Some(coordinator) = participants.first().copied() else {
+        // A fully commutative footprint has nothing to lock; dispatch never
+        // routes it here, but fall back to DS defensively.
+        return Err(DispatchReason::Unconstrained);
+    };
+    Ok(XShardPlan {
+        coordinator,
+        participants,
+        locks: footprint.locks.into_iter().map(|(k, s)| (s, k)).collect(),
+    })
 }
 
 #[cfg(test)]
@@ -450,6 +578,7 @@ mod tests {
                     local += 1;
                 }
                 Assignment::Ds => ds += 1,
+                Assignment::XShard => panic!("baseline dispatch never picks xshard"),
             }
         }
         assert!(ds > local, "most users live outside the contract's shard");

@@ -242,13 +242,17 @@ impl Ledger<'_> {
     fn slice(&self, addr: &Address) -> u128 {
         let base = self.snapshot.balance(addr);
         match self.role {
-            Assignment::Ds => base,
+            // The DS committee sees everything; a cross-shard coordinator
+            // holds exclusive locks on the accounts its footprint pins, so
+            // its prepare also works the full balance.
+            Assignment::Ds | Assignment::XShard => base,
             Assignment::Shard(s) => {
                 let n = self.num_shards as u128;
                 if self.snapshot.is_contract(addr) {
                     // A contract's funds move only in its home shard
-                    // (`ContractShard` constraint).
-                    if addr.home_shard(self.num_shards) == s { base } else { 0 }
+                    // (`ContractShard` constraint; placement-aware, so a
+                    // co-located family's funds follow its dispatch shard).
+                    if self.snapshot.home_shard_of(addr, self.num_shards) == s { base } else { 0 }
                 } else {
                     // The away-slice is base/(4n); the home shard keeps the
                     // rest.
@@ -803,7 +807,10 @@ impl<'a> Executor<'a> {
     /// includes earlier committed transactions, via the working state) must
     /// not exceed `⌊(MAX − v)/N⌋` of the epoch-start value `v`.
     fn overflow_violation(&self, journal: &TxJournal) -> Option<Component> {
-        if matches!(self.cfg.role, Assignment::Ds) {
+        // The DS committee serialises against merged state; the cross-shard
+        // stage likewise commits each prepare into global state before the
+        // next, so neither needs the N-way headroom split.
+        if matches!(self.cfg.role, Assignment::Ds | Assignment::XShard) {
             return None;
         }
         for (addr, comp) in &journal.touched {

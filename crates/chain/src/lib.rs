@@ -40,3 +40,4 @@ pub mod network;
 pub mod sim;
 pub mod state;
 pub mod tx;
+pub mod xshard;

@@ -3,11 +3,12 @@
 
 use crate::address::Address;
 use crate::delta::StateDelta;
-use crate::dispatch::{dispatch_policy, Assignment, DispatchPolicy};
+use crate::dispatch::{dispatch_policy, xshard_plan, Assignment, DispatchPolicy};
 use crate::error::{DeployError, MergeError};
 use crate::executor::{execute_batch, ExecutorConfig, MicroBlock, Receipt, TxStatus};
 use crate::state::{DeployedContract, GlobalState};
 use crate::tx::Transaction;
+use crate::xshard::{decide, LockTable, Verdict, VoteMsg, XShardFaults, XShardStats};
 use cosplit_analysis::signature::{ShardingSignature, WeakReads};
 use cosplit_analysis::solver::AnalyzedContract;
 use scilla::interpreter::CompiledContract;
@@ -49,6 +50,16 @@ pub struct ChainConfig {
     /// committee always executes serially because chained cross-contract
     /// calls escape the pairwise dependency analysis.
     pub parallel_intra_shard: usize,
+    /// Route split-footprint transactions through the S-BAC-style
+    /// cross-shard two-phase commit ([`crate::xshard`]) instead of
+    /// serialising them at the DS committee. Off by default (plain Zilliqa
+    /// routing); the xshard test suite and experiments switch it on.
+    pub cross_shard_commit: bool,
+    /// Signature-aware placement: a contract deployed with an init
+    /// parameter pointing at an existing contract (the cross-contract
+    /// reroute path) is co-located with that family root, so fewer of its
+    /// transactions are multi-shard in the first place.
+    pub colocate_families: bool,
 }
 
 impl ChainConfig {
@@ -69,6 +80,8 @@ impl ChainConfig {
             relaxed_nonces: true,
             audit: false,
             parallel_intra_shard: 0,
+            cross_shard_commit: false,
+            colocate_families: false,
         }
     }
 
@@ -137,10 +150,33 @@ pub struct EpochReport {
 pub struct EpochPackets {
     /// One packet per transaction shard.
     pub shard_batches: Vec<Vec<Transaction>>,
+    /// The cross-shard commit stage's packet (split-footprint transactions,
+    /// only when [`ChainConfig::cross_shard_commit`] is on).
+    pub xshard_batch: Vec<Transaction>,
     /// The DS committee's packet.
     pub ds_batch: Vec<Transaction>,
     /// Dispatch decisions by reason, for the epoch report.
     pub dispatch_reasons: BTreeMap<String, usize>,
+}
+
+/// The outcome of one epoch's cross-shard commit stage
+/// ([`Network::execute_xshard`]).
+#[derive(Debug, Clone)]
+pub struct XShardBlock {
+    /// Receipts/gas of decided transactions (role
+    /// [`Assignment::XShard`]). Deltas are already applied per commit, so
+    /// `block.delta` is empty; aborted and over-budget transactions sit in
+    /// `block.deferred` and retry from the pool next epoch.
+    pub block: MicroBlock,
+    /// Transactions handed to this epoch's DS packet (plan unresolvable, or
+    /// the prepare rerouted on a cross-contract call).
+    pub ds_fallback: Vec<Transaction>,
+    /// Protocol counters for this stage.
+    pub stats: XShardStats,
+    /// Prepared deltas that failed to apply — impossible under validated
+    /// signatures, surfaced so the sim can report byzantine ones as safety
+    /// violations instead of panicking.
+    pub errors: Vec<String>,
 }
 
 /// The whole simulated network.
@@ -149,12 +185,21 @@ pub struct Network {
     config: ChainConfig,
     state: GlobalState,
     block_number: u64,
+    /// The cross-shard commit stage's lock table. Persistent across epochs:
+    /// a coordinator crash leaves its locks behind, and stale-lock recovery
+    /// breaks them at the start of a later epoch.
+    lock_table: LockTable,
 }
 
 impl Network {
     /// A fresh network with the given configuration.
     pub fn new(config: ChainConfig) -> Self {
-        Network { config, state: GlobalState::new(), block_number: 1 }
+        Network { config, state: GlobalState::new(), block_number: 1, lock_table: LockTable::new() }
+    }
+
+    /// Read access to the cross-shard lock table (test assertions).
+    pub fn lock_table(&self) -> &LockTable {
+        &self.lock_table
     }
 
     /// The network configuration.
@@ -254,10 +299,37 @@ impl Network {
             .entry(addr)
             .or_insert_with(crate::account::Account::contract)
             .is_contract = true;
+        self.maybe_colocate(addr, &params);
         self.state
             .contracts
             .insert(addr, Arc::new(DeployedContract::new(addr, compiled, params, signature)));
         Ok(timings)
+    }
+
+    /// Signature-aware placement (`ChainConfig::colocate_families`): a
+    /// contract whose init parameters reference an already-deployed
+    /// contract will reroute its cross-contract calls to that family root,
+    /// so dispatching the two to different shards makes every such call
+    /// multi-shard. Pin the new contract to the root's shard instead.
+    /// Dispatch ([`crate::dispatch`]) and the executor's balance slicing
+    /// both read the override through [`GlobalState::home_shard_of`].
+    fn maybe_colocate(&mut self, addr: Address, params: &[(String, Value)]) {
+        if !self.config.colocate_families {
+            return;
+        }
+        let n = self.config.num_shards;
+        for (_, v) in params {
+            let Some(bytes) = v.as_address() else { continue };
+            let root = Address(bytes);
+            if root != addr && self.state.is_contract(&root) {
+                let home = self.state.home_shard_of(&root, n);
+                if home != addr.home_shard(n) {
+                    self.state.placement.insert(addr, home);
+                    telemetry::counter!("chain.network.colocated").inc();
+                }
+                return;
+            }
+        }
     }
 
     /// Deploys a contract with an *arbitrary, unvalidated* sharding
@@ -292,6 +364,7 @@ impl Network {
             .entry(addr)
             .or_insert_with(crate::account::Account::contract)
             .is_contract = true;
+        self.maybe_colocate(addr, &params);
         self.state
             .contracts
             .insert(addr, Arc::new(DeployedContract::new(addr, compiled, params, signature)));
@@ -314,6 +387,7 @@ impl Network {
             num_shards: self.config.num_shards,
             use_cosplit: self.config.use_cosplit,
             relaxed_nonces: self.config.relaxed_nonces,
+            cross_shard_commit: self.config.cross_shard_commit,
         };
         {
             let _span = telemetry::span!("chain.network.phase.dispatch");
@@ -321,6 +395,7 @@ impl Network {
                 let decision = dispatch_policy(&tx, &self.state, &policy);
                 let packet = match decision.assignment {
                     Assignment::Shard(s) => &mut packets.shard_batches[s as usize],
+                    Assignment::XShard => &mut packets.xshard_batch,
                     Assignment::Ds => &mut packets.ds_batch,
                 };
                 if packet.len() >= self.config.max_packet_txs {
@@ -365,6 +440,246 @@ impl Network {
             audit: self.config.audit,
             parallel_workers: self.config.parallel_intra_shard,
         }
+    }
+
+    /// The executor configuration a cross-shard coordinator prepares with:
+    /// it works the full balances of the accounts its locks pin (like DS),
+    /// but cross-contract messages still reroute — chained calls escape the
+    /// lock plan, so only the DS committee may run them.
+    pub fn xshard_executor_config(&self) -> ExecutorConfig {
+        ExecutorConfig {
+            role: Assignment::XShard,
+            num_shards: self.config.num_shards,
+            gas_limit: self.config.shard_gas_limit,
+            block_number: self.block_number,
+            use_cosplit: self.config.use_cosplit,
+            overflow_guard: false,
+            allow_contract_msgs: false,
+            audit: self.config.audit,
+            parallel_workers: 0,
+        }
+    }
+
+    /// Cross-shard commit stage (paper's DS choke point, replaced by an
+    /// S-BAC-style two-phase commit — see [`crate::xshard`]): runs between
+    /// the delta merge and DS execution, one coordinator per transaction.
+    ///
+    /// Per transaction: break stale locks (epoch start), resolve the lock
+    /// plan from the signature's constraints, have every participant take
+    /// its locks in global key order, prepare by executing against the
+    /// merged state, collect votes (through the fault hooks), and commit
+    /// the prepared delta or abort-with-release. Aborted and over-budget
+    /// transactions land in `block.deferred` and retry from the pool;
+    /// unresolvable plans and rerouting prepares fall back to this epoch's
+    /// DS packet.
+    pub fn execute_xshard(
+        &mut self,
+        batch: Vec<Transaction>,
+        faults: &mut dyn XShardFaults,
+    ) -> XShardBlock {
+        let _span = telemetry::span!("chain.network.phase.xshard");
+        let epoch = self.block_number;
+        let mut stats = XShardStats { stale_locks_broken: self.lock_table.break_stale(epoch), ..Default::default() };
+        let cfg = self.xshard_executor_config();
+        let mut block = MicroBlock {
+            role: Assignment::XShard,
+            receipts: Vec::new(),
+            deferred: Vec::new(),
+            rerouted: Vec::new(),
+            delta: StateDelta::default(),
+            gas_used: 0,
+            audit_violations: Vec::new(),
+        };
+        let mut ds_fallback: Vec<Transaction> = Vec::new();
+        let mut errors: Vec<String> = Vec::new();
+
+        for tx in batch {
+            // Stage gas budget (same admission rule as a shard packet).
+            if block.gas_used + tx.gas_limit > self.config.shard_gas_limit {
+                telemetry::trace::instant_with(telemetry::names::TX_DEFER, |a| {
+                    a.push(("tx", tx.id.to_string()));
+                    a.push(("why", "gas_budget".to_string()));
+                });
+                block.deferred.push(tx);
+                continue;
+            }
+
+            // Coordinator resolves the lock plan. The pool may have been
+            // mutated between dispatch and this stage (sim faults), so a
+            // failed resolution degrades to DS routing, with the reason.
+            let plan = match xshard_plan(&tx, &self.state, self.config.num_shards) {
+                Ok(p) => p,
+                Err(reason) => {
+                    stats.ds_fallback += 1;
+                    telemetry::trace::instant_with(telemetry::names::TX_XSHARD_ABORT, |a| {
+                        a.push(("tx", tx.id.to_string()));
+                        a.push(("cause", format!("ds-fallback:{}", reason.name())));
+                    });
+                    ds_fallback.push(tx);
+                    continue;
+                }
+            };
+
+            // Fault hook: a lock leaked by an unrecovered crash sits on the
+            // transaction's first key (broken by `break_stale` next epoch).
+            if faults.plant_stale_lock(epoch, &tx) {
+                if let Some((_, key)) = plan.locks.first() {
+                    self.lock_table.plant(
+                        key.clone(),
+                        crate::xshard::Held {
+                            tx_id: u64::MAX - tx.id,
+                            epoch: epoch.saturating_sub(1),
+                        },
+                    );
+                }
+            }
+
+            telemetry::trace::instant_with(telemetry::names::TX_XSHARD_PREPARE, |a| {
+                a.push(("tx", tx.id.to_string()));
+                a.push(("coordinator", plan.coordinator.to_string()));
+                a.push(("participants", plan.participants.len().to_string()));
+            });
+
+            // Phase 1a: every participant takes its lock subset, in global
+            // key order (deterministic and deadlock-free). All-or-nothing
+            // per participant; a conflict aborts the whole transaction and
+            // releases exactly what was acquired.
+            let mut lock_ok = true;
+            for &p in &plan.participants {
+                if self.lock_table.try_acquire(tx.id, epoch, plan.locks_of(p)).is_err() {
+                    stats.lock_wait += 1;
+                    lock_ok = false;
+                    break;
+                }
+            }
+
+            // Phase 1b: prepare — execute against the merged epoch state.
+            // The delta stays speculative until the commit decision, so an
+            // abort is side-effect-free.
+            let mut votes: Vec<VoteMsg> = Vec::new();
+            let mut prepared: Option<MicroBlock> = None;
+            if lock_ok {
+                let mb = execute_batch(&cfg, &self.state, vec![tx.clone()]);
+                if !mb.rerouted.is_empty() {
+                    // Cross-contract call: outside the lock plan; only the
+                    // DS committee may chain calls. Release and hand over.
+                    self.lock_table.release(tx.id);
+                    stats.ds_fallback += 1;
+                    telemetry::trace::instant_with(telemetry::names::TX_XSHARD_ABORT, |a| {
+                        a.push(("tx", tx.id.to_string()));
+                        a.push(("cause", "ds-fallback:rerouted".to_string()));
+                    });
+                    ds_fallback.push(tx);
+                    continue;
+                }
+                stats.prepared += 1;
+                for &p in &plan.participants {
+                    let yes = !faults.prepare_panic(epoch, &tx, p);
+                    telemetry::trace::instant_with(telemetry::names::TX_XSHARD_VOTE, |a| {
+                        a.push(("tx", tx.id.to_string()));
+                        a.push(("shard", p.to_string()));
+                        a.push(("yes", yes.to_string()));
+                    });
+                    votes.push(VoteMsg { tx_id: tx.id, shard: p, yes });
+                }
+                prepared = Some(mb);
+            }
+
+            // Fault hook: the coordinator dies between prepare and commit.
+            // Its locks stay behind (stale) and the transaction retries
+            // after recovery breaks them.
+            if faults.coordinator_crash(epoch, &tx) {
+                stats.coordinator_crashes += 1;
+                stats.aborted += 1;
+                telemetry::trace::instant_with(telemetry::names::TX_XSHARD_ABORT, |a| {
+                    a.push(("tx", tx.id.to_string()));
+                    a.push(("cause", crate::xshard::AbortCause::CoordinatorCrash.name().to_string()));
+                });
+                block.deferred.push(tx);
+                continue;
+            }
+
+            // Phase 2: the vote messages cross shard boundaries — the only
+            // traffic that does — and the fault plan may drop, duplicate,
+            // or reorder them in transit.
+            let delivered = faults.deliver_votes(epoch, &tx, votes.clone());
+            if delivered.len() > votes.len() {
+                stats.duplicate_votes += delivered.len() - votes.len();
+            }
+            let verdict = if lock_ok {
+                decide(tx.id, &plan.participants, &delivered)
+            } else {
+                Verdict::Abort
+            };
+
+            match verdict {
+                Verdict::Commit => {
+                    let mb = prepared.expect("lock_ok implies prepared");
+                    match mb.delta.apply(&mut self.state) {
+                        Ok(()) => {
+                            block.gas_used += mb.gas_used;
+                            block.receipts.extend(mb.receipts);
+                            block.audit_violations.extend(mb.audit_violations);
+                            self.lock_table.release(tx.id);
+                            stats.committed += 1;
+                            telemetry::trace::instant_with(
+                                telemetry::names::TX_XSHARD_COMMIT,
+                                |a| {
+                                    a.push(("tx", tx.id.to_string()));
+                                    a.push(("coordinator", plan.coordinator.to_string()));
+                                },
+                            );
+                        }
+                        Err(e) => {
+                            // Impossible under validated signatures; abort
+                            // and surface for the sim's safety report.
+                            self.lock_table.release(tx.id);
+                            stats.aborted += 1;
+                            errors.push(format!("xshard delta apply for tx {}: {e:?}", tx.id));
+                            telemetry::trace::instant_with(
+                                telemetry::names::TX_XSHARD_ABORT,
+                                |a| {
+                                    a.push(("tx", tx.id.to_string()));
+                                    a.push((
+                                        "cause",
+                                        crate::xshard::AbortCause::ApplyFailed.name().to_string(),
+                                    ));
+                                },
+                            );
+                            block.deferred.push(tx);
+                        }
+                    }
+                }
+                Verdict::Abort | Verdict::Timeout { .. } => {
+                    let cause = if !lock_ok {
+                        crate::xshard::AbortCause::LockBusy
+                    } else if matches!(verdict, Verdict::Timeout { .. }) {
+                        crate::xshard::AbortCause::LostVote
+                    } else {
+                        crate::xshard::AbortCause::ParticipantVeto
+                    };
+                    self.lock_table.release(tx.id);
+                    stats.aborted += 1;
+                    telemetry::trace::instant_with(telemetry::names::TX_XSHARD_ABORT, |a| {
+                        a.push(("tx", tx.id.to_string()));
+                        a.push(("cause", cause.name().to_string()));
+                    });
+                    block.deferred.push(tx);
+                }
+            }
+        }
+
+        if telemetry::enabled() {
+            telemetry::counter!(telemetry::names::XSHARD_PREPARED).add(stats.prepared as u64);
+            telemetry::counter!(telemetry::names::XSHARD_COMMITTED).add(stats.committed as u64);
+            telemetry::counter!(telemetry::names::XSHARD_ABORTED).add(stats.aborted as u64);
+            telemetry::counter!(telemetry::names::XSHARD_LOCK_WAIT).add(stats.lock_wait as u64);
+            telemetry::counter!(telemetry::names::XSHARD_DS_FALLBACK)
+                .add(stats.ds_fallback as u64);
+            telemetry::counter!(telemetry::names::XSHARD_STALE_BROKEN)
+                .add(stats.stale_locks_broken as u64);
+        }
+        XShardBlock { block, ds_fallback, stats, errors }
     }
 
     /// The executor configuration the DS committee runs with this epoch.
@@ -465,7 +780,7 @@ impl Network {
             EpochReport { sim_seconds: self.config.epoch_duration_secs, ..Default::default() };
 
         // --- Lookup nodes: form per-committee packets.
-        let EpochPackets { shard_batches, mut ds_batch, dispatch_reasons } =
+        let EpochPackets { shard_batches, xshard_batch, mut ds_batch, dispatch_reasons } =
             self.form_packets(pool);
         report.dispatch_reasons = dispatch_reasons;
 
@@ -478,6 +793,14 @@ impl Network {
             .merge_shard_deltas(&microblocks)
             .unwrap_or_else(|e| panic!("ownership dispatch precludes conflicts: {e:?}"));
 
+        // --- Cross-shard two-phase commits run on the merged state,
+        // fault-free in production epochs.
+        let xshard_block = self.execute_xshard(xshard_batch, &mut crate::xshard::NoFaults);
+        if let Some(e) = xshard_block.errors.first() {
+            panic!("ownership locks preclude apply conflicts: {e}");
+        }
+        ds_batch.extend(xshard_block.ds_fallback.iter().cloned());
+
         // …then process its own packet (plus reroutes) sequentially on the
         // merged state.
         for mb in &microblocks {
@@ -486,7 +809,11 @@ impl Network {
         let ds_block = self.execute_ds(ds_batch).expect("ds delta applies");
 
         // --- Accounting.
-        for mb in microblocks.iter().chain(std::iter::once(&ds_block)) {
+        for mb in microblocks
+            .iter()
+            .chain(std::iter::once(&xshard_block.block))
+            .chain(std::iter::once(&ds_block))
+        {
             let committed = mb.committed();
             report.committed += committed;
             report.failed += mb
@@ -514,6 +841,7 @@ impl Network {
 pub fn assignment_label(a: Assignment) -> String {
     match a {
         Assignment::Shard(s) => format!("shard{s}"),
+        Assignment::XShard => "xshard".to_string(),
         Assignment::Ds => "ds".to_string(),
     }
 }

@@ -21,6 +21,7 @@ use crate::address::{fnv1a, Address};
 use crate::executor::{execute_batch, MicroBlock, Receipt, TxStatus};
 use crate::network::{ChainConfig, Network};
 use crate::tx::Transaction;
+use crate::xshard::{VoteMsg, XShardFaults};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use scilla::value::Value;
@@ -50,18 +51,56 @@ pub enum FaultKind {
     /// The shard runs out of gas mid-batch (budget cut to ⅛); the tail is
     /// deferred to later epochs.
     GasExhaustion,
+    /// Cross-shard protocol fault: the coordinator crashes between prepare
+    /// and commit — its locks go stale (broken at the next epoch's
+    /// recovery) and the transaction retries. For this and the other
+    /// `xshard` kinds, [`FaultEvent::shard`] selects the *target
+    /// transaction* (index into the epoch's xshard packet, modulo its
+    /// length) rather than a shard.
+    CoordinatorCrash,
+    /// Cross-shard protocol fault: one participant's vote is lost in
+    /// transit; the coordinator times out and aborts-with-release.
+    LostVote,
+    /// Cross-shard protocol fault: every vote is delivered twice; the
+    /// decision must absorb the duplicates idempotently.
+    DuplicateVote,
+    /// Cross-shard protocol fault: the votes arrive in reverse order; the
+    /// decision must be order-independent.
+    ReorderVotes,
+    /// Cross-shard protocol fault: a lock leaked by an earlier (unseen)
+    /// crash sits on the transaction's first key; it aborts busy and
+    /// retries after stale-lock recovery breaks the leak.
+    StaleLock,
 }
 
 impl FaultKind {
     /// All fault kinds, for plan generation.
-    pub fn all() -> [FaultKind; 5] {
+    pub fn all() -> [FaultKind; 10] {
         [
             FaultKind::ShardPanic,
             FaultKind::DropPacket,
             FaultKind::DuplicatePacket,
             FaultKind::ReorderPacket,
             FaultKind::GasExhaustion,
+            FaultKind::CoordinatorCrash,
+            FaultKind::LostVote,
+            FaultKind::DuplicateVote,
+            FaultKind::ReorderVotes,
+            FaultKind::StaleLock,
         ]
+    }
+
+    /// Does this kind target the cross-shard commit stage (as opposed to a
+    /// shard packet)?
+    pub fn is_xshard(self) -> bool {
+        matches!(
+            self,
+            FaultKind::CoordinatorCrash
+                | FaultKind::LostVote
+                | FaultKind::DuplicateVote
+                | FaultKind::ReorderVotes
+                | FaultKind::StaleLock
+        )
     }
 
     /// Stable label used in plans, metrics, and artifacts.
@@ -72,6 +111,11 @@ impl FaultKind {
             FaultKind::DuplicatePacket => "duplicate-packet",
             FaultKind::ReorderPacket => "reorder-packet",
             FaultKind::GasExhaustion => "gas-exhaustion",
+            FaultKind::CoordinatorCrash => "coordinator-crash",
+            FaultKind::LostVote => "lost-vote",
+            FaultKind::DuplicateVote => "duplicate-vote",
+            FaultKind::ReorderVotes => "reorder-votes",
+            FaultKind::StaleLock => "stale-lock",
         }
     }
 
@@ -271,6 +315,47 @@ fn install_quiet_hook() {
     });
 }
 
+/// The fault plan's cross-shard protocol faults for one epoch, keyed by
+/// target transaction id (selected deterministically from the epoch's
+/// xshard packet before the stage runs).
+#[derive(Debug, Default)]
+struct PlanXShardFaults {
+    crash: BTreeSet<u64>,
+    lose_vote: BTreeSet<u64>,
+    duplicate_votes: BTreeSet<u64>,
+    reorder_votes: BTreeSet<u64>,
+    stale_lock: BTreeSet<u64>,
+}
+
+impl XShardFaults for PlanXShardFaults {
+    fn deliver_votes(
+        &mut self,
+        _epoch: u64,
+        tx: &Transaction,
+        mut votes: Vec<VoteMsg>,
+    ) -> Vec<VoteMsg> {
+        if self.reorder_votes.contains(&tx.id) {
+            votes.reverse();
+        }
+        if self.duplicate_votes.contains(&tx.id) {
+            let again = votes.clone();
+            votes.extend(again);
+        }
+        if self.lose_vote.contains(&tx.id) {
+            votes.pop();
+        }
+        votes
+    }
+
+    fn coordinator_crash(&mut self, _epoch: u64, tx: &Transaction) -> bool {
+        self.crash.contains(&tx.id)
+    }
+
+    fn plant_stale_lock(&mut self, _epoch: u64, tx: &Transaction) -> bool {
+        self.stale_lock.contains(&tx.id)
+    }
+}
+
 /// A deterministic digest of the network's observable final state: every
 /// account (balance, nonce watermark, committed-above set, contract flag)
 /// and every contract storage field, in canonical `BTreeMap` order, hashed
@@ -374,6 +459,9 @@ pub fn run_sim(
         let mut panic_shards: BTreeSet<u32> = BTreeSet::new();
         let mut duplicated: Vec<Transaction> = Vec::new();
         for ev in plan.events_at(epoch) {
+            if ev.kind.is_xshard() {
+                continue; // handled at the cross-shard commit stage below
+            }
             if ev.shard >= num_shards {
                 continue; // plan generated for a wider network
             }
@@ -404,6 +492,11 @@ pub fn run_sim(
                 FaultKind::ShardPanic => {
                     panic_shards.insert(ev.shard);
                 }
+                FaultKind::CoordinatorCrash
+                | FaultKind::LostVote
+                | FaultKind::DuplicateVote
+                | FaultKind::ReorderVotes
+                | FaultKind::StaleLock => unreachable!("is_xshard filtered above"),
             }
         }
 
@@ -442,8 +535,43 @@ pub fn run_sim(
             telemetry::registry().counter(telemetry::names::SIM_SAFETY_VIOLATION).inc();
         }
 
-        // --- DS execution: leftovers + shard reroutes + duplicated
-        // deliveries (the latter must all bounce off replay protection).
+        // --- Cross-shard commit stage on the merged state, with the plan's
+        // protocol faults. An xshard fault event's `shard` field selects the
+        // target transaction (index into the packet, modulo its length).
+        let xshard_batch = std::mem::take(&mut packets.xshard_batch);
+        let mut xfaults = PlanXShardFaults::default();
+        for ev in plan.events_at(epoch) {
+            if !ev.kind.is_xshard() || xshard_batch.is_empty() {
+                continue;
+            }
+            let target = xshard_batch[ev.shard as usize % xshard_batch.len()].id;
+            *report.injected.entry(ev.kind.name()).or_default() += 1;
+            telemetry::registry()
+                .counter(&format!("{}{}", telemetry::names::SIM_FAULT_PREFIX, ev.kind.name()))
+                .inc();
+            match ev.kind {
+                FaultKind::CoordinatorCrash => xfaults.crash.insert(target),
+                FaultKind::LostVote => xfaults.lose_vote.insert(target),
+                FaultKind::DuplicateVote => xfaults.duplicate_votes.insert(target),
+                FaultKind::ReorderVotes => xfaults.reorder_votes.insert(target),
+                FaultKind::StaleLock => xfaults.stale_lock.insert(target),
+                _ => unreachable!("is_xshard filtered"),
+            };
+        }
+        let xblock = net.execute_xshard(xshard_batch, &mut xfaults);
+        for e in &xblock.errors {
+            report.safety_violations.push(format!("epoch {epoch}: {e}"));
+            telemetry::registry().counter(telemetry::names::SIM_SAFETY_VIOLATION).inc();
+        }
+        if xblock.stats.aborted > 0 {
+            *report.recoveries.entry("xshard-abort-retry").or_default() +=
+                xblock.stats.aborted as u64;
+        }
+        packets.ds_batch.extend(xblock.ds_fallback.iter().cloned());
+
+        // --- DS execution: leftovers + xshard fallbacks + shard reroutes +
+        // duplicated deliveries (the latter must all bounce off replay
+        // protection).
         let mut ds_batch = std::mem::take(&mut packets.ds_batch);
         for mb in &microblocks {
             ds_batch.extend(mb.rerouted.iter().cloned());
@@ -458,8 +586,12 @@ pub fn run_sim(
             }
         };
 
-        // --- Accounting: final outcomes, deferred retries.
-        for mb in microblocks.iter().chain(ds_block.iter()) {
+        // --- Accounting: final outcomes, deferred retries. Receipt order is
+        // the witness serialization: shard commits, then cross-shard
+        // commits, then DS commits.
+        for mb in
+            microblocks.iter().chain(std::iter::once(&xblock.block)).chain(ds_block.iter())
+        {
             // Effect-trace sanitizer escapes are safety violations: a static
             // summary failed to contain a concrete execution.
             for v in &mb.audit_violations {

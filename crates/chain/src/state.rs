@@ -135,6 +135,13 @@ pub struct GlobalState {
     /// step writes back through `Arc::make_mut` (in place once the shard
     /// views are dropped).
     pub storage: BTreeMap<Address, Arc<InMemoryState>>,
+    /// Signature-aware placement overrides: contracts co-located away from
+    /// their hash-derived home shard (family co-location along the
+    /// cross-contract reroute path). Consulted wherever a *contract*
+    /// account is placed — dispatch and the executor's balance slicing must
+    /// agree, so both go through [`GlobalState::home_shard_of`]. User
+    /// accounts never appear here.
+    pub placement: BTreeMap<Address, u32>,
 }
 
 impl GlobalState {
@@ -151,6 +158,15 @@ impl GlobalState {
     /// Is the address a contract account?
     pub fn is_contract(&self, addr: &Address) -> bool {
         self.contracts.contains_key(addr)
+    }
+
+    /// The shard an account lives in: the placement override if the
+    /// deployment co-located it, the address-derived home shard otherwise.
+    pub fn home_shard_of(&self, addr: &Address, num_shards: u32) -> u32 {
+        match self.placement.get(addr) {
+            Some(s) => s % num_shards.max(1),
+            None => addr.home_shard(num_shards),
+        }
     }
 
     /// Credits an account, creating it if needed.

@@ -179,7 +179,12 @@ fn strict_nonce_policy_serialises_away_from_home() {
         end
     "#;
     net.deploy(contract, src, vec![], Some((&["Add"], WeakReads::AcceptAll))).unwrap();
-    let strict = DispatchPolicy { num_shards: 4, use_cosplit: true, relaxed_nonces: false };
+    let strict = DispatchPolicy {
+        num_shards: 4,
+        use_cosplit: true,
+        relaxed_nonces: false,
+        cross_shard_commit: false,
+    };
     for i in 0..32 {
         let tx = Transaction::call(i, alice, i + 1, contract, "Add", vec![(
             "v".into(),
@@ -189,6 +194,7 @@ fn strict_nonce_policy_serialises_away_from_home() {
         match d.assignment {
             Assignment::Shard(s) => assert_eq!(s, alice.home_shard(4)),
             Assignment::Ds => {}
+            Assignment::XShard => panic!("strict nonces demote xshard to DS"),
         }
     }
 }

@@ -136,6 +136,111 @@ fn traced_epoch_yields_complete_lifecycles_and_a_well_formed_forest() {
     trace::validate_json(&trace::chrome_trace_json(&records)).expect("chrome export parses");
 }
 
+/// A ProofIPFS world whose `Register` calls have two-shard footprints
+/// (sender account + string-keyed registry component), plus the cross-shard
+/// commit stage enabled — the traced epoch must show the full
+/// dispatch→prepare→vote→commit hop chain for every such transaction.
+fn xshard_world() -> (Network, Vec<Transaction>) {
+    let mut config = ChainConfig::small(4, true);
+    config.audit = false;
+    config.cross_shard_commit = true;
+    let mut net = Network::new(config);
+    let admin = Address::from_index(999);
+    net.fund_account(admin, 1_000_000_000);
+    for i in 0..USERS {
+        net.fund_account(Address::from_index(1 + i), 1_000_000_000);
+    }
+    let contract = Address::from_index(901);
+    let source = scilla::corpus::get("ProofIPFS").expect("corpus contract").source;
+    net.deploy(
+        contract,
+        source,
+        vec![("initial_admin".to_string(), admin.to_value())],
+        Some((&["Register"], WeakReads::AcceptAll)),
+    )
+    .expect("ProofIPFS deploys");
+
+    // One Register per user, each with a hash string scanned until the
+    // footprint actually spans shards (dispatches to the xshard stage).
+    let policy = chain::dispatch::DispatchPolicy {
+        num_shards: 4,
+        use_cosplit: true,
+        relaxed_nonces: true,
+        cross_shard_commit: true,
+    };
+    let pool: Vec<Transaction> = (0..USERS)
+        .map(|i| {
+            (0..256u32)
+                .map(|h| {
+                    Transaction::call(
+                        300 + i,
+                        Address::from_index(1 + i),
+                        1,
+                        contract,
+                        "Register",
+                        vec![(
+                            "ipfs_hash".into(),
+                            Value::Str(format!("Qm{i:030}{h:030}")),
+                        )],
+                    )
+                    .with_amount(10)
+                })
+                .find(|tx| {
+                    chain::dispatch::dispatch_policy(tx, net.state(), &policy).assignment
+                        == chain::dispatch::Assignment::XShard
+                })
+                .expect("some hash maps off the sender's home shard")
+        })
+        .collect();
+    (net, pool)
+}
+
+#[test]
+fn cross_shard_commits_leave_complete_prepare_vote_commit_chains() {
+    let _g = TELEMETRY_GUARD.lock().unwrap_or_else(|e| e.into_inner());
+    telemetry::set_enabled(true);
+    let (mut net, mut pool) = xshard_world();
+    let expected: BTreeSet<u64> = pool.iter().map(|t| t.id).collect();
+
+    trace::set_tracing(true);
+    trace::recorder().clear();
+    let report = net.run_epoch(&mut pool);
+    trace::set_tracing(false);
+    let records = trace::recorder().drain();
+
+    assert_eq!(report.committed, expected.len(), "every Register commits: {report:?}");
+    trace::validate_span_tree(&records).expect("span forest is well-formed");
+
+    let lifecycles = trace::build_lifecycles(&records);
+    for id in &expected {
+        let lc = lifecycles
+            .iter()
+            .find(|lc| lc.tx_id == *id)
+            .unwrap_or_else(|| panic!("tx {id} has no lifecycle"));
+        assert_eq!(
+            lc.assignment(),
+            Some("xshard"),
+            "tx {id} should ride the cross-shard stage: {lc:?}"
+        );
+        assert_eq!(lc.dispatch_reason(), Some("xshard"));
+        assert!(
+            lc.complete_commit_chain(),
+            "tx {id}: dispatch→prepare→votes→commit chain incomplete: {lc:?}"
+        );
+    }
+
+    // The hop chain is real, not vacuous: each transaction voted once per
+    // participant (≥ 2 shards each), and the commit hop closed it.
+    let votes = records.iter().filter(|r| r.name == names::TX_XSHARD_VOTE).count();
+    let commits = records.iter().filter(|r| r.name == names::TX_XSHARD_COMMIT).count();
+    assert_eq!(commits, expected.len());
+    assert!(
+        votes >= 2 * expected.len(),
+        "two-shard footprints cast at least two votes each ({votes})"
+    );
+    assert!(net.lock_table().is_empty(), "the epoch releases every lock");
+}
+
 #[test]
 fn tracing_off_epoch_records_nothing() {
     let _g = TELEMETRY_GUARD.lock().unwrap_or_else(|e| e.into_inner());

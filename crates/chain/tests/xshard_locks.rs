@@ -1,0 +1,223 @@
+//! Generative properties of the cross-shard lock table and vote fold
+//! (`chain::xshard`) — the invariants the two-phase commit driver leans on.
+//!
+//! * **Model equivalence / no orphans** — under any interleaving of
+//!   acquisitions, releases, and stale-lock recovery the table matches an
+//!   independently-written reference model, a failed acquisition leaves
+//!   nothing newly held (all-or-nothing), `release` removes *exactly* the
+//!   holder's keys, and draining every transaction empties the table.
+//! * **Mutual exclusion** — no key is ever held by two transactions, and
+//!   every successful acquirer holds its complete key set.
+//! * **No deadlock** — serial acquisition in global sorted key order over
+//!   randomized multi-shard batches (with crashed coordinators leaking
+//!   locks that stale-break one epoch later) always drains in bounded
+//!   rounds and leaves the table empty.
+//! * **Delivery-noise invariance** — the commit verdict is unchanged by
+//!   duplicated votes, arbitrary arrival order, and foreign-transaction
+//!   votes; losing a vote yields a timeout naming the silent shard.
+
+use chain::address::Address;
+use chain::xshard::{decide, Held, LockKey, LockTable, Verdict, VoteMsg};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+use std::collections::BTreeSet;
+
+/// A small injective key universe mixing both lock flavours.
+fn key(i: u8) -> LockKey {
+    if i.is_multiple_of(3) {
+        LockKey::Account(Address::from_index(u64::from(i)))
+    } else {
+        LockKey::Component {
+            contract: Address::from_index(7),
+            field: format!("f{}", i % 2),
+            keys: vec![(i / 2).to_string()],
+        }
+    }
+}
+
+/// Sorted, deduplicated lock set from raw key indices — the global order
+/// the dispatch plan guarantees.
+fn lock_set(raw: &[u8]) -> Vec<LockKey> {
+    let set: BTreeSet<LockKey> = raw.iter().map(|i| key(i % 12)).collect();
+    set.into_iter().collect()
+}
+
+/// One scripted table operation: (tag, tx, raw keys).
+/// tag 0 → try_acquire, 1 → release, 2 → advance epoch + break_stale.
+fn ops() -> impl Strategy<Value = Vec<(u8, u64, Vec<u8>)>> {
+    prop::collection::vec((0u8..3, 0u64..6, prop::collection::vec(0u8..12, 1..5)), 1..40)
+}
+
+proptest! {
+    /// The table against a from-scratch reference model, op by op.
+    #[test]
+    fn table_matches_model_under_random_interleavings(script in ops()) {
+        let mut table = LockTable::new();
+        // The oracle: key → (tx, epoch), maintained independently.
+        let mut model: BTreeMap<LockKey, Held> = BTreeMap::new();
+        let mut epoch = 1u64;
+
+        for (tag, tx, raw) in script {
+            match tag {
+                0 => {
+                    let keys = lock_set(&raw);
+                    let free = keys
+                        .iter()
+                        .all(|k| model.get(k).is_none_or(|h| h.tx_id == tx));
+                    let before: Vec<LockKey> = table.held_by(tx);
+                    let got = table.try_acquire(tx, epoch, &keys);
+                    if free {
+                        let newly =
+                            keys.iter().filter(|k| !model.contains_key(*k)).count();
+                        prop_assert_eq!(got.as_ref().copied(), Ok(newly));
+                        for k in &keys {
+                            model.entry(k.clone()).or_insert(Held { tx_id: tx, epoch });
+                        }
+                    } else {
+                        prop_assert!(got.is_err(), "model says busy, table said ok");
+                        // All-or-nothing: the failed call left *nothing* new.
+                        prop_assert_eq!(table.held_by(tx), before);
+                    }
+                }
+                1 => {
+                    let held = table.held_by(tx);
+                    let released = table.release(tx);
+                    prop_assert_eq!(released, held.len(), "release must be exact");
+                    model.retain(|_, h| h.tx_id != tx);
+                }
+                _ => {
+                    epoch += 1;
+                    let broken = table.break_stale(epoch);
+                    let before = model.len();
+                    model.retain(|_, h| h.epoch >= epoch);
+                    prop_assert_eq!(broken, before - model.len());
+                }
+            }
+            // Global agreement after every step: same size, same holders.
+            prop_assert_eq!(table.len(), model.len());
+            for i in 0..12u8 {
+                let k = key(i);
+                prop_assert_eq!(table.holder(&k), model.get(&k).copied());
+            }
+            // Mutual exclusion + completeness: each live transaction's view
+            // is consistent and pairwise disjoint (holder map is a function,
+            // so disjointness is equivalent to the per-key agreement above —
+            // assert the per-tx slices partition the table).
+            let total: usize = (0..6u64).map(|t| table.held_by(t).len()).sum();
+            prop_assert_eq!(total, table.len());
+        }
+
+        // No orphans: draining every transaction empties the table.
+        for tx in 0..6u64 {
+            table.release(tx);
+        }
+        prop_assert!(table.is_empty(), "orphan locks survived a full drain");
+    }
+
+    /// Serial sorted-order acquisition over a randomized multi-shard batch
+    /// never deadlocks, even when coordinators crash and leak locks: every
+    /// transaction commits within a bounded number of epochs and the table
+    /// ends empty.
+    #[test]
+    fn sorted_acquisition_admits_no_deadlock(
+        batch in prop::collection::vec(prop::collection::vec(0u8..12, 1..5), 1..10),
+        crashes in prop::collection::vec(any::<bool>(), 0..24),
+    ) {
+        let batch: Vec<Vec<LockKey>> = batch.iter().map(|raw| lock_set(raw)).collect();
+        let mut table = LockTable::new();
+        let mut pending: Vec<usize> = (0..batch.len()).collect();
+        let mut crash = crashes.into_iter();
+        let crash_budget = 24u32;
+        let mut epoch = 1u64;
+        let mut rounds = 0u32;
+
+        while !pending.is_empty() {
+            rounds += 1;
+            // A fault-free round commits everything pending (the stage is
+            // serial and each commit releases before the next acquire), so
+            // rounds are bounded by the crash budget — exceeding it means a
+            // lock was never released or broken: a deadlock.
+            prop_assert!(rounds <= crash_budget + 2, "no progress: deadlock");
+            table.break_stale(epoch);
+            let mut still = Vec::new();
+            for &i in &pending {
+                match table.try_acquire(i as u64, epoch, &batch[i]) {
+                    Ok(_) => {
+                        if crash.next().unwrap_or(false) {
+                            // Crashed coordinator: locks leak, go stale, and
+                            // are broken at the next epoch; the tx retries.
+                            still.push(i);
+                        } else {
+                            table.release(i as u64);
+                        }
+                    }
+                    Err(busy) => {
+                        // Contention can only come from a leaked lock.
+                        prop_assert!(busy.holder.tx_id != i as u64);
+                        still.push(i);
+                    }
+                }
+            }
+            pending = still;
+            epoch += 1;
+        }
+        prop_assert!(table.is_empty(), "orphan locks after the batch drained");
+    }
+
+    /// Duplicating votes, permuting arrival order, and interleaving foreign
+    /// votes never changes the verdict.
+    #[test]
+    fn verdict_is_invariant_under_delivery_noise(
+        ballots in prop::collection::vec((0u32..6, any::<bool>()), 1..6),
+        dup in prop::collection::vec(any::<bool>(), 6),
+        rotate in 0usize..6,
+    ) {
+        // One canonical vote per participant (first entry per shard wins,
+        // matching the fold's idempotence rule).
+        let mut canonical: Vec<VoteMsg> = Vec::new();
+        let mut participants: BTreeSet<u32> = BTreeSet::new();
+        for (shard, yes) in &ballots {
+            if participants.insert(*shard) {
+                canonical.push(VoteMsg { tx_id: 42, shard: *shard, yes: *yes });
+            }
+        }
+        let base = decide(42, &participants, &canonical);
+        prop_assert!(
+            !matches!(base, Verdict::Timeout { .. }),
+            "every participant voted; no timeout possible"
+        );
+
+        // Noise: duplicate a subset, add foreign-transaction votes, rotate.
+        let mut noisy = canonical.clone();
+        for (i, v) in canonical.iter().enumerate() {
+            if dup.get(i).copied().unwrap_or(false) {
+                noisy.push(*v);
+            }
+            noisy.push(VoteMsg { tx_id: 43, shard: v.shard, yes: !v.yes });
+        }
+        let pivot = rotate % noisy.len();
+        noisy.rotate_left(pivot);
+        prop_assert_eq!(decide(42, &participants, &noisy), base);
+    }
+
+    /// Losing every copy of one participant's vote from an all-yes round
+    /// times out naming a silent shard (never a spurious commit).
+    #[test]
+    fn lost_vote_times_out_instead_of_committing(
+        shards in prop::collection::vec(0u32..8, 2..6),
+        victim in 0usize..6,
+    ) {
+        let participants: BTreeSet<u32> = shards.iter().copied().collect();
+        prop_assume!(participants.len() >= 2);
+        let victim_shard = *participants.iter().nth(victim % participants.len()).unwrap();
+        let votes: Vec<VoteMsg> = participants
+            .iter()
+            .filter(|s| **s != victim_shard)
+            .map(|s| VoteMsg { tx_id: 9, shard: *s, yes: true })
+            .collect();
+        match decide(9, &participants, &votes) {
+            Verdict::Timeout { shard } => prop_assert_eq!(shard, victim_shard),
+            other => prop_assert!(false, "expected timeout, got {:?}", other),
+        }
+    }
+}

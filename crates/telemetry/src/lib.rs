@@ -95,6 +95,31 @@ pub mod names {
     /// Per-transaction execution span in the executor (attrs: tx, role,
     /// status, and worker/wave when run by the parallel scheduler).
     pub const TX_EXEC: &str = "chain.tx.exec";
+    /// Cross-shard 2PC: prepare hop instant (attrs: tx, coordinator,
+    /// participants).
+    pub const TX_XSHARD_PREPARE: &str = "chain.tx.xshard_prepare";
+    /// Cross-shard 2PC: one participant's vote instant (attrs: tx, shard,
+    /// yes).
+    pub const TX_XSHARD_VOTE: &str = "chain.tx.xshard_vote";
+    /// Cross-shard 2PC: commit hop instant (attrs: tx, coordinator).
+    pub const TX_XSHARD_COMMIT: &str = "chain.tx.xshard_commit";
+    /// Cross-shard 2PC: abort hop instant (attrs: tx, cause) — also emitted
+    /// with a `ds-fallback:*` cause when the stage hands a transaction to
+    /// the DS committee.
+    pub const TX_XSHARD_ABORT: &str = "chain.tx.xshard_abort";
+    /// Cross-shard transactions that finished prepare with all locks held.
+    pub const XSHARD_PREPARED: &str = "chain.xshard.prepared";
+    /// Cross-shard transactions committed atomically.
+    pub const XSHARD_COMMITTED: &str = "chain.xshard.committed";
+    /// Cross-shard transactions aborted (they retry from the pool).
+    pub const XSHARD_ABORTED: &str = "chain.xshard.aborted";
+    /// Lock acquisitions that found a key busy.
+    pub const XSHARD_LOCK_WAIT: &str = "chain.xshard.lock_wait";
+    /// Cross-shard transactions handed to the DS committee (unresolvable
+    /// plan or rerouting prepare).
+    pub const XSHARD_DS_FALLBACK: &str = "chain.xshard.ds_fallback";
+    /// Stale locks broken by epoch-start recovery.
+    pub const XSHARD_STALE_BROKEN: &str = "chain.xshard.stale_locks_broken";
 }
 
 pub mod trace;

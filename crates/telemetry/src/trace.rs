@@ -502,6 +502,11 @@ impl TxLifecycle {
     /// A committed transaction's chain is complete when a reason-attributed
     /// dispatch decision precedes the successful execution — the acceptance
     /// shape for the lifecycle export.
+    ///
+    /// A transaction committed by the cross-shard 2PC stage (executor role
+    /// `"xshard"`) additionally needs the full protocol chain: a prepare
+    /// hop, at least one vote per prepare's participant count, and a commit
+    /// hop, none of them earlier than the dispatch decision.
     pub fn complete_commit_chain(&self) -> bool {
         if !self.committed() {
             return false;
@@ -513,9 +518,41 @@ impl TxLifecycle {
             .find(|s| s.name == names::TX_EXEC && s.attr("status") == Some("success"))
             .map(|s| s.at_micros);
         let Some(exec_at) = exec_at else { return false };
-        self.stages.iter().any(|s| {
+        let dispatched = self.stages.iter().any(|s| {
             s.name == names::TX_DISPATCH && s.attr("reason").is_some() && s.at_micros <= exec_at
-        })
+        });
+        if !dispatched {
+            return false;
+        }
+        if self.assignment() != Some("xshard") {
+            return true;
+        }
+        // The committing attempt's protocol hops: the *last* commit hop,
+        // the prepare that precedes it, and that prepare's votes (earlier
+        // aborted attempts may have left partial hop sets behind).
+        let Some(commit_at) =
+            self.stages.iter().rev().find(|s| s.name == names::TX_XSHARD_COMMIT).map(|s| s.at_micros)
+        else {
+            return false;
+        };
+        let prepare = self
+            .stages
+            .iter()
+            .rev()
+            .find(|s| s.name == names::TX_XSHARD_PREPARE && s.at_micros <= commit_at);
+        let Some(prepare) = prepare else { return false };
+        let participants: usize =
+            prepare.attr("participants").and_then(|p| p.parse().ok()).unwrap_or(1);
+        let votes = self
+            .stages
+            .iter()
+            .filter(|s| {
+                s.name == names::TX_XSHARD_VOTE
+                    && s.at_micros >= prepare.at_micros
+                    && s.at_micros <= commit_at
+            })
+            .count();
+        votes >= participants
     }
 }
 

@@ -31,6 +31,9 @@ cargo run --release -q -p cosplit-bench --bin state_smoke
 echo "== trace smoke (exports parse, lifecycle coverage 100%, overhead < 1.5x) =="
 cargo run --release -q -p cosplit-bench --bin trace_smoke
 
+echo "== xshard smoke (cross-shard 2PC differential + DS share < 10%) =="
+cargo run --release -q -p cosplit-bench --bin xshard_smoke
+
 # Perf-regression gate against the committed BENCH_baseline.json: fails on
 # >20% wall-clock regression or any deterministic dispatch-fraction drift.
 # Opt out on hosts unrelated to the baseline's with COSPLIT_SKIP_BENCH_GATE=1;
