@@ -62,6 +62,7 @@ const EXPECTED_CENSUS: &[(&str, usize)] = &[
     ("write-never-read-back", 18),
     ("accept-no-balance-effect", 4),
     ("dead-pseudofield", 0),
+    ("dynamic-recipient", 5),
 ];
 
 /// Lints the whole mainnet sample; returns the number of failures (pipeline

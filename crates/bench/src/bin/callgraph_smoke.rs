@@ -1,0 +1,180 @@
+//! Interprocedural call-graph smoke test for CI (`scripts/check.sh`).
+//!
+//! Three gates:
+//!
+//! 1. **Corpus graph** — extracts call sites and builds the static
+//!    cross-contract graph over every corpus contract (the 49-contract
+//!    mainnet sample plus the harness pair) panic-free, and the JSON wire
+//!    encoding round-trips losslessly.
+//! 2. **Differential suite** — the relay-chain workload plus two Fig. 14
+//!    controls run through the differential oracle with `compose_calls`
+//!    enabled, fault-free and under a generated fault plan. Any divergence
+//!    from the 1-shard sequential reference fails loudly.
+//! 3. **Dispatch gate** — composition must strictly cut the relay chain's
+//!    DS share versus composition-off, and must leave the single-contract
+//!    controls untouched.
+//!
+//! Usage: `callgraph_smoke [seed]` (default seed 2027). The compose gauges
+//! are merged into `BENCH_metrics.json` (override with `BENCH_METRICS`)
+//! without clobbering gauges earlier smoke runs recorded there.
+
+use chain::network::ChainConfig;
+use chain::sim::{differential, reference_config, FaultPlan, SimConfig};
+use cosplit_bench::experiments::{callgraph_rows, corpus_call_graph};
+use cosplit_analysis::callgraph::CallGraph;
+use workloads::runner::world_builder;
+use workloads::scenarios::{build, Kind};
+use workloads::seeds;
+
+const SHARDS: u32 = 4;
+
+fn main() {
+    let seed: u64 = std::env::args()
+        .nth(1)
+        .map(|s| s.parse().expect("seed must be a u64"))
+        .unwrap_or(2027);
+    println!("callgraph-smoke: master seed {seed}");
+    telemetry::set_enabled(true);
+
+    let mut failures = 0u32;
+    failures += graph_gate();
+    failures += differential_gate(seed);
+    failures += dispatch_gate();
+
+    let metrics_path =
+        std::env::var("BENCH_METRICS").unwrap_or_else(|_| "BENCH_metrics.json".into());
+    let mut snap = telemetry::registry().snapshot();
+    // Merge, don't clobber: earlier smoke runs (audit_smoke's lint census)
+    // already left their gauges in the file.
+    if let Ok(prev) = std::fs::read_to_string(&metrics_path) {
+        if let Ok(prev) = telemetry::Snapshot::from_json(&prev) {
+            for (k, v) in prev.counters {
+                snap.counters.entry(k).or_insert(v);
+            }
+            for (k, v) in prev.gauges {
+                snap.gauges.entry(k).or_insert(v);
+            }
+        }
+    }
+    match std::fs::write(&metrics_path, snap.to_json()) {
+        Ok(()) => println!("metrics snapshot merged into {metrics_path}"),
+        Err(e) => eprintln!("failed to write {metrics_path}: {e}"),
+    }
+
+    if failures > 0 {
+        eprintln!("callgraph-smoke: {failures} failure(s)");
+        std::process::exit(1);
+    }
+    println!("callgraph-smoke: graph sound, wire stable, composed dispatch divergence-free");
+}
+
+/// Builds the graph over the whole corpus and checks the wire encoding.
+fn graph_gate() -> u32 {
+    let entries: Vec<_> = scilla::corpus::all().iter().collect();
+    let graph = corpus_call_graph(&entries);
+    let resolved = graph.edges.iter().filter(|e| e.is_resolved()).count();
+    println!(
+        "  graph: {} contracts, {} send edges, {} resolved ({:.0}%)",
+        graph.contracts.len(),
+        graph.edges.len(),
+        resolved,
+        graph.resolved_fraction() * 100.0
+    );
+    let mut failures = 0u32;
+    if graph.contracts.len() < 49 {
+        eprintln!("FAIL graph: expected the full corpus, got {} contracts", graph.contracts.len());
+        failures += 1;
+    }
+    if graph.edges.is_empty() {
+        eprintln!("FAIL graph: the corpus has send sites, but no edges were extracted");
+        failures += 1;
+    }
+    match CallGraph::from_json(&graph.to_json()) {
+        Ok(round) if round == graph => println!("  ok wire: JSON round-trip is lossless"),
+        Ok(_) => {
+            eprintln!("FAIL wire: round-tripped graph differs");
+            failures += 1;
+        }
+        Err(e) => {
+            eprintln!("FAIL wire: {e}");
+            failures += 1;
+        }
+    }
+    if !graph.to_dot().contains("digraph") {
+        eprintln!("FAIL wire: DOT rendering is malformed");
+        failures += 1;
+    }
+    failures
+}
+
+/// The differential oracle with composition enabled: the relay chain and
+/// two single-contract controls must match the sequential reference.
+fn differential_gate(seed: u64) -> u32 {
+    let sharded_cfg = ChainConfig { compose_calls: true, ..ChainConfig::small(SHARDS, true) };
+    let reference_cfg = reference_config(&sharded_cfg);
+    let kinds = [Kind::RelayPing, Kind::FtTransfer, Kind::IpfsRegister];
+
+    let mut failures = 0u32;
+    for kind in kinds {
+        let scenario = build(kind, 40, 500, seeds::derive(seed, kind.label()));
+        let builder = world_builder(&scenario);
+        let label = scenario.kind.label();
+        let plans = [
+            ("fault-free", FaultPlan::none()),
+            (
+                "generated",
+                FaultPlan::generate(seeds::derive(seed, "callgraph-plan"), 8, SHARDS, 0.35),
+            ),
+        ];
+        for (plan_label, plan) in &plans {
+            let diff = differential(
+                &builder,
+                &scenario.load,
+                &sharded_cfg,
+                &reference_cfg,
+                &SimConfig::new(seed),
+                plan,
+            );
+            if diff.is_clean() {
+                println!(
+                    "  ok {label} [{plan_label}]: composed run matches the reference, {} outcomes",
+                    diff.sharded.outcomes.len()
+                );
+            } else {
+                failures += 1;
+                eprintln!("FAIL {label} [{plan_label}]: {} divergence(s)", diff.divergences.len());
+                for d in diff.divergences.iter().take(10) {
+                    eprintln!("    {d}");
+                }
+            }
+        }
+    }
+    failures
+}
+
+/// Composition must strictly reduce the relay chain's DS share and leave
+/// the controls unchanged; records the acceptance gauges as a side effect.
+fn dispatch_gate() -> u32 {
+    let rows = callgraph_rows(40, 500, 3);
+    let mut failures = 0u32;
+    for r in &rows {
+        println!(
+            "  dispatch {}: DS {}‰ (compose off) → {}‰ (on), composed-local {}‰",
+            r.label, r.to_ds_off_permille, r.to_ds_on_permille, r.composed_permille
+        );
+        if r.label == "Relay ping" {
+            if r.to_ds_on_permille >= r.to_ds_off_permille {
+                eprintln!("FAIL {}: composition did not cut the DS share", r.label);
+                failures += 1;
+            }
+            if r.composed_permille == 0 {
+                eprintln!("FAIL {}: no composed-local dispatch decisions", r.label);
+                failures += 1;
+            }
+        } else if r.to_ds_on_permille != r.to_ds_off_permille {
+            eprintln!("FAIL {}: the compose flag moved a single-contract workload", r.label);
+            failures += 1;
+        }
+    }
+    failures
+}

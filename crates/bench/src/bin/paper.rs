@@ -3,7 +3,7 @@
 //! Usage:
 //!
 //! ```text
-//! paper [fig1|fig12|fig13|table52|fig14|overheads|strategies|ablation|tracer|parallel|state|trace|xshard|overflow|all] [--fast]
+//! paper [fig1|fig12|fig13|table52|fig14|overheads|strategies|ablation|tracer|parallel|state|trace|xshard|callgraph|overflow|all] [--fast]
 //! ```
 //!
 //! `--fast` shrinks the Fig. 14 grid (fewer epochs, smaller gas budgets) so
@@ -32,6 +32,7 @@ fn main() {
         "state" => state_cmd(fast),
         "trace" => trace_cmd(fast),
         "xshard" => xshard_cmd(fast),
+        "callgraph" => callgraph_cmd(fast),
         "all" => {
             fig1();
             fig12(fast);
@@ -46,11 +47,12 @@ fn main() {
             state_cmd(fast);
             trace_cmd(fast);
             xshard_cmd(fast);
+            callgraph_cmd(fast);
             overflow();
         }
         other => {
             eprintln!("unknown experiment '{other}'");
-            eprintln!("expected: fig1 | fig12 | fig13 | table52 | fig14 | overheads | strategies | ablation | tracer | parallel | state | trace | xshard | overflow | all");
+            eprintln!("expected: fig1 | fig12 | fig13 | table52 | fig14 | overheads | strategies | ablation | tracer | parallel | state | trace | xshard | callgraph | overflow | all");
             std::process::exit(2);
         }
     }
@@ -517,6 +519,44 @@ fn xshard_cmd(fast: bool) {
     println!("worst-case DS share: {worst}‰ (acceptance budget: <100‰ per workload)");
     println!("(multi-shard ownership footprints prepare under per-component locks and commit");
     println!(" atomically — only votes cross shard boundaries; ⊤-summaries still go to DS)");
+}
+
+fn callgraph_cmd(fast: bool) {
+    heading("Interprocedural call graph — resolved edges and composed dispatch (4 shards)");
+    let sample: Vec<_> = scilla::corpus::mainnet_sample().collect();
+    let graph = corpus_call_graph(&sample);
+    let resolved = graph.edges.iter().filter(|e| e.is_resolved()).count();
+    println!(
+        "mainnet sample: {} contracts, {} send edges, {} statically resolved ({:.0}%)",
+        graph.contracts.len(),
+        graph.edges.len(),
+        resolved,
+        graph.resolved_fraction() * 100.0
+    );
+
+    let (users, txs, epochs) = if fast { (40, 500, 3) } else { (120, 2_000, 6) };
+    let rows_data = callgraph_rows(users, txs, epochs);
+    let rows: Vec<Vec<String>> = rows_data
+        .iter()
+        .map(|r| {
+            vec![
+                r.label.to_string(),
+                r.committed.to_string(),
+                format!("{}‰", r.to_ds_off_permille),
+                format!("{}‰", r.to_ds_on_permille),
+                format!("{}‰", r.composed_permille),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            &["workload", "committed", "to DS (compose off)", "to DS (compose on)", "composed-local"],
+            &rows
+        )
+    );
+    println!("(a statically-resolved cross-contract chain composes its members' footprints and");
+    println!(" dispatches shard-local; unresolvable recipients are ⊤ and still serialise at DS)");
 }
 
 fn overflow() {

@@ -9,6 +9,7 @@ use chain::dispatch::{dispatch, Decision};
 use chain::network::ChainConfig;
 use chain::state::GlobalState;
 use chain::tx::Transaction;
+use cosplit_analysis::callgraph::{CallGraph, ContractCalls, GraphContract};
 use cosplit_analysis::ge::{ge_stats, GeStats};
 use cosplit_analysis::signature::ShardingSignature;
 use cosplit_analysis::solver::AnalyzedContract;
@@ -304,6 +305,7 @@ pub fn epoch_deltas(state: &GlobalState, load: &[Transaction]) -> Vec<StateDelta
                 allow_contract_msgs: false,
                 audit: false,
                 parallel_workers: 0,
+                compose_calls: false,
             };
             execute_batch(&cfg, state, batch).delta
         })
@@ -608,6 +610,7 @@ pub fn parallel_speedup(users: u64, txs: usize, workers: usize, reps: u32) -> Pa
         allow_contract_msgs: false,
         audit: false,
         parallel_workers,
+        compose_calls: false,
     };
     // Derive summaries + matrix up front so neither side pays the one-time
     // analysis inside its timed region.
@@ -1074,6 +1077,7 @@ pub fn measure_baseline(reps: u32) -> BaselineMeasurement {
             allow_contract_msgs: false,
             audit: false,
             parallel_workers: 0,
+            compose_calls: false,
         };
         let mut best = Duration::MAX;
         let mut committed = 0;
@@ -1286,9 +1290,129 @@ pub fn xshard_rows(users: u64, txs: usize, epochs: usize) -> Vec<XShardRow> {
     rows
 }
 
+// ------------------------------------------------- Interprocedural chains
+
+/// Builds the static cross-contract call graph over a set of corpus
+/// contracts (default: the 49-contract mainnet sample plus the relay
+/// harness pair). Panics on a corpus contract that stops analysing — the
+/// `callgraph_smoke` gate turns that into a CI failure.
+pub fn corpus_call_graph(entries: &[&'static corpus::CorpusEntry]) -> CallGraph {
+    let inputs: Vec<GraphContract> = entries
+        .iter()
+        .map(|entry| {
+            let checked = check_contract(entry.name);
+            let analyzed = AnalyzedContract::analyze(&checked);
+            GraphContract {
+                name: entry.name.to_string(),
+                transitions: analyzed.summaries.iter().map(|s| s.name.clone()).collect(),
+                calls: ContractCalls::extract(&checked, &analyzed.summaries),
+            }
+        })
+        .collect();
+    CallGraph::build(&inputs)
+}
+
+/// One workload's dispatch routing with interprocedural composition off vs
+/// on (`paper -- callgraph`).
+#[derive(Debug, Clone)]
+pub struct CallGraphRow {
+    /// Workload label.
+    pub label: &'static str,
+    /// Transactions committed with composition on.
+    pub committed: usize,
+    /// Share of dispatch decisions serialised at the DS committee with
+    /// composition off (‰).
+    pub to_ds_off_permille: u64,
+    /// The same share with composition on (‰).
+    pub to_ds_on_permille: u64,
+    /// Share of decisions claimed shard-local by a composed chain (‰).
+    pub composed_permille: u64,
+}
+
+/// Runs the relay-chain workload plus two Fig. 14 controls with
+/// `compose_calls` off and on. Records the per-workload DS shares as
+/// `chain.dispatch.to_ds_permille.compose_{off,on}.{slug}` gauges and the
+/// corpus resolved-edge fraction as `cosplit.callgraph.resolved_permille`,
+/// so `BENCH_metrics.json` carries the PR's acceptance numbers.
+pub fn callgraph_rows(users: u64, txs: usize, epochs: usize) -> Vec<CallGraphRow> {
+    use workloads::runner::run_with;
+    use workloads::scenarios::build;
+
+    telemetry::set_enabled(true);
+    let reg = telemetry::registry();
+
+    let sample: Vec<&'static corpus::CorpusEntry> = corpus::mainnet_sample().collect();
+    let graph = corpus_call_graph(&sample);
+    reg.gauge("cosplit.callgraph.resolved_permille")
+        .set((graph.resolved_fraction() * 1000.0) as i64);
+
+    // The relay chain is the workload composition exists for; the controls
+    // show single-contract routing is untouched by the flag.
+    let kinds = [Kind::RelayPing, Kind::FtTransfer, Kind::IpfsRegister];
+    kinds
+        .iter()
+        .map(|&kind| {
+            let scenario = build(kind, users, txs, 0xCA11 + kind as u64);
+            let slug = scenario.kind.label().to_lowercase().replace(' ', "_");
+            let run = |compose: bool| {
+                let config = ChainConfig {
+                    compose_calls: compose,
+                    ..ChainConfig::evaluation(4, true)
+                };
+                let result = run_with(&scenario, config, epochs);
+                let (mut total, mut ds, mut composed) = (0u64, 0u64, 0u64);
+                for report in &result.reports {
+                    for (reason, n) in &report.dispatch_reasons {
+                        total += *n as u64;
+                        if DS_REASONS.contains(&reason.as_str()) {
+                            ds += *n as u64;
+                        }
+                        if reason == "composed-local" {
+                            composed += *n as u64;
+                        }
+                    }
+                }
+                let permille = |n: u64| n * 1000 / total.max(1);
+                let mode = if compose { "compose_on" } else { "compose_off" };
+                reg.gauge(&format!("chain.dispatch.to_ds_permille.{mode}.{slug}"))
+                    .set(permille(ds) as i64);
+                (result.committed(), permille(ds), permille(composed))
+            };
+            let (_, off_ds, _) = run(false);
+            let (committed, on_ds, composed) = run(true);
+            CallGraphRow {
+                label: scenario.kind.label(),
+                committed,
+                to_ds_off_permille: off_ds,
+                to_ds_on_permille: on_ds,
+                composed_permille: composed,
+            }
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn callgraph_rows_cut_the_relay_ds_share() {
+        let rows = callgraph_rows(20, 200, 2);
+        let relay = rows.iter().find(|r| r.label == "Relay ping").unwrap();
+        // The acceptance criterion: composition strictly reduces the relay
+        // chain's DS share (off: every Relay serialises; on: none do).
+        assert!(
+            relay.to_ds_on_permille < relay.to_ds_off_permille,
+            "composition must cut the DS share: {relay:?}"
+        );
+        assert!(relay.composed_permille > 0, "{relay:?}");
+        assert!(relay.committed > 0, "{relay:?}");
+        // Single-contract controls are untouched by the flag.
+        for r in rows.iter().filter(|r| r.label != "Relay ping") {
+            assert_eq!(r.to_ds_on_permille, r.to_ds_off_permille, "{r:?}");
+            assert_eq!(r.composed_permille, 0, "{r:?}");
+        }
+    }
 
     #[test]
     fn xshard_rows_meet_the_ds_budget() {

@@ -9,7 +9,11 @@ use crate::address::{fnv1a, Address};
 use crate::state::{DeployedContract, GlobalState};
 use crate::tx::{Transaction, TxKind};
 use crate::xshard::{LockKey, XShardPlan};
+use cosplit_analysis::callgraph::{
+    compose, Binding, ComposedSummary, ContractCalls, DeploymentView, Recipient, Target,
+};
 use cosplit_analysis::domain::PseudoField;
+use cosplit_analysis::effects::TransitionSummary;
 use cosplit_analysis::signature::Constraint;
 use scilla::value::Value;
 use std::collections::{BTreeMap, BTreeSet};
@@ -60,6 +64,10 @@ pub enum DispatchReason {
     /// Strict (non-relaxed) nonce ordering forced DS serialisation
     /// (§4.2.1 ablation).
     StrictNonceOrder,
+    /// A cross-contract chain whose composed interprocedural footprint
+    /// pins to a single shard commits there instead of falling back to
+    /// the DS committee ([`cosplit_analysis::callgraph`]).
+    ComposedLocal,
 }
 
 impl DispatchReason {
@@ -80,11 +88,19 @@ impl DispatchReason {
             DispatchReason::NotUserAddr => "not-user-addr",
             DispatchReason::BadArguments => "bad-args",
             DispatchReason::StrictNonceOrder => "strict-nonce",
+            DispatchReason::ComposedLocal => "composed-local",
         }
+    }
+
+    /// Every reason, in discriminant order (each `r` satisfies
+    /// `ALL_REASONS[r as usize] == r` — the per-reason counter array and
+    /// the drift test depend on it).
+    pub fn all() -> &'static [DispatchReason] {
+        &ALL_REASONS
     }
 }
 
-const ALL_REASONS: [DispatchReason; 13] = [
+const ALL_REASONS: [DispatchReason; 14] = [
     DispatchReason::Payment,
     DispatchReason::BaselineLocal,
     DispatchReason::BaselineCross,
@@ -98,6 +114,7 @@ const ALL_REASONS: [DispatchReason; 13] = [
     DispatchReason::NotUserAddr,
     DispatchReason::BadArguments,
     DispatchReason::StrictNonceOrder,
+    DispatchReason::ComposedLocal,
 ];
 
 /// Per-reason counters, resolved once: dispatch runs for every pool
@@ -108,7 +125,7 @@ fn record_decision(d: &Decision) {
     if !telemetry::enabled() {
         return;
     }
-    static COUNTERS: OnceLock<[Arc<telemetry::Counter>; 13]> = OnceLock::new();
+    static COUNTERS: OnceLock<[Arc<telemetry::Counter>; 14]> = OnceLock::new();
     let counters = COUNTERS.get_or_init(|| {
         ALL_REASONS.map(|r| {
             telemetry::registry().counter(&format!("chain.dispatch.reason.{}", r.name()))
@@ -182,6 +199,12 @@ pub struct DispatchPolicy {
     /// [`crate::xshard`]). Off = every multi-shard footprint serialises
     /// at DS, as in the plain Zilliqa model.
     pub cross_shard_commit: bool,
+    /// Compose transition summaries across statically-resolvable
+    /// cross-contract sends ([`cosplit_analysis::callgraph`]): a chain
+    /// whose composed footprint pins to one shard commits there
+    /// (`ComposedLocal`), a multi-shard one gets an xshard lock plan
+    /// covering the whole chain. Off = chains fall back to the DS paths.
+    pub compose_calls: bool,
 }
 
 /// Dispatches one transaction (paper §4.3, "Assigning Transactions to
@@ -199,7 +222,13 @@ pub fn dispatch(
     dispatch_policy(
         tx,
         state,
-        &DispatchPolicy { num_shards, use_cosplit, relaxed_nonces: true, cross_shard_commit: false },
+        &DispatchPolicy {
+            num_shards,
+            use_cosplit,
+            relaxed_nonces: true,
+            cross_shard_commit: false,
+            compose_calls: false,
+        },
     )
 }
 
@@ -240,6 +269,18 @@ fn dispatch_inner(tx: &Transaction, state: &GlobalState, policy: &DispatchPolicy
             if policy.use_cosplit {
                 if let Some(sig) = &deployed.signature {
                     if let Some(tc) = sig.transition(transition) {
+                        if policy.compose_calls {
+                            if let Some(footprint) =
+                                composed_footprint(tx, state, deployed, transition, args, num_shards)
+                            {
+                                return decide_composed(
+                                    tx,
+                                    footprint,
+                                    num_shards,
+                                    policy.cross_shard_commit,
+                                );
+                            }
+                        }
                         return dispatch_with_constraints(
                             tx,
                             state,
@@ -404,6 +445,259 @@ fn dispatch_with_constraints(
     }
 }
 
+// ------------------------------------------------- interprocedural chains
+
+/// The deployment view the interprocedural composition runs against on
+/// chain: contract identities are `Address` display strings, summaries and
+/// call sites come from the deployed contracts, and recipients resolve
+/// against deployment parameters, immutable-field storage, and the
+/// transaction's arguments.
+struct ChainView<'a> {
+    state: &'a GlobalState,
+    root: &'a DeployedContract,
+    args: &'a [(String, Value)],
+    sender: Address,
+}
+
+impl ChainView<'_> {
+    /// Resolves a name in the root transition's frame, exactly like the
+    /// constraint instantiation in [`resolve_footprint`].
+    fn root_value(&self, name: &str) -> Option<Value> {
+        match name {
+            "_sender" | "_origin" => Some(self.sender.to_value()),
+            _ => self
+                .args
+                .iter()
+                .find(|(n, _)| n == name)
+                .map(|(_, v)| v.clone())
+                .or_else(|| self.root.param(name).cloned()),
+        }
+    }
+
+    fn classify(&self, value: Option<Value>) -> Target {
+        match value.as_ref().and_then(Value::as_address) {
+            None => Target::Unknown,
+            Some(bytes) => {
+                let addr = Address(bytes);
+                if self.state.is_contract(&addr) {
+                    Target::Contract(addr.to_string())
+                } else {
+                    Target::Wallet
+                }
+            }
+        }
+    }
+}
+
+impl DeploymentView for ChainView<'_> {
+    fn resolve_target(
+        &self,
+        caller: &str,
+        recipient: &Recipient,
+        binding: Option<&Binding>,
+    ) -> Target {
+        let caller_addr = Address::from_hex(caller).ok();
+        let value = match recipient {
+            Recipient::Literal(c) => Address::from_hex(c).ok().map(Address::to_value),
+            Recipient::ContractParam(p) => caller_addr
+                .and_then(|a| self.state.contracts.get(&a))
+                .and_then(|d| d.param(p).cloned()),
+            // Immutable (never-written) field: the epoch-start storage value
+            // is the deployment-time value, so reading it here is sound.
+            Recipient::InitField(f) => caller_addr
+                .and_then(|a| self.state.storage.get(&a))
+                .and_then(|s| s.fields().get(f).cloned()),
+            Recipient::TransitionParam(_) => match binding {
+                Some(Binding::Param(p)) => self.root_value(p),
+                Some(Binding::Const(c)) => Address::from_hex(c).ok().map(Address::to_value),
+                _ => None,
+            },
+            Recipient::Dynamic => None,
+        };
+        self.classify(value)
+    }
+
+    fn summary(&self, contract: &str, transition: &str) -> Option<TransitionSummary> {
+        let addr = Address::from_hex(contract).ok()?;
+        self.state.contracts.get(&addr)?.summary(transition).map(|s| (*s).clone())
+    }
+
+    fn calls(&self, contract: &str) -> Option<ContractCalls> {
+        let addr = Address::from_hex(contract).ok()?;
+        Some((*self.state.contracts.get(&addr)?.call_info()).clone())
+    }
+}
+
+/// Composes the interprocedural chain rooted at one call, against the
+/// current deployment and the transaction's arguments. Shared by dispatch,
+/// the xshard plan derivation, and the executor's trace auditor.
+pub(crate) fn compose_chain(
+    state: &GlobalState,
+    root: &DeployedContract,
+    transition: &str,
+    args: &[(String, Value)],
+    sender: Address,
+) -> Option<ComposedSummary> {
+    // Cheap gate: transitions without send sites have nothing to compose.
+    root.call_info().sites_of(transition).next()?;
+    let view = ChainView { state, root, args, sender };
+    compose(&view, &root.address.to_string(), transition)
+}
+
+/// Resolves a root-space [`Binding`] to a concrete value.
+fn binding_value(
+    b: &Binding,
+    composed: &ComposedSummary,
+    view_sender: Address,
+    root: &DeployedContract,
+    args: &[(String, Value)],
+) -> Option<Value> {
+    match b {
+        Binding::Param(p) => match p.as_str() {
+            "_sender" | "_origin" => Some(view_sender.to_value()),
+            _ => args
+                .iter()
+                .find(|(n, _)| n == p)
+                .map(|(_, v)| v.clone())
+                .or_else(|| root.param(p).cloned()),
+        },
+        Binding::Const(c) => Address::from_hex(c).ok().map(Address::to_value),
+        Binding::Caller(i) => {
+            Address::from_hex(&composed.members.get(*i)?.contract).ok().map(Address::to_value)
+        }
+        Binding::Unknown => None,
+    }
+}
+
+/// The whole-chain ownership footprint of a composed cross-contract call:
+/// every member's signature constraints instantiated in root space, merged
+/// into one lock map. `None` when composition does not apply (no chain,
+/// widened, an unsigned/unselected member, or an unresolvable constraint)
+/// — the caller then falls through to the intra-contract path unchanged.
+fn composed_footprint(
+    tx: &Transaction,
+    state: &GlobalState,
+    deployed: &DeployedContract,
+    transition: &str,
+    args: &[(String, Value)],
+    num_shards: u32,
+) -> Option<Footprint> {
+    let composed = compose_chain(state, deployed, transition, args, tx.sender)?;
+    if composed.widened || !composed.is_chain() {
+        return None;
+    }
+    let mut locks: BTreeMap<LockKey, u32> = BTreeMap::new();
+    for m in &composed.members {
+        let addr = Address::from_hex(&m.contract).ok()?;
+        let member = state.contracts.get(&addr)?;
+        let tc = member.signature.as_ref()?.transition(&m.transition)?;
+        if member.summary(&m.transition)?.has_top() {
+            return None; // compose() widens on ⊤ members; stay defensive.
+        }
+        let resolve = |name: &str| -> Option<Value> {
+            match m.bindings.get(name) {
+                Some(b) => binding_value(b, &composed, tx.sender, deployed, args),
+                // Not a transition parameter of this member: a deployment
+                // constant of the member contract.
+                None => member.param(name).cloned(),
+            }
+        };
+        for c in &tc.constraints {
+            match c {
+                // A non-⊤ member's `Unsat` can only be send-derived
+                // (recipient not a sole parameter), and compose() proved
+                // every send of this member lands inside the chain or in a
+                // wallet: the chain's own locks subsume it.
+                Constraint::Unsat => {}
+                Constraint::Owns(PseudoField { field, keys }) => {
+                    let mut key_vals = Vec::with_capacity(keys.len());
+                    for k in keys {
+                        key_vals.push(resolve(k)?);
+                    }
+                    let shard = component_shard(addr, field, &key_vals, num_shards);
+                    locks.insert(
+                        LockKey::Component {
+                            contract: addr,
+                            field: field.clone(),
+                            keys: key_vals.iter().map(|v| v.to_string()).collect(),
+                        },
+                        shard,
+                    );
+                }
+                Constraint::SenderShard => {
+                    // The member's sender: the transaction sender for the
+                    // root, the calling member's contract account deeper in.
+                    let sender_addr = match m.caller {
+                        None => tx.sender,
+                        Some(i) => Address::from_hex(&composed.members[i].contract).ok()?,
+                    };
+                    locks.insert(
+                        LockKey::Account(sender_addr),
+                        state.home_shard_of(&sender_addr, num_shards),
+                    );
+                }
+                Constraint::ContractShard => {
+                    locks.insert(
+                        LockKey::Account(addr),
+                        state.home_shard_of(&addr, num_shards),
+                    );
+                }
+                Constraint::UserAddr(p) => {
+                    let bytes = resolve(p).as_ref().and_then(Value::as_address)?;
+                    let target = Address(bytes);
+                    if state.is_contract(&target)
+                        && !composed.members.iter().any(|mm| mm.contract == target.to_string())
+                    {
+                        // A contract-valued recipient outside the composed
+                        // set: not the chain we proved. Fall back.
+                        return None;
+                    }
+                }
+                Constraint::NoAliases(t1, t2) => {
+                    let v1: Option<Vec<Value>> = t1.iter().map(|k| resolve(k)).collect();
+                    let v2: Option<Vec<Value>> = t2.iter().map(|k| resolve(k)).collect();
+                    match (v1, v2) {
+                        (Some(a), Some(b)) if a != b => {}
+                        // Aliasing or unresolvable: let the intra-contract
+                        // path pick the precise DS reason.
+                        _ => return None,
+                    }
+                }
+            }
+        }
+    }
+    if telemetry::enabled() {
+        telemetry::counter!("chain.dispatch.composed_chains").inc();
+    }
+    Some(Footprint { locks })
+}
+
+/// Turns a composed whole-chain footprint into a decision: single-shard
+/// chains commit shard-locally (`ComposedLocal`), multi-shard ones go to
+/// the cross-shard two-phase commit when it is enabled.
+fn decide_composed(
+    tx: &Transaction,
+    footprint: Footprint,
+    num_shards: u32,
+    cross_shard_commit: bool,
+) -> Decision {
+    let required = footprint.shards();
+    match required.len() {
+        0 => {
+            let shard = (fnv1a(&tx.id.to_be_bytes()) % num_shards as u64) as u32;
+            Decision { assignment: Assignment::Shard(shard), reason: DispatchReason::ComposedLocal }
+        }
+        1 => Decision {
+            assignment: Assignment::Shard(*required.iter().next().expect("one element")),
+            reason: DispatchReason::ComposedLocal,
+        },
+        _ if cross_shard_commit => {
+            Decision { assignment: Assignment::XShard, reason: DispatchReason::CrossShard }
+        }
+        _ => Decision { assignment: Assignment::Ds, reason: DispatchReason::SplitFootprint },
+    }
+}
+
 /// Resolves the coordinator's lock plan for a cross-shard transaction: the
 /// same constraint instantiation as [`dispatch`], reified as `(shard,
 /// lock)` pairs instead of a bare shard set. The coordinator is the lowest
@@ -420,6 +714,19 @@ pub fn xshard_plan(
     state: &GlobalState,
     num_shards: u32,
 ) -> Result<XShardPlan, DispatchReason> {
+    xshard_plan_with(tx, state, num_shards, false)
+}
+
+/// [`xshard_plan`] with the interprocedural composition switch: when
+/// `compose` is on and the call roots a statically-resolved chain, the plan
+/// locks the *whole chain's* composed footprint — every member contract's
+/// constraints — so the two-phase commit covers the downstream sends too.
+pub fn xshard_plan_with(
+    tx: &Transaction,
+    state: &GlobalState,
+    num_shards: u32,
+    compose: bool,
+) -> Result<XShardPlan, DispatchReason> {
     let TxKind::Call { contract, transition, args, .. } = &tx.kind else {
         return Err(DispatchReason::Payment);
     };
@@ -432,8 +739,13 @@ pub fn xshard_plan(
     let Some(tc) = sig.transition(transition) else {
         return Err(DispatchReason::Unselected);
     };
-    let footprint =
-        resolve_footprint(tx, state, deployed, &tc.constraints, args, num_shards)?;
+    let footprint = match compose
+        .then(|| composed_footprint(tx, state, deployed, transition, args, num_shards))
+        .flatten()
+    {
+        Some(f) => f,
+        None => resolve_footprint(tx, state, deployed, &tc.constraints, args, num_shards)?,
+    };
     let participants = footprint.shards();
     let Some(coordinator) = participants.first().copied() else {
         // A fully commutative footprint has nothing to lock; dispatch never

@@ -20,7 +20,8 @@ use crate::address::Address;
 use crate::delta::{
     apply_int_delta, compute_int_delta, read_component, Component, ContractDelta, StateDelta,
 };
-use crate::dispatch::{component_shard, Assignment};
+use crate::dispatch::{component_shard, compose_chain, Assignment};
+use cosplit_analysis::callgraph::Recipient;
 use crate::tx::{Transaction, TxKind};
 use cosplit_analysis::audit::{audit_placement, audit_transition, AuditViolation, ViolationKind};
 use cosplit_analysis::conflict::{concrete_pair_conflicts, keyed_accesses, ConflictMatrix};
@@ -65,6 +66,14 @@ pub struct ExecutorConfig {
     /// overflow guard (the guard reads the cumulative working state, which
     /// is inherently order-dependent across a layer).
     pub parallel_workers: usize,
+    /// Follow statically-validated cross-contract send hops in place
+    /// instead of rerouting them to the DS committee: a message whose
+    /// recipient matches the classified call site that produced it
+    /// ([`cosplit_analysis::callgraph`]) executes here, because dispatch
+    /// already locked the whole composed chain. Unvalidated hops still
+    /// reroute. Also arms the composed-chain containment cross-check in
+    /// audit mode.
+    pub compose_calls: bool,
 }
 
 /// Outcome of one transaction.
@@ -158,6 +167,9 @@ pub fn execute_batch(
     let parallel = cfg.parallel_workers >= 2
         && !cfg.overflow_guard
         && !cfg.allow_contract_msgs
+        // Composed chains reach other contracts mid-transaction; the
+        // pairwise dependency test is per-contract, so keep them serial.
+        && !cfg.compose_calls
         && matches!(cfg.role, Assignment::Shard(_));
     if parallel {
         exec.run_parallel(txs);
@@ -321,6 +333,15 @@ struct ShardStorage {
     /// the scheduler's working state, so its priors are the layer-start
     /// values its delta is computed against.
     priors: BTreeMap<Component, Option<Value>>,
+}
+
+/// The frame a message was sent from, as [`Executor::deliver`] needs it to
+/// validate the hop against the sender's classified call sites.
+struct CallerFrame<'a> {
+    contract: Address,
+    transition: &'a str,
+    args: &'a [(String, Value)],
+    sender: Address,
 }
 
 /// One audited transition invocation, retained for the pairwise conflict
@@ -695,7 +716,15 @@ impl<'a> Executor<'a> {
         events.extend(outcome.events);
 
         for msg in outcome.messages {
-            self.deliver(journal, gas, events, origin, contract, &msg, depth)?;
+            self.deliver(
+                journal,
+                gas,
+                events,
+                origin,
+                CallerFrame { contract, transition, args, sender },
+                &msg,
+                depth,
+            )?;
         }
         Ok(())
     }
@@ -754,13 +783,19 @@ impl<'a> Executor<'a> {
         gas: &mut GasMeter,
         events: &mut Vec<Value>,
         origin: Address,
-        from_contract: Address,
+        from: CallerFrame<'_>,
         msg: &OutMsg,
         depth: u32,
     ) -> Result<(), CallError> {
         let recipient = Address(msg.recipient);
         if self.snapshot.is_contract(&recipient) {
-            if !self.cfg.allow_contract_msgs {
+            // A shard may follow the hop in place only when dispatch could
+            // have predicted it: the message must match a statically
+            // classified call site of the sending transition whose resolved
+            // recipient is this recipient. Everything else reroutes to DS.
+            let may_follow = self.cfg.allow_contract_msgs
+                || (self.cfg.compose_calls && self.hop_allowed(&from, msg, recipient));
+            if !may_follow {
                 return Err(CallError::CrossContract);
             }
             let args: Vec<(String, Value)> =
@@ -770,7 +805,7 @@ impl<'a> Executor<'a> {
                 gas,
                 events,
                 origin,
-                from_contract,
+                from.contract,
                 recipient,
                 &msg.tag,
                 &args,
@@ -780,11 +815,48 @@ impl<'a> Executor<'a> {
         }
         if msg.amount > 0 {
             self.balance
-                .debit(from_contract, msg.amount)
+                .debit(from.contract, msg.amount)
                 .map_err(|e| CallError::Exec(ExecError::InsufficientFunds(e)))?;
             self.balance.credit(recipient, msg.amount);
         }
         Ok(())
+    }
+
+    /// Validates one concrete send hop against the sender's classified call
+    /// sites: some site of the sending transition must carry this tag and
+    /// resolve — through deployment parameters, immutable init fields, or
+    /// the caller's own frame — to exactly this recipient. This is the
+    /// runtime re-check of the resolution dispatch composed over, so a
+    /// contract whose behaviour diverges from its static call graph (stale
+    /// summaries, byzantine code) falls back to DS instead of executing an
+    /// unlocked hop.
+    fn hop_allowed(&self, from: &CallerFrame<'_>, msg: &OutMsg, recipient: Address) -> bool {
+        let Some(deployed) = self.snapshot.contracts.get(&from.contract) else {
+            return false;
+        };
+        let info = deployed.call_info();
+        let allowed = info.sites_of(from.transition).any(|site| {
+            if site.tag.as_deref() != Some(&msg.tag) {
+                return false;
+            }
+            let resolved = match &site.recipient {
+                Recipient::Literal(c) => Address::from_hex(c).ok().map(Address::to_value),
+                Recipient::ContractParam(p) => deployed.param(p).cloned(),
+                Recipient::InitField(f) => self
+                    .snapshot
+                    .storage
+                    .get(&from.contract)
+                    .and_then(|s| s.fields().get(f).cloned()),
+                Recipient::TransitionParam(p) => match p.as_str() {
+                    "_sender" => Some(from.sender.to_value()),
+                    "_origin" => None, // origin is never a contract's frame value here
+                    _ => from.args.iter().find(|(n, _)| n == p).map(|(_, v)| v.clone()),
+                },
+                Recipient::Dynamic => None,
+            };
+            resolved.as_ref().and_then(Value::as_address) == Some(recipient.0)
+        });
+        allowed
     }
 
     fn ensure_storage(&mut self, contract: Address) {
@@ -1272,8 +1344,70 @@ impl<'a> Executor<'a> {
         self.violations.extend(found);
     }
 
+    /// Composed-chain containment cross-check (audit + compose mode): for
+    /// every traced transaction whose invocations span several contracts,
+    /// re-run the interprocedural composition from the root frame and
+    /// require every executed frame to appear in the composed callee set.
+    /// An escape means a chain executed a hop the static call graph did not
+    /// predict — the locks dispatch took did not cover it.
+    fn composed_cross_check(&mut self) {
+        if !self.cfg.compose_calls || self.traced.is_empty() {
+            return;
+        }
+        let mut found = Vec::new();
+        let mut i = 0;
+        while i < self.traced.len() {
+            let mut j = i + 1;
+            while j < self.traced.len() && self.traced[j].tx_id == self.traced[i].tx_id {
+                j += 1;
+            }
+            let group = &self.traced[i..j];
+            i = j;
+            // Root-frame trace order: the root is pushed before its
+            // messages deliver, so it is first in the group.
+            let root = &group[0];
+            if !group.iter().any(|t| t.contract != root.contract) {
+                continue; // single-contract: nothing composed to check.
+            }
+            let Some(deployed) = self.snapshot.contracts.get(&root.contract) else { continue };
+            let composed = compose_chain(
+                self.snapshot,
+                deployed,
+                &root.footprint.transition,
+                &root.args,
+                root.sender,
+            );
+            // No claim to check: composition declined or widened to ⊤, so
+            // dispatch never routed this chain shard-locally.
+            let Some(composed) = composed.filter(|c| !c.widened) else { continue };
+            for frame in &group[1..] {
+                let contract = frame.contract.to_string();
+                if composed.contains(&contract, &frame.footprint.transition) {
+                    continue;
+                }
+                found.push(AuditViolation {
+                    kind: ViolationKind::ComposedEscape,
+                    transition: root.footprint.transition.clone(),
+                    pseudofield: None,
+                    concrete: format!(
+                        "tx {} reached {}.{} outside the composed callee set",
+                        root.tx_id, contract, frame.footprint.transition
+                    ),
+                    abstract_op: None,
+                    observed_op: None,
+                    span: Span::default(),
+                });
+            }
+        }
+        if telemetry::enabled() && !found.is_empty() {
+            telemetry::counter!(telemetry::names::AUDIT_VIOLATION).add(found.len() as u64);
+        }
+        self.violations.extend(found);
+    }
+
     fn finish(mut self) -> MicroBlock {
         self.conflict_cross_check();
+        self.composed_cross_check();
         if telemetry::enabled() && self.par_region_wall > Duration::ZERO {
             telemetry::counter!(telemetry::names::PARALLEL_REGION_WALL)
                 .add(self.par_region_wall.as_micros() as u64);

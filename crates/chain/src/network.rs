@@ -3,7 +3,7 @@
 
 use crate::address::Address;
 use crate::delta::StateDelta;
-use crate::dispatch::{dispatch_policy, xshard_plan, Assignment, DispatchPolicy};
+use crate::dispatch::{dispatch_policy, xshard_plan_with, Assignment, DispatchPolicy};
 use crate::error::{DeployError, MergeError};
 use crate::executor::{execute_batch, ExecutorConfig, MicroBlock, Receipt, TxStatus};
 use crate::state::{DeployedContract, GlobalState};
@@ -60,6 +60,12 @@ pub struct ChainConfig {
     /// reroute path) is co-located with that family root, so fewer of its
     /// transactions are multi-shard in the first place.
     pub colocate_families: bool,
+    /// Interprocedural composition ([`cosplit_analysis::callgraph`]):
+    /// dispatch composes transition summaries across statically-resolved
+    /// cross-contract sends, single-shard chains commit shard-locally, and
+    /// shard executors follow validated send hops instead of rerouting
+    /// them to the DS committee. Off by default (chains serialise at DS).
+    pub compose_calls: bool,
 }
 
 impl ChainConfig {
@@ -82,6 +88,7 @@ impl ChainConfig {
             parallel_intra_shard: 0,
             cross_shard_commit: false,
             colocate_families: false,
+            compose_calls: false,
         }
     }
 
@@ -388,6 +395,7 @@ impl Network {
             use_cosplit: self.config.use_cosplit,
             relaxed_nonces: self.config.relaxed_nonces,
             cross_shard_commit: self.config.cross_shard_commit,
+            compose_calls: self.config.compose_calls,
         };
         {
             let _span = telemetry::span!("chain.network.phase.dispatch");
@@ -439,6 +447,7 @@ impl Network {
             allow_contract_msgs: false,
             audit: self.config.audit,
             parallel_workers: self.config.parallel_intra_shard,
+            compose_calls: self.config.compose_calls,
         }
     }
 
@@ -457,6 +466,7 @@ impl Network {
             allow_contract_msgs: false,
             audit: self.config.audit,
             parallel_workers: 0,
+            compose_calls: self.config.compose_calls,
         }
     }
 
@@ -507,7 +517,12 @@ impl Network {
             // Coordinator resolves the lock plan. The pool may have been
             // mutated between dispatch and this stage (sim faults), so a
             // failed resolution degrades to DS routing, with the reason.
-            let plan = match xshard_plan(&tx, &self.state, self.config.num_shards) {
+            let plan = match xshard_plan_with(
+                &tx,
+                &self.state,
+                self.config.num_shards,
+                self.config.compose_calls,
+            ) {
                 Ok(p) => p,
                 Err(reason) => {
                     stats.ds_fallback += 1;
@@ -694,6 +709,7 @@ impl Network {
             allow_contract_msgs: true,
             audit: self.config.audit,
             parallel_workers: 0,
+            compose_calls: self.config.compose_calls,
         }
     }
 

@@ -3,6 +3,7 @@
 use crate::account::Account;
 use crate::address::Address;
 use cosplit_analysis::analysis::summarize_contract;
+use cosplit_analysis::callgraph::ContractCalls;
 use cosplit_analysis::conflict::ConflictMatrix;
 use cosplit_analysis::effects::TransitionSummary;
 use cosplit_analysis::signature::ShardingSignature;
@@ -32,6 +33,10 @@ pub struct DeployedContract {
     /// consumed by the parallel intra-shard scheduler and the conflict
     /// cross-check. Follows the same derive-on-first-use discipline.
     conflicts: RwLock<Option<Arc<ConflictMatrix>>>,
+    /// Lazily extracted call sites (classified send recipients), consumed
+    /// by the interprocedural composition in dispatch and the executor's
+    /// send-hop validation. Same derive-on-first-use discipline.
+    calls: RwLock<Option<Arc<ContractCalls>>>,
 }
 
 /// Derived transition summaries: the ordered list (wire/report order) plus a
@@ -66,6 +71,7 @@ impl DeployedContract {
             signature,
             summaries: RwLock::new(None),
             conflicts: RwLock::new(None),
+            calls: RwLock::new(None),
         }
     }
 
@@ -109,6 +115,18 @@ impl DeployedContract {
         Arc::clone(slot.get_or_insert(derived))
     }
 
+    /// The contract's extracted call sites (classified send recipients),
+    /// derived on demand from the checked module and the summaries.
+    pub fn call_info(&self) -> Arc<ContractCalls> {
+        if let Some(c) = self.calls.read().expect("call info lock").as_ref() {
+            return Arc::clone(c);
+        }
+        let derived =
+            Arc::new(ContractCalls::extract(self.compiled.checked(), &self.summaries()));
+        let mut slot = self.calls.write().expect("call info lock");
+        Arc::clone(slot.get_or_insert(derived))
+    }
+
     /// Test hook: pins the summaries the auditor will check against,
     /// bypassing the analysis — replaces any already-derived set (the world
     /// builders execute setup transitions, which derives summaries before a
@@ -118,6 +136,7 @@ impl DeployedContract {
         *self.summaries.write().expect("summaries lock") =
             Some(Arc::new(SummaryIndex::build(summaries)));
         *self.conflicts.write().expect("conflict matrix lock") = None;
+        *self.calls.write().expect("call info lock") = None;
     }
 }
 

@@ -22,6 +22,7 @@ fn cfg(role: Assignment, num_shards: u32) -> ExecutorConfig {
         allow_contract_msgs: matches!(role, Assignment::Ds),
         audit: true,
         parallel_workers: 0,
+        compose_calls: false,
     }
 }
 
@@ -184,6 +185,7 @@ fn strict_nonce_policy_serialises_away_from_home() {
         use_cosplit: true,
         relaxed_nonces: false,
         cross_shard_commit: false,
+        compose_calls: false,
     };
     for i in 0..32 {
         let tx = Transaction::call(i, alice, i + 1, contract, "Add", vec![(
@@ -354,6 +356,7 @@ fn cross_contract_message_reroutes_with_cause() {
         allow_contract_msgs: false,
         audit: true,
         parallel_workers: 0,
+        compose_calls: false,
     };
     let mb = execute_batch(&cfg, net.state(), vec![tx]);
     assert_eq!(mb.receipts[0].status, TxStatus::Rerouted(RerouteCause::CrossContract));

@@ -167,6 +167,7 @@ fn xshard_world() -> (Network, Vec<Transaction>) {
         use_cosplit: true,
         relaxed_nonces: true,
         cross_shard_commit: true,
+        compose_calls: false,
     };
     let pool: Vec<Transaction> = (0..USERS)
         .map(|i| {

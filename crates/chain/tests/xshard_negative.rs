@@ -48,6 +48,7 @@ fn policy(cross_shard_commit: bool) -> DispatchPolicy {
         use_cosplit: true,
         relaxed_nonces: true,
         cross_shard_commit,
+        compose_calls: false,
     }
 }
 

@@ -435,6 +435,7 @@ impl Analyzer<'_> {
         let mut amount = ContribType::bottom();
         let mut amount_is_zero = false;
         let mut tag = None;
+        let mut params = std::collections::BTreeMap::new();
         for en in entries {
             let (t, zero, lit_tag) = match &en.value {
                 MsgValue::Lit(l) => (
@@ -458,10 +459,13 @@ impl Analyzer<'_> {
                     amount_is_zero = zero;
                 }
                 "_tag" => tag = lit_tag,
+                key if !key.starts_with('_') => {
+                    params.insert(key.to_string(), t);
+                }
                 _ => {}
             }
         }
-        MsgAbs { recipient, amount, amount_is_zero, tag }
+        MsgAbs { recipient, amount, amount_is_zero, tag, params }
     }
 }
 
@@ -531,11 +535,28 @@ fn join_match_results(tx: &ContribType, clauses: &[(Pattern, Expr)], results: &[
             .collect();
         let mut it = msgs.iter();
         let first = (*it.next().expect("at least one clause")).clone();
-        let joined = it.fold(first, |acc, m| MsgAbs {
-            recipient: acc.recipient.join(&m.recipient),
-            amount: acc.amount.join(&m.amount),
-            amount_is_zero: acc.amount_is_zero && m.amount_is_zero,
-            tag: if acc.tag == m.tag { acc.tag } else { None },
+        let joined = it.fold(first, |acc, m| {
+            // Payload entries join pointwise; a key missing from either
+            // branch has unknown provenance there, so it degrades to ⊤.
+            let keys: std::collections::BTreeSet<&String> =
+                acc.params.keys().chain(m.params.keys()).collect();
+            let params = keys
+                .into_iter()
+                .map(|k| {
+                    let t = match (acc.params.get(k), m.params.get(k)) {
+                        (Some(a), Some(b)) => a.join(b),
+                        _ => ContribType::Top,
+                    };
+                    (k.clone(), t)
+                })
+                .collect();
+            MsgAbs {
+                recipient: acc.recipient.join(&m.recipient),
+                amount: acc.amount.join(&m.amount),
+                amount_is_zero: acc.amount_is_zero && m.amount_is_zero,
+                tag: if acc.tag == m.tag { acc.tag } else { None },
+                params,
+            }
         });
         return AbsVal::Msg(joined);
     }

@@ -70,6 +70,11 @@ pub enum ViolationKind {
     /// static conflict matrix judged them commuting under the pair's
     /// bindings — the parallel scheduler would have run them in one layer.
     ConflictMissed,
+    /// A traced multi-contract invocation chain reached a (contract,
+    /// transition) frame outside its composed interprocedural summary
+    /// ([`crate::callgraph`]) — the static callee set under-approximated a
+    /// real chain.
+    ComposedEscape,
 }
 
 impl ViolationKind {
@@ -85,6 +90,7 @@ impl ViolationKind {
             ViolationKind::NotOwnedWrite => "NotOwnedWrite",
             ViolationKind::UnsatOnShard => "UnsatOnShard",
             ViolationKind::ConflictMissed => "ConflictMissed",
+            ViolationKind::ComposedEscape => "ComposedEscape",
         }
     }
 
@@ -99,12 +105,13 @@ impl ViolationKind {
             "NotOwnedWrite" => ViolationKind::NotOwnedWrite,
             "UnsatOnShard" => ViolationKind::UnsatOnShard,
             "ConflictMissed" => ViolationKind::ConflictMissed,
+            "ComposedEscape" => ViolationKind::ComposedEscape,
             _ => return None,
         })
     }
 
     /// All variants, for exhaustive wire tests.
-    pub fn all() -> [ViolationKind; 9] {
+    pub fn all() -> [ViolationKind; 10] {
         [
             ViolationKind::UnsummarisedRead,
             ViolationKind::UnsummarisedWrite,
@@ -115,6 +122,7 @@ impl ViolationKind {
             ViolationKind::NotOwnedWrite,
             ViolationKind::UnsatOnShard,
             ViolationKind::ConflictMissed,
+            ViolationKind::ComposedEscape,
         ]
     }
 }
@@ -549,7 +557,8 @@ pub fn audit_placement(
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct LintFinding {
     /// Stable rule name (`write-never-read-back`, `top-summary`,
-    /// `dead-pseudofield`, `accept-no-balance-effect`).
+    /// `dead-pseudofield`, `accept-no-balance-effect`,
+    /// `dynamic-recipient`).
     pub rule: &'static str,
     pub transition: Option<String>,
     pub field: Option<String>,
@@ -588,6 +597,11 @@ impl fmt::Display for LintFinding {
 /// * `accept-no-balance-effect` — a transition accepts funds but the
 ///   accepted `_amount` never flows into any state write, so the deposit is
 ///   absorbed without a ledger trace.
+/// * `dynamic-recipient` — a transition sends to a recipient the
+///   call-graph classifier ([`crate::callgraph`]) cannot resolve
+///   statically (computed, or read from mutable state): the interprocedural
+///   composition widens to `⊤` at the site, so every such send serialises
+///   at the DS committee.
 ///
 /// The two whole-contract rules are suppressed when any summary is `⊤`
 /// (unknown effects could be the missing read/mention).
@@ -697,6 +711,23 @@ pub fn lint_contract(checked: &CheckedModule, analyzed: &AnalyzedContract) -> Ve
                 ),
             });
         }
+    }
+
+    // `dynamic-recipient`: classify every send site through the call-graph
+    // extractor and flag the transitions whose recipients stay ⊤.
+    let calls = crate::callgraph::ContractCalls::extract(checked, &analyzed.summaries);
+    for (transition, count) in calls.dynamic_recipients() {
+        out.push(LintFinding {
+            rule: "dynamic-recipient",
+            transition: Some(transition.clone()),
+            field: None,
+            span: None,
+            message: format!(
+                "{count} send(s) in '{transition}' have a statically unresolvable \
+                 recipient — the interprocedural composition cannot follow them, \
+                 so these chains always serialise at the DS committee"
+            ),
+        });
     }
 
     out

@@ -56,6 +56,8 @@ struct Args {
     ge: bool,
     lint: bool,
     matrix: bool,
+    callgraph: bool,
+    dot: bool,
     trace: bool,
     trace_out: String,
     metrics: Option<String>,
@@ -68,6 +70,7 @@ fn usage() -> ! {
          \x20             [--summaries] [--json] [--repair] [--ge]\n\
          \x20      cosplit lint <file.scilla | corpus:Name>   (alias: audit)\n\
          \x20      cosplit matrix <file.scilla | corpus:Name> [--json]\n\
+         \x20      cosplit callgraph <src>[,<src>,...] | corpus [--json | --dot]\n\
          \x20      cosplit trace <file.scilla | corpus:Name> [--out <path>]\n\
          \n\
          \x20 --transitions   transitions to shard (default: all)\n\
@@ -79,6 +82,7 @@ fn usage() -> ! {
          \x20 --ge            print good-enough signature statistics (Fig. 13)\n\
          \x20 --lint          run the contract lint pass (same as `lint` mode)\n\
          \x20 --matrix        print the conflict matrix (same as `matrix` mode)\n\
+         \x20 --dot           print the call graph as Graphviz DOT (callgraph mode)\n\
          \x20 --out           Chrome trace output path for `trace` mode\n\
          \x20                 (default TRACE_cosplit.json)\n\
          \x20 --metrics       write the run's telemetry snapshot (JSON) to a file\n\
@@ -98,6 +102,8 @@ fn parse_args() -> Args {
         ge: false,
         lint: false,
         matrix: false,
+        callgraph: false,
+        dot: false,
         trace: false,
         trace_out: "TRACE_cosplit.json".to_string(),
         metrics: std::env::var("COSPLIT_METRICS").ok(),
@@ -135,6 +141,11 @@ fn parse_args() -> Args {
                 args.matrix = true;
                 first_positional = false;
             }
+            "callgraph" if first_positional => {
+                args.callgraph = true;
+                first_positional = false;
+            }
+            "--dot" => args.dot = true,
             "trace" if first_positional => {
                 args.trace = true;
                 first_positional = false;
@@ -199,7 +210,92 @@ fn main() -> ExitCode {
     code
 }
 
+/// `cosplit callgraph` — builds the static cross-contract send graph over
+/// a comma-separated contract set (or the whole corpus) and prints it as a
+/// site table, JSON wire form (`--json`), or Graphviz DOT (`--dot`).
+fn run_callgraph(args: &Args) -> ExitCode {
+    use cosplit_analysis::callgraph::{CallGraph, ContractCalls, GraphContract};
+
+    let sources: Vec<(String, String)> = if args.source_arg == "corpus" {
+        scilla::corpus::all()
+            .iter()
+            .map(|e| (e.name.to_string(), e.source.to_string()))
+            .collect()
+    } else {
+        let mut out = Vec::new();
+        for part in args.source_arg.split(',') {
+            match load_source(part.trim()) {
+                Ok(s) => out.push((part.trim().to_string(), s)),
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    return ExitCode::from(2);
+                }
+            }
+        }
+        out
+    };
+
+    let mut inputs = Vec::new();
+    for (label, source) in &sources {
+        let module = match scilla::parser::parse_module(source) {
+            Ok(m) => m,
+            Err(e) => {
+                eprintln!("error: {label}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let checked = match scilla::typechecker::typecheck(module) {
+            Ok(c) => c,
+            Err(e) => {
+                eprintln!("error: {label}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let analyzed = AnalyzedContract::analyze(&checked);
+        inputs.push(GraphContract {
+            name: analyzed.name.clone(),
+            transitions: analyzed.summaries.iter().map(|s| s.name.clone()).collect(),
+            calls: ContractCalls::extract(&checked, &analyzed.summaries),
+        });
+    }
+    let graph = CallGraph::build(&inputs);
+
+    if args.json {
+        println!("{}", graph.to_json());
+        return ExitCode::SUCCESS;
+    }
+    if args.dot {
+        print!("{}", graph.to_dot());
+        return ExitCode::SUCCESS;
+    }
+    for e in &graph.edges {
+        let tag = e.tag.as_deref().unwrap_or("⊤");
+        let status = if e.is_resolved() { "resolved" } else { "⊤" };
+        let candidates = if e.candidates.is_empty() {
+            "(no candidate in set)".to_string()
+        } else {
+            e.candidates.join(", ")
+        };
+        println!(
+            "  {}.{} —[{}]→ {}  recipient: {:?}  [{}]",
+            e.from_contract, e.from_transition, tag, candidates, e.recipient, status
+        );
+    }
+    let resolved = graph.edges.iter().filter(|e| e.is_resolved()).count();
+    println!(
+        "{} contracts, {} send edges, {} resolved ({:.0}%)",
+        graph.contracts.len(),
+        graph.edges.len(),
+        resolved,
+        graph.resolved_fraction() * 100.0
+    );
+    ExitCode::SUCCESS
+}
+
 fn run(args: Args) -> ExitCode {
+    if args.callgraph {
+        return run_callgraph(&args);
+    }
     let source = match load_source(&args.source_arg) {
         Ok(s) => s,
         Err(e) => {

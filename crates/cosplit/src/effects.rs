@@ -1,6 +1,7 @@
 //! Transition effects and summaries (paper §3.2–3.3, Fig. 8).
 
 use crate::domain::{ContribType, PseudoField};
+use std::collections::BTreeMap;
 use std::fmt;
 
 /// An abstract message observed at a `send` (the payload of `SendMsg(τ)`).
@@ -14,6 +15,10 @@ pub struct MsgAbs {
     pub amount_is_zero: bool,
     /// The `_tag`, when it is a string literal.
     pub tag: Option<String>,
+    /// Contributions of the payload entries (every key not starting with
+    /// `_`) — the callee transition's argument bindings, which the
+    /// interprocedural pass substitutes into callee pseudo-field keys.
+    pub params: BTreeMap<String, ContribType>,
 }
 
 /// One effect of a transition (paper Fig. 6, `ε`).

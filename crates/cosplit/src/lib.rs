@@ -56,6 +56,7 @@
 
 pub mod analysis;
 pub mod audit;
+pub mod callgraph;
 pub mod conflict;
 pub mod domain;
 pub mod effects;

@@ -237,6 +237,7 @@ fn send_tag_and_amount_zero_claims_are_checked() {
         amount: ContribType::bottom(),
         amount_is_zero,
         tag: tag.map(str::to_string),
+        params: Default::default(),
     };
 
     // Matching tag, non-zero amount allowed.

@@ -1,0 +1,90 @@
+//! Corpus snapshot: pins the call-site recipient classifications the
+//! extractor produces for real mainnet contracts (plus the relay harness
+//! pair). A drift here means the classifier changed behaviour — recheck the
+//! affected contracts by hand before updating the expectations.
+
+use cosplit_analysis::callgraph::{ContractCalls, Recipient};
+use cosplit_analysis::solver::AnalyzedContract;
+
+fn extract(name: &str) -> ContractCalls {
+    let entry = scilla::corpus::get(name).unwrap_or_else(|| panic!("unknown contract {name}"));
+    let module = scilla::parser::parse_module(entry.source).expect("corpus parses");
+    let checked = scilla::typechecker::typecheck(module).expect("corpus typechecks");
+    let analyzed = AnalyzedContract::analyze(&checked);
+    ContractCalls::extract(&checked, &analyzed.summaries)
+}
+
+/// `(transition, tag, recipient, amount_is_zero)` rows in extraction order.
+fn rows(calls: &ContractCalls) -> Vec<(&str, Option<&str>, &Recipient, bool)> {
+    calls
+        .sites
+        .iter()
+        .map(|s| (s.transition.as_str(), s.tag.as_deref(), &s.recipient, s.amount_is_zero))
+        .collect()
+}
+
+#[test]
+fn proof_ipfs_sends_resolve_from_transition_params() {
+    let calls = extract("ProofIPFS");
+    assert_eq!(
+        rows(&calls),
+        vec![
+            ("Gift", Some("GiftReceived"), &Recipient::TransitionParam("to".into()), true),
+            ("Withdraw", Some("AddFunds"), &Recipient::TransitionParam("to".into()), false),
+        ]
+    );
+    assert!(calls.dynamic_recipients().is_empty());
+}
+
+#[test]
+fn ud_registry_resolver_sync_is_dynamic() {
+    // The resolver address is read from the mutable per-domain record map —
+    // ⊤ for the call graph, and the `dynamic-recipient` lint's bread and
+    // butter.
+    let calls = extract("UD_registry");
+    assert_eq!(
+        rows(&calls),
+        vec![("SyncResolver", Some("Sync"), &Recipient::Dynamic, true)]
+    );
+    assert_eq!(calls.dynamic_recipients(), vec![("SyncResolver".to_string(), 1)]);
+}
+
+#[test]
+fn proxy_contract_forward_is_dynamic() {
+    // The proxy's `impl` field has a setter (upgradability is the point of
+    // the pattern), so the forward target is mutable state — never
+    // statically resolvable, by design.
+    let calls = extract("ProxyContract");
+    assert_eq!(
+        rows(&calls),
+        vec![("Forward", Some("HandleForward"), &Recipient::Dynamic, true)]
+    );
+    assert_eq!(calls.dynamic_recipients(), vec![("Forward".to_string(), 1)]);
+}
+
+#[test]
+fn relay_harness_resolves_through_its_init_param() {
+    let calls = extract("TestRelay");
+    assert_eq!(calls.params, vec!["sink".to_string()]);
+    assert_eq!(
+        rows(&calls),
+        vec![
+            ("Relay", Some("Hello"), &Recipient::ContractParam("sink".into()), true),
+            ("Fund", Some("Deposit"), &Recipient::ContractParam("sink".into()), false),
+        ]
+    );
+    assert!(calls.dynamic_recipients().is_empty());
+}
+
+#[test]
+fn test_sender_fans_out_one_site_per_send() {
+    let calls = extract("TestSender");
+    assert_eq!(
+        rows(&calls),
+        vec![
+            ("SendHello", Some("Hello"), &Recipient::TransitionParam("to".into()), true),
+            ("SendPair", Some("Hello"), &Recipient::TransitionParam("first".into()), true),
+            ("SendPair", Some("Hello"), &Recipient::TransitionParam("second".into()), true),
+        ]
+    );
+}

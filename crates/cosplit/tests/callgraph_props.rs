@@ -1,0 +1,160 @@
+//! Generative properties of interprocedural summary composition.
+//!
+//! Two laws dispatch leans on:
+//!
+//! * **Member containment** — a non-widened composition lists every frame
+//!   of the chain, and its footprint covers the root's own effects
+//!   verbatim (the root frame is substituted by the identity). Dropping a
+//!   member's state would let a composed chain under-lock.
+//! * **Monotonicity under callee widening** — growing a callee's summary
+//!   (more effects, or collapse to ⊤) never *shrinks* the composed
+//!   footprint: every pair the smaller callee contributed survives, and a
+//!   ⊤ callee forces `widened` (footprint `None` = everything) rather
+//!   than a silently smaller set. A sound analysis losing precision may
+//!   only over-approximate.
+
+use cosplit_analysis::callgraph::{
+    compose, Binding, CallSite, ContractCalls, MapDeployment, Recipient,
+};
+use cosplit_analysis::domain::{ContribSource, ContribType, Op, PseudoField};
+use cosplit_analysis::effects::{Effect, TransitionSummary};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+/// Pseudo-fields over the callee's single parameter `k` (so substitution
+/// through the call-site binding is exercised) or whole fields.
+fn pseudofield() -> impl Strategy<Value = PseudoField> {
+    let field = prop_oneof![Just("greetings"), Just("total"), Just("log")];
+    (field, any::<bool>()).prop_map(|(f, keyed)| {
+        if keyed {
+            PseudoField::entry(f, vec!["k".to_string()])
+        } else {
+            PseudoField::whole(f)
+        }
+    })
+}
+
+fn effect() -> impl Strategy<Value = Effect> {
+    prop_oneof![
+        pseudofield().prop_map(Effect::Read),
+        pseudofield().prop_map(|pf| {
+            Effect::Write(pf, ContribType::source(ContribSource::Param("k".into())))
+        }),
+        pseudofield().prop_map(|pf| {
+            let own = ContribType::source(ContribSource::Field(pf.clone()))
+                .with_op(Op::Builtin("add".into()));
+            Effect::Write(pf, own)
+        }),
+        pseudofield().prop_map(|pf| {
+            Effect::Condition(ContribType::source(ContribSource::Field(pf)))
+        }),
+        Just(Effect::AcceptFunds),
+    ]
+}
+
+/// A Caller.Ping → Callee.Handle world with the given callee effects; the
+/// call site binds the callee's `k` to the root's `who`.
+fn world(callee_effects: Vec<Effect>) -> MapDeployment {
+    let caller_summary = TransitionSummary {
+        name: "Ping".into(),
+        params: vec!["who".into(), "amt".into()],
+        effects: vec![
+            Effect::Write(
+                PseudoField::entry("pings", vec!["who".to_string()]),
+                ContribType::source(ContribSource::Param("amt".into())),
+            ),
+            Effect::Read(PseudoField::whole("paused")),
+        ],
+    };
+    let caller_calls = ContractCalls {
+        contract: "Caller".into(),
+        params: vec!["sink".into()],
+        immutable_fields: Default::default(),
+        sites: vec![CallSite {
+            transition: "Ping".into(),
+            tag: Some("Handle".into()),
+            recipient: Recipient::ContractParam("sink".into()),
+            amount_is_zero: true,
+            args: BTreeMap::from([("k".to_string(), Binding::Param("who".into()))]),
+        }],
+    };
+    let callee_summary =
+        TransitionSummary { name: "Handle".into(), params: vec!["k".into()], effects: callee_effects };
+    let callee_calls = ContractCalls { contract: "Callee".into(), ..Default::default() };
+
+    let mut dep = MapDeployment::default();
+    dep.deploy("Caller", vec![caller_summary], caller_calls);
+    dep.deploy("Callee", vec![callee_summary], callee_calls);
+    dep.set_value("Caller", "sink", "Callee");
+    dep
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn composition_contains_every_member(effects in prop::collection::vec(effect(), 0..6)) {
+        let dep = world(effects);
+        let composed = compose(&dep, "Caller", "Ping").expect("root summary exists");
+        prop_assert!(!composed.widened, "a fully-resolvable chain must not widen");
+        prop_assert!(composed.is_chain());
+        prop_assert!(composed.contains("Caller", "Ping"));
+        prop_assert!(composed.contains("Callee", "Handle"));
+
+        // The root's own effects survive verbatim in the footprint.
+        let fp = composed.footprint().expect("non-widened footprint");
+        prop_assert!(fp.contains(&(
+            "Caller".to_string(),
+            PseudoField::entry("pings", vec!["who".to_string()]).to_string()
+        )));
+        prop_assert!(fp.contains(&("Caller".to_string(), PseudoField::whole("paused").to_string())));
+        // Every callee state touch lands in the footprint under the callee's
+        // deployment identity.
+        let callee = &composed.members[1];
+        for e in &callee.effects {
+            if let Effect::Read(pf) | Effect::Write(pf, _) = e {
+                prop_assert!(
+                    fp.contains(&("Callee".to_string(), pf.to_string())),
+                    "callee touch {pf} missing from the composed footprint"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn widening_the_callee_never_shrinks_the_footprint(
+        base in prop::collection::vec(effect(), 0..5),
+        extra in prop::collection::vec(effect(), 1..4),
+        to_top in any::<bool>(),
+    ) {
+        let small = compose(&world(base.clone()), "Caller", "Ping").expect("composes");
+        let mut grown = base.clone();
+        if to_top {
+            grown.push(Effect::Top);
+        }
+        grown.extend(extra);
+        let big = compose(&world(grown), "Caller", "Ping").expect("composes");
+
+        match (small.footprint(), big.footprint()) {
+            (Some(fs), Some(fb)) => {
+                prop_assert!(
+                    fs.is_subset(&fb),
+                    "widening the callee dropped footprint entries: {:?}",
+                    fs.difference(&fb).collect::<Vec<_>>()
+                );
+            }
+            // ⊤ contains everything — a widened growth is monotone by
+            // definition, but it must be *flagged*, never a smaller set.
+            (_, None) => prop_assert!(big.widened),
+            (None, Some(_)) => {
+                prop_assert!(false, "growing the callee un-widened the composition");
+            }
+        }
+        if to_top {
+            prop_assert!(
+                big.widened,
+                "a ⊤ callee must widen the composition, not shrink into a footprint"
+            );
+        }
+    }
+}

@@ -63,6 +63,7 @@ fn effect() -> impl Strategy<Value = Effect> {
                 amount: ContribType::source(ContribSource::Param("amt".into())),
                 amount_is_zero: zero,
                 tag: Some("Notify".into()),
+                params: Default::default(),
             })
         }),
         Just(Effect::Top),

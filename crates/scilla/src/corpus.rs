@@ -83,8 +83,10 @@ pub fn all() -> &'static [CorpusEntry] {
         ("Schnorr", true),
         ("FirstContract", true),
         ("GoFundMi", true),
-        // Testnet-only harness contract, not part of the mainnet sample.
+        // Testnet-only harness contracts, not part of the mainnet sample.
         ("TestSender", false),
+        ("TestRelay", false),
+        ("TestReceiver", false),
         ("Cryptoman", true),
     ]
 }

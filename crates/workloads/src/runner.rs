@@ -44,6 +44,16 @@ pub fn prepare_with(scenario: &Scenario, config: ChainConfig) -> Network {
     for i in 0..scenario.users {
         net.fund_account(Address::from_index(i), 1_000_000_000_000);
     }
+    // Secondary contracts first: the primary's params may reference their
+    // addresses (RelayPing's `sink`), and composition resolves such params
+    // against the deployed-contract table.
+    for extra in &scenario.extra {
+        let source = scilla::corpus::get(extra.corpus_name).expect("extra corpus contract").source;
+        let sharding = use_cosplit
+            .then(|| (extra.sharded_transitions.as_slice(), scenario.weak_reads.clone()));
+        net.deploy(extra.addr, source, extra.params.clone(), sharding)
+            .expect("extra contract deploys");
+    }
     let source = scilla::corpus::get(scenario.corpus_name).expect("corpus contract").source;
     let sharding = use_cosplit
         .then(|| (scenario.sharded_transitions.as_slice(), scenario.weak_reads.clone()));

@@ -29,6 +29,12 @@ pub enum Kind {
     UdBestow,
     /// UD registry: owners update their domains' resolver records.
     UdConfig,
+    /// Cross-contract relay chain: users ping a `TestRelay` whose `Relay`
+    /// transition forwards to a statically-known `TestReceiver`. Not part of
+    /// Fig. 14 ([`Kind::all`]); exercises interprocedural composition — with
+    /// `compose_calls` off every transaction serialises at the DS committee,
+    /// with it on the composed chain dispatches shard-local.
+    RelayPing,
 }
 
 impl Kind {
@@ -57,8 +63,23 @@ impl Kind {
             Kind::IpfsRegister => "ProofIPFS register",
             Kind::UdBestow => "UD bestow",
             Kind::UdConfig => "UD config",
+            Kind::RelayPing => "Relay ping",
         }
     }
+}
+
+/// A secondary contract a scenario deploys *before* its primary (the primary
+/// may reference its address in `params`, as `RelayPing`'s `sink` does).
+#[derive(Debug, Clone)]
+pub struct ExtraDeployment {
+    /// Where the contract lives.
+    pub addr: Address,
+    /// Corpus contract to deploy there.
+    pub corpus_name: &'static str,
+    /// Deployment parameters.
+    pub params: Vec<(String, Value)>,
+    /// Transitions to shard when CoSplit is on.
+    pub sharded_transitions: Vec<&'static str>,
 }
 
 /// A fully-specified benchmark scenario.
@@ -79,6 +100,9 @@ pub struct Scenario {
     /// `AcceptAll` enables Strategy 2 (IntMerge); `Fields(∅)` is the
     /// ownership-only ablation.
     pub weak_reads: WeakReads,
+    /// Secondary contracts deployed before the primary (empty for the
+    /// single-contract Fig. 14 workloads).
+    pub extra: Vec<ExtraDeployment>,
     /// Setup transactions, committed before measurement starts.
     pub setup: Vec<Transaction>,
     /// The measured load.
@@ -93,6 +117,11 @@ pub fn contract_addr() -> Address {
 /// The administrative account (contract owner / minter / registry admin).
 pub fn admin() -> Address {
     Address::from_index(88_000_000)
+}
+
+/// The fixed address `RelayPing`'s secondary `TestReceiver` is deployed at.
+pub fn receiver_addr() -> Address {
+    Address::from_index(77_000_001)
 }
 
 fn user(i: u64) -> Address {
@@ -195,6 +224,7 @@ pub fn build_with_rng(kind: Kind, users: u64, load_txs: usize, rng: &mut StdRng)
                     "DecreaseAllowance",
                 ],
                 users,
+                extra: Vec::new(),
                 setup,
                 load,
             }
@@ -219,6 +249,7 @@ pub fn build_with_rng(kind: Kind, users: u64, load_txs: usize, rng: &mut StdRng)
                 weak_reads: WeakReads::AcceptAll,
                 sharded_transitions: vec!["Donate", "ClaimBack"],
                 users,
+                extra: Vec::new(),
                 setup: Vec::new(),
                 load,
             }
@@ -299,6 +330,7 @@ pub fn build_with_rng(kind: Kind, users: u64, load_txs: usize, rng: &mut StdRng)
                 weak_reads: WeakReads::AcceptAll,
                 sharded_transitions: vec!["Mint", "Transfer"],
                 users,
+                extra: Vec::new(),
                 setup,
                 load,
             }
@@ -335,6 +367,7 @@ pub fn build_with_rng(kind: Kind, users: u64, load_txs: usize, rng: &mut StdRng)
                     "SetContractUri",
                 ],
                 users,
+                extra: Vec::new(),
                 setup: Vec::new(),
                 load,
             }
@@ -426,7 +459,35 @@ pub fn build_with_rng(kind: Kind, users: u64, load_txs: usize, rng: &mut StdRng)
                     "SetRoot",
                 ],
                 users,
+                extra: Vec::new(),
                 setup,
+                load,
+            }
+        }
+        Kind::RelayPing => {
+            // Primary: TestRelay with `sink` pointing at the secondary
+            // TestReceiver — `Relay`'s send resolves statically, so with
+            // `compose_calls` the whole chain dispatches shard-local.
+            let load = (0..load_txs)
+                .map(|_| {
+                    let who = rng.gen_range(0..users);
+                    Transaction::call(next_id(), user(who), next_nonce(who), c, "Relay", vec![])
+                })
+                .collect();
+            Scenario {
+                kind,
+                corpus_name: "TestRelay",
+                params: vec![("sink".to_string(), receiver_addr().to_value())],
+                weak_reads: WeakReads::AcceptAll,
+                sharded_transitions: vec!["Relay", "Fund"],
+                users,
+                extra: vec![ExtraDeployment {
+                    addr: receiver_addr(),
+                    corpus_name: "TestReceiver",
+                    params: Vec::new(),
+                    sharded_transitions: vec!["Hello", "Deposit"],
+                }],
+                setup: Vec::new(),
                 load,
             }
         }
@@ -445,6 +506,21 @@ mod tests {
             assert!(!s.sharded_transitions.is_empty());
             assert!(scilla::corpus::get(s.corpus_name).is_some());
         }
+    }
+
+    #[test]
+    fn relay_ping_builds_with_its_receiver() {
+        let s = build(Kind::RelayPing, 20, 100, 42);
+        assert_eq!(s.load.len(), 100);
+        assert!(scilla::corpus::get(s.corpus_name).is_some());
+        assert_eq!(s.extra.len(), 1);
+        assert!(scilla::corpus::get(s.extra[0].corpus_name).is_some());
+        // The primary's `sink` param points at the secondary's address.
+        assert_eq!(s.params[0].1, s.extra[0].addr.to_value());
+        assert!(s.load.iter().all(|t| matches!(
+            &t.kind,
+            chain::tx::TxKind::Call { transition, .. } if transition == "Relay"
+        )));
     }
 
     #[test]
