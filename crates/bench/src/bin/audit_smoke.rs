@@ -57,12 +57,21 @@ fn main() {
 /// Asserted (not advisory): a drift in either direction means a rule changed
 /// behaviour — recheck the findings by hand and update both this table and
 /// the DESIGN.md §6c numbers.
+///
+/// Re-measured under the refined (flow-sensitive, localized-⊤) analysis:
+/// `top-summary` dropped 23 → 12 (derived `sha256hash(param)` keys resolve
+/// eleven formerly-⊤ transitions), and with far fewer global-⊤ summaries
+/// the whole-contract rules are no longer suppressed — that is why
+/// `write-never-read-back` and `dead-pseudofield` *rose*: those findings
+/// were always there, hidden behind "a ⊤ transition might read anything".
+/// `dynamic-recipient` lost FungibleToken.WithdrawFees: its recipient field
+/// `fee_collector` is now provably init-only (no summary is ⊤ anymore).
 const EXPECTED_CENSUS: &[(&str, usize)] = &[
-    ("top-summary", 23),
-    ("write-never-read-back", 18),
+    ("top-summary", 12),
+    ("write-never-read-back", 43),
     ("accept-no-balance-effect", 4),
-    ("dead-pseudofield", 0),
-    ("dynamic-recipient", 5),
+    ("dead-pseudofield", 1),
+    ("dynamic-recipient", 4),
 ];
 
 /// Lints the whole mainnet sample; returns the number of failures (pipeline

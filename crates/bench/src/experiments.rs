@@ -131,13 +131,18 @@ pub struct Table52Row {
     pub max_ges: usize,
 }
 
-/// The §5.2 evaluation-contract table.
+/// The §5.2 evaluation-contract table. The paper's numbers come from the
+/// Fig-6 accumulator, so this pins the legacy analysis mode; the refined
+/// flow-sensitive default is compared against it by the precision experiment.
 pub fn table52() -> Vec<Table52Row> {
     corpus::evaluation_contracts()
         .iter()
         .map(|entry| {
             let checked = check_contract(entry.name);
-            let analyzed = AnalyzedContract::analyze(&checked);
+            let analyzed = AnalyzedContract::analyze_with_mode(
+                &checked,
+                cosplit_analysis::analysis::AnalysisMode::Legacy,
+            );
             let stats = ge_stats(&analyzed);
             Table52Row {
                 name: entry.name,
@@ -1391,9 +1396,195 @@ pub fn callgraph_rows(users: u64, txs: usize, epochs: usize) -> Vec<CallGraphRow
         .collect()
 }
 
+// ------------------------------------------------- Precision frontier
+
+/// The corpus-wide precision census: how much imprecision each analysis
+/// mode reports over the 49-contract mainnet sample (`paper -- precision`).
+#[derive(Debug, Clone)]
+pub struct PrecisionCensus {
+    /// Contracts analysed.
+    pub contracts: usize,
+    /// Transitions whose *legacy* summary collapsed to global ⊤.
+    pub top_legacy: usize,
+    /// Transitions whose *refined* summary is global ⊤ (invariant: 0).
+    pub top_refined: usize,
+    /// Transitions carrying a localized `⊤[field]` under the refined
+    /// analysis — the survivors the blame engine explains.
+    pub top_field_refined: usize,
+    /// Blame causes recorded by the refined analysis, corpus-wide.
+    pub blames: usize,
+    /// Mean conflict-matrix density (conflicting pairs / all pairs) under
+    /// the legacy summaries, ×1000.
+    pub conflict_density_legacy_x1000: u64,
+    /// The same mean density under the refined summaries, ×1000.
+    pub conflict_density_refined_x1000: u64,
+}
+
+/// Analyses the whole mainnet sample under both modes and measures the
+/// precision gap. Every blame cause is round-tripped through its JSON wire
+/// form (a corpus-wide panic-free sweep of the blame engine). Records the
+/// `cosplit.precision.*` gauges so `BENCH_metrics.json` carries the
+/// numbers.
+pub fn precision_census() -> PrecisionCensus {
+    use cosplit_analysis::analysis::AnalysisMode;
+    use cosplit_analysis::blame::BlameCause;
+    use cosplit_analysis::conflict::ConflictMatrix;
+
+    telemetry::set_enabled(true);
+    let mut census = PrecisionCensus {
+        contracts: 0,
+        top_legacy: 0,
+        top_refined: 0,
+        top_field_refined: 0,
+        blames: 0,
+        conflict_density_legacy_x1000: 0,
+        conflict_density_refined_x1000: 0,
+    };
+    let (mut density_legacy, mut density_refined) = (0.0f64, 0.0f64);
+    for entry in corpus::mainnet_sample() {
+        census.contracts += 1;
+        let checked = check_contract(entry.name);
+        let legacy = AnalyzedContract::analyze_with_mode(&checked, AnalysisMode::Legacy);
+        let refined = AnalyzedContract::analyze_with_mode(&checked, AnalysisMode::Refined);
+        census.top_legacy += legacy.summaries.iter().filter(|s| s.has_top()).count();
+        census.top_refined += refined.summaries.iter().filter(|s| s.has_top()).count();
+        census.top_field_refined +=
+            refined.summaries.iter().filter(|s| s.top_fields().next().is_some()).count();
+        census.blames += refined.blames.len();
+        for b in &refined.blames {
+            let back = BlameCause::from_json(&b.to_json())
+                .unwrap_or_else(|e| panic!("{}: blame wire round-trip failed: {e}", entry.name));
+            assert_eq!(&back, b, "{}: blame wire round-trip drifted", entry.name);
+        }
+        density_legacy += ConflictMatrix::build(entry.name, &legacy.summaries).conflict_density();
+        density_refined += ConflictMatrix::build(entry.name, &refined.summaries).conflict_density();
+    }
+    let mean = |sum: f64| (sum / census.contracts.max(1) as f64 * 1000.0) as u64;
+    census.conflict_density_legacy_x1000 = mean(density_legacy);
+    census.conflict_density_refined_x1000 = mean(density_refined);
+
+    let reg = telemetry::registry();
+    reg.gauge("cosplit.precision.top_summaries.legacy").set(census.top_legacy as i64);
+    reg.gauge("cosplit.precision.top_summaries.refined").set(census.top_refined as i64);
+    reg.gauge("cosplit.precision.top_fields.refined").set(census.top_field_refined as i64);
+    reg.gauge("cosplit.precision.blames").set(census.blames as i64);
+    reg.gauge("cosplit.precision.conflict_density_x1000.legacy")
+        .set(census.conflict_density_legacy_x1000 as i64);
+    reg.gauge("cosplit.precision.conflict_density_x1000.refined")
+        .set(census.conflict_density_refined_x1000 as i64);
+    census
+}
+
+/// One workload's dispatch routing under the legacy vs the refined default
+/// analysis (`paper -- precision`).
+#[derive(Debug, Clone)]
+pub struct PrecisionRow {
+    /// Workload label.
+    pub label: &'static str,
+    /// Transactions committed under the refined analysis.
+    pub committed: usize,
+    /// Share of dispatch decisions serialised at the DS committee with the
+    /// legacy analysis deployed (‰).
+    pub to_ds_legacy_permille: u64,
+    /// The same share with the refined analysis deployed (‰).
+    pub to_ds_refined_permille: u64,
+}
+
+/// Runs the airdrop workload (whose `ClaimAirdrop` is exactly on the
+/// precision frontier: ⊤ under legacy, summarisable under refined) plus a
+/// Fig. 14 control with each analysis mode as the process default, and
+/// measures where dispatch sends the load. Records the per-workload DS
+/// shares as `chain.dispatch.to_ds_permille.{legacy,refined}.{slug}`
+/// gauges.
+///
+/// Flips the process-wide default analysis mode around each run and
+/// restores [`AnalysisMode::Refined`] afterwards — callers must not race
+/// concurrent deployments against this.
+pub fn precision_rows(users: u64, txs: usize, epochs: usize) -> Vec<PrecisionRow> {
+    use cosplit_analysis::analysis::{set_default_mode, AnalysisMode};
+    use workloads::runner::run_with;
+    use workloads::scenarios::build;
+
+    telemetry::set_enabled(true);
+    let reg = telemetry::registry();
+    let kinds = [Kind::FtAirdrop, Kind::FtTransfer];
+    let rows = kinds
+        .iter()
+        .map(|&kind| {
+            let scenario = build(kind, users, txs, 0x9EC1 + kind as u64);
+            let slug = scenario.kind.label().to_lowercase().replace(' ', "_");
+            let run = |mode: AnalysisMode| {
+                set_default_mode(mode);
+                let result = run_with(&scenario, ChainConfig::evaluation(4, true), epochs);
+                set_default_mode(AnalysisMode::Refined);
+                let (mut total, mut ds) = (0u64, 0u64);
+                for report in &result.reports {
+                    for (reason, n) in &report.dispatch_reasons {
+                        total += *n as u64;
+                        if DS_REASONS.contains(&reason.as_str()) {
+                            ds += *n as u64;
+                        }
+                    }
+                }
+                let permille = ds * 1000 / total.max(1);
+                let mode_slug = match mode {
+                    AnalysisMode::Legacy => "legacy",
+                    AnalysisMode::Refined => "refined",
+                };
+                reg.gauge(&format!("chain.dispatch.to_ds_permille.{mode_slug}.{slug}"))
+                    .set(permille as i64);
+                (result.committed(), permille)
+            };
+            let (_, legacy_ds) = run(AnalysisMode::Legacy);
+            let (committed, refined_ds) = run(AnalysisMode::Refined);
+            PrecisionRow {
+                label: scenario.kind.label(),
+                committed,
+                to_ds_legacy_permille: legacy_ds,
+                to_ds_refined_permille: refined_ds,
+            }
+        })
+        .collect();
+    rows
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn precision_census_and_rows_show_the_frontier() {
+        let census = precision_census();
+        assert_eq!(census.contracts, 49, "{census:?}");
+        // The refined analysis never goes globally ⊤ and strictly shrinks
+        // the ⊤ population; every surviving loss carries at least one blame.
+        assert_eq!(census.top_refined, 0, "{census:?}");
+        assert!(census.top_field_refined < census.top_legacy, "{census:?}");
+        assert!(census.blames >= census.top_field_refined, "{census:?}");
+        // ⊤ summaries conflict with everything, so localizing them can only
+        // thin the conflict matrix.
+        assert!(
+            census.conflict_density_refined_x1000 <= census.conflict_density_legacy_x1000,
+            "{census:?}"
+        );
+
+        let rows = precision_rows(20, 200, 2);
+        let airdrop = rows.iter().find(|r| r.label == "FT airdrop").unwrap();
+        // The acceptance criterion: the refined analysis strictly cuts the
+        // airdrop workload's DS share (legacy: every claim is unsat-routed).
+        assert!(
+            airdrop.to_ds_refined_permille < airdrop.to_ds_legacy_permille,
+            "refined analysis must cut the DS share: {airdrop:?}"
+        );
+        assert!(airdrop.committed > 0, "{airdrop:?}");
+        // The control workload never had a ⊤ transition in its load, so the
+        // mode flip must not move it.
+        let control = rows.iter().find(|r| r.label == "FT transfer").unwrap();
+        assert_eq!(
+            control.to_ds_legacy_permille, control.to_ds_refined_permille,
+            "{control:?}"
+        );
+    }
 
     #[test]
     fn callgraph_rows_cut_the_relay_ds_share() {

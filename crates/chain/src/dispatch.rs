@@ -361,7 +361,10 @@ fn resolve_footprint(
             Constraint::Owns(PseudoField { field, keys }) => {
                 let mut key_vals = Vec::with_capacity(keys.len());
                 for k in keys {
-                    match resolve(k) {
+                    // Derived keys (`sha256hash(account)`) replay their
+                    // derivation on the resolved base argument, matching the
+                    // interpreter's builtin evaluation bit-for-bit.
+                    match cosplit_analysis::domain::resolve_key(k, &resolve) {
                         Some(v) => key_vals.push(v),
                         None => return Err(DispatchReason::BadArguments),
                     }
@@ -397,8 +400,10 @@ fn resolve_footprint(
                 None => return Err(DispatchReason::BadArguments),
             },
             Constraint::NoAliases(t1, t2) => {
-                let v1: Option<Vec<Value>> = t1.iter().map(|k| resolve(k)).collect();
-                let v2: Option<Vec<Value>> = t2.iter().map(|k| resolve(k)).collect();
+                let v1: Option<Vec<Value>> =
+                    t1.iter().map(|k| cosplit_analysis::domain::resolve_key(k, &resolve)).collect();
+                let v2: Option<Vec<Value>> =
+                    t2.iter().map(|k| cosplit_analysis::domain::resolve_key(k, &resolve)).collect();
                 match (v1, v2) {
                     (Some(a), Some(b)) => {
                         if a == b {
@@ -612,7 +617,7 @@ fn composed_footprint(
                 Constraint::Owns(PseudoField { field, keys }) => {
                     let mut key_vals = Vec::with_capacity(keys.len());
                     for k in keys {
-                        key_vals.push(resolve(k)?);
+                        key_vals.push(cosplit_analysis::domain::resolve_key(k, &resolve)?);
                     }
                     let shard = component_shard(addr, field, &key_vals, num_shards);
                     locks.insert(
@@ -654,8 +659,14 @@ fn composed_footprint(
                     }
                 }
                 Constraint::NoAliases(t1, t2) => {
-                    let v1: Option<Vec<Value>> = t1.iter().map(|k| resolve(k)).collect();
-                    let v2: Option<Vec<Value>> = t2.iter().map(|k| resolve(k)).collect();
+                    let v1: Option<Vec<Value>> = t1
+                        .iter()
+                        .map(|k| cosplit_analysis::domain::resolve_key(k, &resolve))
+                        .collect();
+                    let v2: Option<Vec<Value>> = t2
+                        .iter()
+                        .map(|k| cosplit_analysis::domain::resolve_key(k, &resolve))
+                        .collect();
                     match (v1, v2) {
                         (Some(a), Some(b)) if a != b => {}
                         // Aliasing or unresolvable: let the intra-contract

@@ -276,6 +276,8 @@ fn render_access(field: &str, keys: &[Value]) -> String {
 /// pseudo-field covers a same-depth access whose every key either resolves to
 /// the observed concrete value or cannot be resolved (unknown bindings are
 /// treated as wildcards so imprecise resolution never fabricates an escape).
+/// Derived keys (`sha256hash(account)`) resolve their base parameter and
+/// replay the derivation (see [`crate::domain::resolve_key`]).
 fn pf_covers(
     pf: &PseudoField,
     field: &str,
@@ -291,9 +293,11 @@ fn pf_covers(
     if pf.keys.len() != keys.len() {
         return false;
     }
-    pf.keys.iter().zip(keys).all(|(name, concrete)| match resolve(name) {
-        Some(v) => v == *concrete,
-        None => true,
+    pf.keys.iter().zip(keys).all(|(name, concrete)| {
+        match crate::domain::resolve_key(name, resolve) {
+            Some(v) => v == *concrete,
+            None => true,
+        }
     })
 }
 
@@ -380,7 +384,16 @@ pub fn audit_transition(
             // force ownership of the whole field) excuse an undeclared read.
             || summary
                 .writes()
-                .any(|(pf, _)| pf.is_whole_field() && pf.field == r.field);
+                .any(|(pf, _)| pf.is_whole_field() && pf.field == r.field)
+            // A field-localized ⊤ subsumes every access to its field.
+            || summary.top_fields().any(|pf| pf_covers(pf, &r.field, &r.keys, resolve))
+            // A read that only observes this invocation's own earlier write
+            // to the exact same component never touches pre-state; store
+            // forwarding elides its static `Read`, so the audit excuses it.
+            // (The earlier write is itself audited for coverage below.)
+            || fp.writes.iter().any(|w| {
+                w.field == r.field && w.keys == r.keys && w.span.start <= r.span.start
+            });
         if !covered {
             out.push(AuditViolation {
                 kind: ViolationKind::UnsummarisedRead,
@@ -444,6 +457,12 @@ fn audit_write(
     w: &TraceWrite,
     resolve: &dyn Fn(&str) -> Option<Value>,
 ) -> Vec<AuditViolation> {
+    // A field-localized ⊤ declares unbounded effects on its field: any
+    // write to it, with any op, is contained (ownership of the whole field
+    // is forced by the `Owns` constraint the signature derives from it).
+    if summary.top_fields().any(|pf| pf_covers(pf, &w.field, &w.keys, resolve)) {
+        return Vec::new();
+    }
     let matching: Vec<(&PseudoField, &ContribType)> =
         summary.writes().filter(|(pf, _)| pf_covers(pf, &w.field, &w.keys, resolve)).collect();
     if matching.is_empty() {
@@ -590,9 +609,12 @@ impl fmt::Display for LintFinding {
 ///   outgoing-message recipients and amounts, and contributions flowing
 ///   into any field's written value (a read in *one* transition clears the
 ///   field for the whole contract).
-/// * `top-summary` — a transition whose summary collapsed to `⊤`, with the
-///   first construct that caused it (computed map key, read-after-write,
-///   partial map access) and its span, so the author can restructure.
+/// * `top-summary` — a transition whose summary contains a `⊤` in any form:
+///   global (legacy mode) or field-localized (`⊤[pf]`). The message names
+///   the blamed statement — kind, detail, and span from the analysis's
+///   [`crate::blame::BlameCause`] record — so the author can restructure;
+///   for summaries produced without blame collection it falls back to a
+///   syntactic scan for the first offending construct.
 /// * `dead-pseudofield` — a declared field no summary mentions at all.
 /// * `accept-no-balance-effect` — a transition accepts funds but the
 ///   accepted `_amount` never flows into any state write, so the deposit is
@@ -603,8 +625,9 @@ impl fmt::Display for LintFinding {
 ///   composition widens to `⊤` at the site, so every such send serialises
 ///   at the DS committee.
 ///
-/// The two whole-contract rules are suppressed when any summary is `⊤`
-/// (unknown effects could be the missing read/mention).
+/// The two whole-contract rules are suppressed when any summary is a global
+/// `⊤` (unknown effects could be the missing read/mention); a field-localized
+/// `⊤` only exempts its own field from them.
 pub fn lint_contract(checked: &CheckedModule, analyzed: &AnalyzedContract) -> Vec<LintFinding> {
     let mut out = Vec::new();
     let any_top = analyzed.summaries.iter().any(TransitionSummary::has_top);
@@ -615,6 +638,13 @@ pub fn lint_contract(checked: &CheckedModule, analyzed: &AnalyzedContract) -> Ve
     for s in &analyzed.summaries {
         for pf in s.reads() {
             read_fields.insert(&pf.field);
+            mentioned.insert(&pf.field);
+        }
+        // A field-localized ⊤ may read and write its field arbitrarily, so
+        // it suppresses the contract-global rules for that field only.
+        for pf in s.top_fields() {
+            read_fields.insert(&pf.field);
+            written_fields.insert(&pf.field);
             mentioned.insert(&pf.field);
         }
         for (pf, t) in s.writes() {
@@ -677,22 +707,46 @@ pub fn lint_contract(checked: &CheckedModule, analyzed: &AnalyzedContract) -> Ve
     }
 
     for s in &analyzed.summaries {
-        if s.has_top() {
-            let t = checked.contract().transition(&s.name);
-            let cause = t.and_then(|t| top_cause(checked, t));
-            let (message, span) = match cause {
-                Some(c) => (format!("summary is ⊤: {}", c.reason), Some(c.span)),
-                None => (
-                    "summary is ⊤ from an unanalysed construct \
-                     (data-dependent branch or dynamic message list)"
-                        .to_string(),
-                    t.and_then(|t| t.body.first().map(Stmt::span)),
-                ),
+        let top_fields: Vec<String> =
+            s.top_fields().map(|pf| pf.field.clone()).collect::<BTreeSet<_>>().into_iter().collect();
+        if s.has_top() || !top_fields.is_empty() {
+            // The blame engine knows the exact statement that cost the
+            // precision; fall back to the syntactic scan for legacy-mode
+            // summaries analysed without blame collection.
+            let blame = analyzed
+                .blames
+                .iter()
+                .filter(|b| b.transition == s.name)
+                .find(|b| match &b.field {
+                    Some(pf) => top_fields.contains(&pf.field),
+                    None => s.has_top(),
+                })
+                .or_else(|| analyzed.blames.iter().find(|b| b.transition == s.name));
+            let scope = if s.has_top() {
+                "summary is ⊤".to_string()
+            } else {
+                format!("summary has ⊤ on field(s) {}", top_fields.join(", "))
+            };
+            let (message, span) = match blame {
+                Some(b) => (format!("{scope}: [{}] {}", b.kind, b.detail), Some(b.span)),
+                None => {
+                    let t = checked.contract().transition(&s.name);
+                    match t.and_then(|t| top_cause(checked, t)) {
+                        Some(c) => (format!("{scope}: {}", c.reason), Some(c.span)),
+                        None => (
+                            format!(
+                                "{scope} from an unanalysed construct \
+                                 (data-dependent branch or dynamic message list)"
+                            ),
+                            t.and_then(|t| t.body.first().map(Stmt::span)),
+                        ),
+                    }
+                }
             };
             out.push(LintFinding {
                 rule: "top-summary",
                 transition: Some(s.name.clone()),
-                field: None,
+                field: top_fields.first().cloned(),
                 span,
                 message,
             });

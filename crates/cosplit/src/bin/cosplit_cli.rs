@@ -20,6 +20,15 @@
 //! increments the `cosplit.lint.findings` telemetry counter so CI can gate
 //! on the metrics snapshot.
 //!
+//! `cosplit blame` answers "why is my contract unsharded?": it prints every
+//! precision loss the flow-sensitive analysis recorded — the exact source
+//! span where a summary degraded to `⊤[field]` or `⊤`, the taxonomy kind
+//! (`computed-key`, `partial-access`, `top-scrutinee`, …), and the touched
+//! pseudo-field — grouped per transition, with a per-kind tally at the end.
+//! A clean contract prints `no precision losses`. With `--json` it prints a
+//! JSON array of the causes' wire forms instead (same schema the lint pass
+//! and the corpus sweep consume).
+//!
 //! `cosplit matrix` builds the pairwise transition-commutativity matrix
 //! (conflict matrix) from the Fig-6 footprints and prints it as a grid —
 //! `.` commute, `?` commute unless keys alias, `X` conflict — followed by
@@ -55,6 +64,7 @@ struct Args {
     repair: bool,
     ge: bool,
     lint: bool,
+    blame: bool,
     matrix: bool,
     callgraph: bool,
     dot: bool,
@@ -69,6 +79,7 @@ fn usage() -> ! {
          \x20             [--weak-reads f1,f2,... | --accept-stale]\n\
          \x20             [--summaries] [--json] [--repair] [--ge]\n\
          \x20      cosplit lint <file.scilla | corpus:Name>   (alias: audit)\n\
+         \x20      cosplit blame <file.scilla | corpus:Name> [--json]\n\
          \x20      cosplit matrix <file.scilla | corpus:Name> [--json]\n\
          \x20      cosplit callgraph <src>[,<src>,...] | corpus [--json | --dot]\n\
          \x20      cosplit trace <file.scilla | corpus:Name> [--out <path>]\n\
@@ -101,6 +112,7 @@ fn parse_args() -> Args {
         repair: false,
         ge: false,
         lint: false,
+        blame: false,
         matrix: false,
         callgraph: false,
         dot: false,
@@ -135,6 +147,10 @@ fn parse_args() -> Args {
             // next positional argument is then the contract source.
             "lint" | "audit" if first_positional => {
                 args.lint = true;
+                first_positional = false;
+            }
+            "blame" if first_positional => {
+                args.blame = true;
                 first_positional = false;
             }
             "matrix" if first_positional => {
@@ -371,6 +387,59 @@ fn run(args: Args) -> ExitCode {
                 findings.len(),
                 if findings.len() == 1 { "" } else { "s" }
             );
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    if args.blame {
+        if args.json {
+            let causes: Vec<String> = analyzed.blames.iter().map(|b| b.to_json()).collect();
+            println!("[{}]", causes.join(","));
+            return ExitCode::SUCCESS;
+        }
+        if analyzed.blames.is_empty() {
+            println!(
+                "{}: no precision losses ({} transitions fully summarised)",
+                analyzed.name,
+                analyzed.summaries.len()
+            );
+            return ExitCode::SUCCESS;
+        }
+        let mut by_kind: std::collections::BTreeMap<&str, usize> = std::collections::BTreeMap::new();
+        for s in &analyzed.summaries {
+            let causes: Vec<_> =
+                analyzed.blames.iter().filter(|b| b.transition == s.name).collect();
+            if causes.is_empty() {
+                continue;
+            }
+            let verdict = if s.has_top() {
+                "summary is ⊤".to_string()
+            } else {
+                let tops: Vec<String> = s.top_fields().map(|pf| pf.field.clone()).collect();
+                if tops.is_empty() {
+                    "summary precise (losses recovered)".to_string()
+                } else {
+                    format!("⊤ on field(s) {}", tops.join(", "))
+                }
+            };
+            println!("transition {} — {verdict}:", s.name);
+            for b in causes {
+                *by_kind.entry(b.kind.as_str()).or_default() += 1;
+                let field = match &b.field {
+                    Some(pf) => format!(" on {pf}"),
+                    None => String::new(),
+                };
+                println!("  [{}] at {}{}: {}", b.kind, b.span, field, b.detail);
+            }
+        }
+        println!(
+            "{}: {} precision loss{}",
+            analyzed.name,
+            analyzed.blames.len(),
+            if analyzed.blames.len() == 1 { "" } else { "es" }
+        );
+        for (kind, n) in &by_kind {
+            println!("  {kind}: {n}");
         }
         return ExitCode::SUCCESS;
     }

@@ -1,0 +1,214 @@
+//! Precision blame: *why* did the analysis lose precision?
+//!
+//! Every place the flow-sensitive analysis (see [`crate::analysis`])
+//! degrades to a localized `⊤[pf]`, a global `⊤`, or an anonymous
+//! top-contribution records a span-bearing [`BlameCause`]. The causes are
+//! surfaced by the `cosplit blame` CLI subcommand and the lint pass so a
+//! contract author can see the exact statement that cost the contract its
+//! sharding signature.
+
+use crate::domain::PseudoField;
+use scilla::span::Span;
+use std::fmt;
+
+/// The taxonomy of precision losses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum BlameKind {
+    /// A map access whose key is not a transition parameter (paper §3.3
+    /// `CanSummarise` fails on the key test).
+    ComputedKey,
+    /// A map access that stops at an interior map level, so the touched
+    /// entry set is unbounded.
+    PartialAccess,
+    /// A read of a component after a write to the same field defeated
+    /// store forwarding (differently-keyed write in between).
+    ReadAfterWrite,
+    /// A `match` whose scrutinee collapsed to ⊤, forcing a ⊤ condition.
+    TopScrutinee,
+    /// A `send` whose message list could not be statically collected.
+    UnresolvedSend,
+    /// An identifier with no binding in the abstract environment.
+    UnboundIdent,
+}
+
+impl BlameKind {
+    /// Stable wire/CLI name.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            BlameKind::ComputedKey => "computed-key",
+            BlameKind::PartialAccess => "partial-access",
+            BlameKind::ReadAfterWrite => "read-after-write",
+            BlameKind::TopScrutinee => "top-scrutinee",
+            BlameKind::UnresolvedSend => "unresolved-send",
+            BlameKind::UnboundIdent => "unbound-ident",
+        }
+    }
+
+    /// Parses the wire name.
+    pub fn parse(s: &str) -> Option<Self> {
+        Self::all().iter().copied().find(|k| k.as_str() == s)
+    }
+
+    /// Every kind, in display order.
+    pub fn all() -> &'static [BlameKind] {
+        &[
+            BlameKind::ComputedKey,
+            BlameKind::PartialAccess,
+            BlameKind::ReadAfterWrite,
+            BlameKind::TopScrutinee,
+            BlameKind::UnresolvedSend,
+            BlameKind::UnboundIdent,
+        ]
+    }
+}
+
+impl fmt::Display for BlameKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One recorded precision loss.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BlameCause {
+    /// The transition being analysed when precision was lost.
+    pub transition: String,
+    /// What went wrong.
+    pub kind: BlameKind,
+    /// The pseudo-field the imprecision localizes to, when it does.
+    pub field: Option<PseudoField>,
+    /// Human-oriented detail (the key expression, the identifier, …).
+    pub detail: String,
+    /// Source location of the offending statement or expression.
+    pub span: Span,
+}
+
+impl fmt::Display for BlameCause {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] transition '{}' at {}", self.kind, self.transition, self.span)?;
+        if let Some(pf) = &self.field {
+            write!(f, " on {pf}")?;
+        }
+        if !self.detail.is_empty() {
+            write!(f, ": {}", self.detail)?;
+        }
+        Ok(())
+    }
+}
+
+impl BlameCause {
+    /// Serialises to the stable JSON wire form.
+    pub fn to_json(&self) -> String {
+        wire::blame_to_json(self).to_string()
+    }
+
+    /// Parses the JSON wire form.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message describing the first malformed element.
+    pub fn from_json(s: &str) -> Result<Self, String> {
+        let v: serde_json::Value = serde_json::from_str(s).map_err(|e| e.to_string())?;
+        wire::blame_from_json(&v)
+    }
+}
+
+mod wire {
+    use super::{BlameCause, BlameKind, PseudoField, Span};
+    use serde_json::{json, Value};
+
+    pub(super) fn blame_to_json(b: &BlameCause) -> Value {
+        let pf_json = match &b.field {
+            Some(pf) => {
+                let keys: Vec<Value> = pf.keys.iter().map(Value::from).collect();
+                json!({"field": &pf.field, "keys": Value::Array(keys)})
+            }
+            None => Value::Null,
+        };
+        let span = json!({
+            "start": b.span.start as u64,
+            "end": b.span.end as u64,
+            "line": u64::from(b.span.line),
+            "col": u64::from(b.span.col),
+        });
+        json!({
+            "transition": &b.transition,
+            "kind": b.kind.as_str(),
+            "field": pf_json,
+            "detail": &b.detail,
+            "span": span,
+        })
+    }
+
+    fn str_of(v: &Value, key: &str) -> Result<String, String> {
+        v.get(key)
+            .and_then(Value::as_str)
+            .map(str::to_string)
+            .ok_or_else(|| format!("blame lacks string '{key}'"))
+    }
+
+    pub(super) fn blame_from_json(v: &Value) -> Result<BlameCause, String> {
+        let kind = BlameKind::parse(&str_of(v, "kind")?)
+            .ok_or_else(|| "unknown blame kind".to_string())?;
+        let field = match v.get("field") {
+            None | Some(Value::Null) => None,
+            Some(pf) => {
+                let field = str_of(pf, "field")?;
+                let keys = pf
+                    .get("keys")
+                    .and_then(Value::as_array)
+                    .ok_or("blame field lacks keys")?
+                    .iter()
+                    .map(|k| k.as_str().map(str::to_string).ok_or("non-string key"))
+                    .collect::<Result<Vec<_>, _>>()?;
+                Some(PseudoField { field, keys })
+            }
+        };
+        let sp = v.get("span").ok_or("blame lacks span")?;
+        let num = |key: &str| -> Result<u64, String> {
+            sp.get(key).and_then(Value::as_u64).ok_or_else(|| format!("span lacks '{key}'"))
+        };
+        Ok(BlameCause {
+            transition: str_of(v, "transition")?,
+            kind,
+            field,
+            detail: str_of(v, "detail")?,
+            span: Span {
+                start: num("start")? as usize,
+                end: num("end")? as usize,
+                line: num("line")? as u32,
+                col: num("col")? as u32,
+            },
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_names_roundtrip() {
+        for k in BlameKind::all() {
+            assert_eq!(BlameKind::parse(k.as_str()), Some(*k));
+        }
+        assert_eq!(BlameKind::parse("nonsense"), None);
+    }
+
+    #[test]
+    fn wire_roundtrip() {
+        let b = BlameCause {
+            transition: "Transfer".into(),
+            kind: BlameKind::ComputedKey,
+            field: Some(PseudoField::entry("m", vec!["k".into()])),
+            detail: "key 'k' is not a transition parameter".into(),
+            span: Span::new(10, 20, 3, 7),
+        };
+        let back = BlameCause::from_json(&b.to_json()).unwrap();
+        assert_eq!(back, b);
+
+        let no_field = BlameCause { field: None, ..b };
+        let back = BlameCause::from_json(&no_field.to_json()).unwrap();
+        assert_eq!(back, no_field);
+    }
+}

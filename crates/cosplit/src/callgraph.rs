@@ -155,7 +155,12 @@ impl ContractCalls {
         let any_top = summaries.iter().any(|s| s.has_top());
         let written: BTreeSet<&str> = summaries
             .iter()
-            .flat_map(|s| s.writes().map(|(pf, _)| pf.field.as_str()))
+            .flat_map(|s| {
+                // A localized ⊤[pf] may hide a write to its field.
+                s.writes()
+                    .map(|(pf, _)| pf.field.as_str())
+                    .chain(s.top_fields().map(|pf| pf.field.as_str()))
+            })
             .collect();
         let immutable_fields: BTreeSet<String> = if any_top {
             BTreeSet::new()
@@ -596,7 +601,7 @@ impl ComposedSummary {
         for m in &self.members {
             for e in &m.effects {
                 match e {
-                    Effect::Read(pf) | Effect::Write(pf, _) => {
+                    Effect::Read(pf) | Effect::Write(pf, _) | Effect::TopField(pf) => {
                         out.insert((m.contract.clone(), pf.to_string()));
                     }
                     Effect::AcceptFunds => {
@@ -634,12 +639,18 @@ pub fn substitute_effects(
                 tag: m.tag.clone(),
                 params: m.params.iter().map(|(k, t)| (k.clone(), sub_contrib(t, bindings))).collect(),
             }),
+            Effect::TopField(pf) => Effect::TopField(sub_pf(pf, bindings)),
             Effect::Top => Effect::Top,
         })
         .collect()
 }
 
 fn sub_key(key: &str, bindings: &BTreeMap<String, Binding>) -> String {
+    // A derived key substitutes its base parameter and keeps the wrapper
+    // chain: the derivation replays unchanged on the caller's argument.
+    if let Some((builtin, inner)) = crate::domain::parse_derived_key(key) {
+        return format!("{builtin}({})", sub_key(inner, bindings));
+    }
     match bindings.get(key) {
         Some(Binding::Param(p)) => p.clone(),
         Some(Binding::Const(c)) => c.clone(),

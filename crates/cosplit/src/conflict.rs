@@ -273,6 +273,20 @@ impl Footprint {
                         fp.moves_funds = true;
                     }
                 }
+                // A localized ⊤ may read or write anything under the field,
+                // non-commutatively: a read-like plus a non-commutative
+                // write at its key shape (whole-field unless the access was
+                // partially resolved), which `pair_tuples` treats as an
+                // unkeyed overlap against any same-field access.
+                Effect::TopField(pf) => {
+                    fp.writes_anything = true;
+                    read_like(&mut fp.fields, pf);
+                    fp.fields
+                        .entry(pf.field.clone())
+                        .or_default()
+                        .writes
+                        .push((pf.keys.clone(), false));
+                }
                 Effect::Top => {}
             }
         }

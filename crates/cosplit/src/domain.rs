@@ -193,6 +193,54 @@ impl PseudoField {
     }
 }
 
+/// Pure single-argument builtins a pseudo-field key may be derived through.
+///
+/// A key need not *be* a transition parameter to be dispatch-instantiable: a
+/// deterministic pure function of one is just as good, because the
+/// dispatcher can replay the derivation on the transaction's concrete
+/// arguments (`slot = builtin sha256hash account; wiped[slot] := b` names
+/// exactly the entry `wiped[sha256hash(account)]`). Such keys are written
+/// `"<builtin>(<inner>)"`, nesting allowed, with a transition parameter (or
+/// `_sender`/`_origin`) at the base.
+pub const DERIVABLE_KEY_BUILTINS: &[&str] = &["sha256hash", "keccak256hash"];
+
+/// Splits a derived pseudo-field key into its outermost builtin and the
+/// inner key: `"sha256hash(account)"` → `("sha256hash", "account")`.
+/// Returns `None` for plain parameter keys.
+pub fn parse_derived_key(key: &str) -> Option<(&str, &str)> {
+    let open = key.find('(')?;
+    let builtin = &key[..open];
+    if !DERIVABLE_KEY_BUILTINS.contains(&builtin) || !key.ends_with(')') {
+        return None;
+    }
+    Some((builtin, &key[open + 1..key.len() - 1]))
+}
+
+/// The transition parameter at the base of a (possibly derived) key.
+pub fn key_base_param(key: &str) -> &str {
+    match parse_derived_key(key) {
+        Some((_, inner)) => key_base_param(inner),
+        None => key,
+    }
+}
+
+/// Resolves a pseudo-field key to its concrete value: looks up the base
+/// parameter through `base`, then replays the derivation chain with the
+/// same builtin evaluator the interpreter uses — so the resolved key is
+/// bit-identical to the key the transition actually touches.
+pub fn resolve_key(
+    key: &str,
+    base: &dyn Fn(&str) -> Option<scilla::value::Value>,
+) -> Option<scilla::value::Value> {
+    match parse_derived_key(key) {
+        Some((builtin, inner)) => {
+            let v = resolve_key(inner, base)?;
+            scilla::builtins::eval_builtin(builtin, &[v]).ok()
+        }
+        None => base(key),
+    }
+}
+
 impl fmt::Display for PseudoField {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "{}", self.field)?;

@@ -35,6 +35,13 @@ pub enum Effect {
     AcceptFunds,
     /// `send` ran with this abstract message.
     SendMsg(MsgAbs),
+    /// Nothing is known about the transition's behaviour *on this
+    /// pseudo-field* — it may read or write any component under it with
+    /// any value (a computed map key, a partial-depth access, a read
+    /// whose forwarding was defeated). Unlike `Top`, every other field is
+    /// unaffected, so the transition stays shardable with an ownership
+    /// constraint on this field.
+    TopField(PseudoField),
     /// Nothing is known (unsummarisable access, unknown message, …).
     Top,
 }
@@ -50,6 +57,7 @@ impl fmt::Display for Effect {
                 let funds = if m.amount_is_zero { "zero".to_string() } else { m.amount.to_string() };
                 write!(f, "SendMsg(funds = {funds}; destination = {})", m.recipient)
             }
+            Effect::TopField(pf) => write!(f, "⊤[{pf}]"),
             Effect::Top => write!(f, "⊤"),
         }
     }
@@ -84,6 +92,19 @@ impl TransitionSummary {
     /// field name and keys? (Used by the `MapGet` rule's `b` condition.)
     pub fn has_write(&self, pf: &PseudoField) -> bool {
         self.effects.iter().any(|e| matches!(e, Effect::Write(w, _) if w == pf))
+    }
+
+    /// All pseudo-fields carrying a localized `⊤[pf]` effect.
+    pub fn top_fields(&self) -> impl Iterator<Item = &PseudoField> {
+        self.effects.iter().filter_map(|e| match e {
+            Effect::TopField(pf) => Some(pf),
+            _ => None,
+        })
+    }
+
+    /// Does a localized `⊤[pf]` cover this field name?
+    pub fn has_top_field_on(&self, field: &str) -> bool {
+        self.top_fields().any(|pf| pf.field == field)
     }
 
     /// All pseudo-fields read.

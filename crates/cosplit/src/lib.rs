@@ -56,6 +56,7 @@
 
 pub mod analysis;
 pub mod audit;
+pub mod blame;
 pub mod callgraph;
 pub mod conflict;
 pub mod domain;

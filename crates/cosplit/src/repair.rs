@@ -65,10 +65,10 @@ pub struct RepairOutcome {
 
 /// Attempts the §6 repair on every transition of a contract.
 ///
-/// Only transitions whose summaries are unsummarisable (`⊤`) are touched;
-/// shardable transitions pass through unchanged. The rewritten module is
-/// re-type-checked before being returned, so the repair can never produce
-/// an ill-typed contract.
+/// Only transitions whose summaries carry imprecision — a global `⊤` or a
+/// localized `⊤[pf]` — are touched; precisely-summarised transitions pass
+/// through unchanged. The rewritten module is re-type-checked before being
+/// returned, so the repair can never produce an ill-typed contract.
 ///
 /// # Errors
 ///
@@ -81,7 +81,7 @@ pub fn repair_contract(checked: &CheckedModule) -> Result<RepairOutcome, scilla:
 
     for t in &mut module.contract.transitions {
         let summary = analyzed.summary(&t.name.name).expect("summary per transition");
-        if !summary.has_top() {
+        if !summary.has_top() && summary.top_fields().next().is_none() {
             continue;
         }
         if let Some(report) = repair_transition(t, &checked.field_types) {
@@ -372,9 +372,10 @@ mod tests {
     #[test]
     fn burn_becomes_shardable_after_repair() {
         let checked = check(UNSHARDABLE_NFT);
-        // Before: the state-read key makes Burn unsummarisable.
+        // Before: the state-read key localizes a ⊤ onto `counts` (the whole
+        // field must be owned, not just the entry).
         let before = AnalyzedContract::analyze(&checked);
-        assert!(before.summary("Burn").unwrap().has_top());
+        assert!(before.summary("Burn").unwrap().has_top_field_on("counts"));
 
         let outcome = repair_contract(&checked).expect("repair re-typechecks");
         assert_eq!(outcome.reports.len(), 1);
@@ -384,9 +385,11 @@ mod tests {
         assert_eq!(report.added_params[0].param, "claimed_owner");
         assert_eq!(report.added_params[0].ty, Type::address());
 
-        // After: Burn is summarisable and shardable.
+        // After: Burn is summarisable precisely and shardable.
         let after = AnalyzedContract::analyze(&outcome.checked);
-        assert!(!after.summary("Burn").unwrap().has_top());
+        let burn = after.summary("Burn").unwrap();
+        assert!(!burn.has_top());
+        assert_eq!(burn.top_fields().count(), 0, "{burn}");
         let sig = after.query(&["Burn".into()], &WeakReads::AcceptAll);
         assert!(sig.transition("Burn").unwrap().is_shardable());
     }
@@ -422,18 +425,21 @@ mod tests {
         let outcome = repair_contract(&checked).unwrap();
         assert!(outcome.reports.iter().any(|r| r.transition == "Burn"), "{:?}", outcome.reports);
         let after = AnalyzedContract::analyze(&outcome.checked);
-        assert!(!after.summary("Burn").unwrap().has_top());
+        let burn = after.summary("Burn").unwrap();
+        assert!(!burn.has_top());
+        assert_eq!(burn.top_fields().count(), 0, "{burn}");
     }
 
     #[test]
     fn computed_key_patterns_are_not_repairable() {
-        // Keys produced by hashing cannot be turned into parameters by this
-        // transformation.
+        // Keys built by multi-argument builtins have no dispatch-replayable
+        // derivation and cannot be turned into parameters by this
+        // transformation either.
         let src = r#"
             contract C ()
-            field m : Map ByStr32 Uint128 = Emp ByStr32 Uint128
+            field m : Map String Uint128 = Emp String Uint128
             transition T (s : String, v : Uint128)
-              k = builtin sha256hash s;
+              k = builtin concat s s;
               m[k] := v
             end
         "#;
@@ -441,6 +447,6 @@ mod tests {
         let outcome = repair_contract(&checked).unwrap();
         assert!(outcome.reports.is_empty());
         let after = AnalyzedContract::analyze(&outcome.checked);
-        assert!(after.summary("T").unwrap().has_top(), "still unshardable, honestly");
+        assert!(after.summary("T").unwrap().has_top_field_on("m"), "still imprecise, honestly");
     }
 }

@@ -370,9 +370,14 @@ fn derive_once(chosen: &[&TransitionSummary], merge_excluded: &BTreeSet<String>)
     let usable: Vec<&&TransitionSummary> = chosen.iter().filter(|s| !s.has_top()).collect();
 
     // --- GetConstantFields: fields written by no usable selected transition.
+    // A localized ⊤[pf] may hide a write, so its field is not constant.
     let written_fields: BTreeSet<String> = usable
         .iter()
-        .flat_map(|s| s.writes().map(|(pf, _)| pf.field.clone()))
+        .flat_map(|s| {
+            s.writes()
+                .map(|(pf, _)| pf.field.clone())
+                .chain(s.top_fields().map(|pf| pf.field.clone()))
+        })
         .collect();
 
     // --- Per-summary rewritten effect lists with constant fields folded in.
@@ -414,6 +419,9 @@ fn derive_once(chosen: &[&TransitionSummary], merge_excluded: &BTreeSet<String>)
             rewritten.iter().zip(&local_cws).all(|(effects, cws)| {
                 effects.iter().all(|e| match e {
                     Effect::Write(pf, _) if pf.field == *f => cws.contains(pf),
+                    // A ⊤[pf] write is of unknown shape and value: never
+                    // commutative.
+                    Effect::TopField(pf) if pf.field == *f => false,
                     _ => true,
                 })
             })
@@ -469,6 +477,13 @@ fn derive_once(chosen: &[&TransitionSummary], merge_excluded: &BTreeSet<String>)
                         }
                     }
                 }
+                // Localized imprecision: the transition may touch any
+                // component of this field, so it must own the field (whole
+                // or at the partially-resolved key shape) — unlike a global
+                // ⊤ it stays shardable.
+                Effect::TopField(pf) => {
+                    constraints.insert(Constraint::Owns(pf.clone()));
+                }
                 Effect::Top => {
                     constraints.insert(Constraint::Unsat);
                 }
@@ -506,7 +521,7 @@ fn derive_once(chosen: &[&TransitionSummary], merge_excluded: &BTreeSet<String>)
         let mut accesses: BTreeMap<&str, BTreeSet<&Vec<String>>> = BTreeMap::new();
         for e in effects {
             let pf = match e {
-                Effect::Read(pf) | Effect::Write(pf, _) => pf,
+                Effect::Read(pf) | Effect::Write(pf, _) | Effect::TopField(pf) => pf,
                 _ => continue,
             };
             if !pf.keys.is_empty() {
@@ -564,6 +579,7 @@ fn rewrite_effect(e: &Effect, written_fields: &BTreeSet<String>) -> Option<Effec
             Some(Effect::SendMsg(m))
         }
         Effect::AcceptFunds => Some(Effect::AcceptFunds),
+        Effect::TopField(pf) => Some(Effect::TopField(pf.clone())),
         Effect::Top => Some(Effect::Top),
     }
 }
@@ -798,7 +814,35 @@ mod tests {
     }
 
     #[test]
-    fn top_summary_is_unsat_but_does_not_poison_others() {
+    fn localized_top_owns_the_field_instead_of_going_unsat() {
+        let src = r#"
+            contract C ()
+            field m : Map String Uint128 = Emp String Uint128
+            field n : Map ByStr20 Uint128 = Emp ByStr20 Uint128
+            transition Opaque (x : String, v : Uint128)
+              k = builtin concat x x;
+              m[k] := v
+            end
+            transition Fine (k : ByStr20, v : Uint128)
+              n[k] := v
+            end
+        "#;
+        let ss = summaries(src);
+        let sig = derive_signature(&ss, &["Opaque".into(), "Fine".into()], &WeakReads::AcceptAll);
+        // The computed key costs Opaque whole-field ownership of `m`, but
+        // no more: it stays shardable, and `Fine` is untouched.
+        let opaque = sig.transition("Opaque").unwrap();
+        assert!(opaque.is_shardable());
+        assert!(opaque.constraints.contains(&Constraint::Owns(PseudoField::whole("m"))));
+        assert!(sig.transition("Fine").unwrap().is_shardable());
+        // `m` is written with unknown shape, so it must not merge.
+        assert_eq!(sig.joins["m"], Join::OwnOverwrite);
+    }
+
+    #[test]
+    fn global_top_summary_is_unsat_but_does_not_poison_others() {
+        // The legacy accumulator still produces global ⊤ for the same
+        // contract: Unsat for the opaque transition, others untouched.
         let src = r#"
             contract C ()
             field m : Map ByStr32 Uint128 = Emp ByStr32 Uint128
@@ -811,7 +855,8 @@ mod tests {
               n[k] := v
             end
         "#;
-        let ss = summaries(src);
+        let checked = typecheck(parse_module(src).unwrap()).unwrap();
+        let ss = crate::analysis::summarize_contract_legacy(&checked);
         let sig = derive_signature(&ss, &["Opaque".into(), "Fine".into()], &WeakReads::AcceptAll);
         assert!(!sig.transition("Opaque").unwrap().is_shardable());
         assert!(sig.transition("Fine").unwrap().is_shardable());

@@ -6,7 +6,8 @@
 //! `(oc, ⊎f)`. In online mode miners re-run the same pipeline to validate a
 //! submitted signature.
 
-use crate::analysis::summarize_contract;
+use crate::analysis::{analyze_contract, default_mode, AnalysisMode};
+use crate::blame::BlameCause;
 use crate::effects::TransitionSummary;
 use crate::signature::{derive_signature, ShardingSignature, WeakReads};
 use scilla::typechecker::CheckedModule;
@@ -21,6 +22,8 @@ pub struct AnalyzedContract {
     pub summaries: Vec<TransitionSummary>,
     /// Mutable field names, in declaration order.
     pub field_names: Vec<String>,
+    /// Every precision loss the analysis recorded, across all transitions.
+    pub blames: Vec<BlameCause>,
 }
 
 impl AnalyzedContract {
@@ -42,12 +45,21 @@ impl AnalyzedContract {
     /// assert!(sig.transition("Put").unwrap().is_shardable());
     /// ```
     pub fn analyze(checked: &CheckedModule) -> Self {
+        Self::analyze_with_mode(checked, default_mode())
+    }
+
+    /// Like [`Self::analyze`], but with an explicit analysis mode instead of
+    /// the process default (used by benchmarks and the paper-table tests,
+    /// which pin the legacy Fig-6 accumulator's behaviour).
+    pub fn analyze_with_mode(checked: &CheckedModule, mode: AnalysisMode) -> Self {
         let mut _span = telemetry::span!("cosplit.analysis.analyze_duration");
         _span.attr("contract", &checked.contract().name.name);
+        let analysis = analyze_contract(checked, mode);
         let analyzed = AnalyzedContract {
             name: checked.contract().name.name.clone(),
-            summaries: summarize_contract(checked),
+            summaries: analysis.summaries,
             field_names: checked.contract().fields.iter().map(|f| f.name.name.clone()).collect(),
+            blames: analysis.blames,
         };
         if telemetry::enabled() {
             telemetry::counter!("cosplit.analysis.contracts_analyzed").inc();

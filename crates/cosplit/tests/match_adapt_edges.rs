@@ -15,6 +15,12 @@ fn summaries(src: &str) -> Vec<TransitionSummary> {
     summarize_contract(&checked)
 }
 
+fn legacy_summaries(src: &str) -> Vec<TransitionSummary> {
+    let checked =
+        scilla::typechecker::typecheck(scilla::parser::parse_module(src).unwrap()).unwrap();
+    cosplit_analysis::analysis::summarize_contract_legacy(&checked)
+}
+
 fn write_type<'a>(s: &'a TransitionSummary, pf: &PseudoField) -> &'a ContribType {
     s.writes()
         .find(|(w, _)| *w == pf)
@@ -193,7 +199,8 @@ fn nested_map_keys_become_multi_key_pseudofields() {
 #[test]
 fn partial_depth_map_access_is_top() {
     // A one-key access of a two-level map reaches a Map value, which the
-    // pseudo-field domain cannot name: the summary collapses to ⊤.
+    // pseudo-field domain cannot name: the imprecision localizes to the
+    // field (and collapses the whole summary only in legacy mode).
     let src = r#"
         library L
         contract C ()
@@ -204,15 +211,35 @@ fn partial_depth_map_access_is_top() {
         end
     "#;
     let ss = summaries(src);
-    assert!(ss[0].has_top(), "{}", ss[0]);
+    assert!(!ss[0].has_top(), "{}", ss[0]);
+    assert!(ss[0].has_top_field_on("allowances"), "{}", ss[0]);
+    let legacy = legacy_summaries(src);
+    assert!(legacy[0].has_top(), "{}", legacy[0]);
 }
 
 #[test]
 fn computed_map_key_is_top() {
-    // A key that is a local binder — even one that merely renames a
-    // parameter — is not a transition parameter, so dispatch could not
-    // instantiate the pseudo-field: ⊤.
+    // A key with no dispatch-replayable derivation (a multi-argument
+    // builtin) cannot name a pseudo-field: ⊤, localized to the touched
+    // field in refined mode. A binder that merely renames a parameter, by
+    // contrast, resolves through the abstract environment and stays precise
+    // — dispatch instantiates the pseudo-field from the parameter itself.
     let src = r#"
+        library L
+        contract C ()
+        field balances : Map String Uint128 = Emp String Uint128
+        transition Touch (who : String, amount : Uint128)
+          k = builtin concat who who;
+          balances[k] := amount
+        end
+    "#;
+    let ss = summaries(src);
+    assert!(!ss[0].has_top(), "{}", ss[0]);
+    assert!(ss[0].has_top_field_on("balances"), "{}", ss[0]);
+    let legacy = legacy_summaries(src);
+    assert!(legacy[0].has_top(), "{}", legacy[0]);
+
+    let alias_src = r#"
         library L
         contract C ()
         field balances : Map ByStr20 Uint128 = Emp ByStr20 Uint128
@@ -221,8 +248,16 @@ fn computed_map_key_is_top() {
           balances[k] := amount
         end
     "#;
-    let ss = summaries(src);
-    assert!(ss[0].has_top(), "{}", ss[0]);
+    let ss = summaries(alias_src);
+    assert!(ss[0].top_fields().count() == 0, "{}", ss[0]);
+    assert!(
+        ss[0].has_write(&PseudoField::entry("balances", vec!["who".into()])),
+        "{}",
+        ss[0]
+    );
+    // The paper's parameter-only rule still applies in legacy mode.
+    let legacy = legacy_summaries(alias_src);
+    assert!(legacy[0].has_top(), "{}", legacy[0]);
 }
 
 #[test]

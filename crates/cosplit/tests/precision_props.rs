@@ -1,0 +1,178 @@
+//! Generative properties of the flow-sensitive (refined) analysis against
+//! the legacy Fig-6 accumulator and the effect-trace auditor.
+//!
+//! Random contracts are assembled from a pool of well-typed statement
+//! blocks over a fixed field/parameter vocabulary — precise parameter-keyed
+//! accesses, derived `sha256hash(param)` keys, aliases, unresolvable
+//! concat-keys, read-modify-writes, store-forwarding shapes, accepts and
+//! deletes — so every generated module parses, type-checks, analyses *and*
+//! interprets.
+//!
+//! Three laws:
+//!
+//! * **No global ⊤** — the refined analysis never collapses a whole summary
+//!   to ⊤; imprecision is always localized to `⊤[field]` (and every
+//!   localized ⊤ carries a blame cause naming its transition).
+//! * **Monotone precision** — wherever the legacy analysis already
+//!   succeeded (no ⊤ anywhere), the refined analysis reports no localized
+//!   ⊤ either: flow-sensitivity only ever *removes* imprecision.
+//! * **Audit containment** — interpreting any generated transition under
+//!   the effect tracer yields a concrete footprint the refined summary
+//!   contains: zero audit violations, for every block combination the
+//!   generator can produce (store forwarding and derived keys included).
+
+use cosplit_analysis::analysis::{summarize_contract_legacy, AnalysisMode};
+use cosplit_analysis::audit::audit_transition;
+use cosplit_analysis::solver::AnalyzedContract;
+use proptest::prelude::*;
+use scilla::interpreter::{CompiledContract, TransitionContext};
+use scilla::state::InMemoryState;
+use scilla::trace::EffectTracer;
+use scilla::value::Value;
+
+/// One self-contained, well-typed statement block. `i` uniquifies binders.
+fn block(kind: usize, i: usize) -> String {
+    match kind {
+        // Parameter-keyed accesses: precise in both modes.
+        0 => "m[who] := amount".into(),
+        1 => format!("b{i} <- m[who]"),
+        2 => format!("b{i} <- m[_sender]"),
+        3 => "delete m[who]".into(),
+        // Derived key (pure single-arg builtin of a parameter): precise in
+        // refined mode, ⊤ in legacy.
+        4 => format!("k{i} = builtin sha256hash who;\nh[k{i}] := amount"),
+        5 => format!("k{i} = builtin sha256hash who;\nb{i} <- h[k{i}]"),
+        // Alias of a parameter: precise in refined mode, ⊤ in legacy.
+        6 => format!("a{i} = who;\nm[a{i}] := amount"),
+        // Multi-argument builtin key: no dispatch-replayable derivation —
+        // ⊤[n] in refined mode, global ⊤ in legacy.
+        7 => format!("k{i} = builtin concat s s;\nn[k{i}] := amount"),
+        // Whole-field read-modify-write and overwrite.
+        8 => format!("t{i} <- tot;\nu{i} = builtin add t{i} amount;\ntot := u{i}"),
+        9 => "tot := amount".into(),
+        10 => "accept".into(),
+        // Option peel over a map read (None on the empty initial state).
+        11 => format!(
+            "o{i} <- m[who];\nmatch o{i} with\n| Some v{i} => m[who] := v{i}\n| None => m[who] := amount\nend"
+        ),
+        // Store forwarding: a read of the component just written.
+        _ => format!("m[who] := amount;\nr{i} <- m[who]"),
+    }
+}
+
+const BLOCK_KINDS: usize = 13;
+
+fn contract_src(transitions: &[Vec<usize>]) -> String {
+    let mut src = String::from(
+        "library L\n\
+         contract P ()\n\
+         field m : Map ByStr20 Uint128 = Emp ByStr20 Uint128\n\
+         field h : Map ByStr32 Uint128 = Emp ByStr32 Uint128\n\
+         field n : Map String Uint128 = Emp String Uint128\n\
+         field tot : Uint128 = Uint128 0\n",
+    );
+    for (t, kinds) in transitions.iter().enumerate() {
+        src.push_str(&format!(
+            "transition T{t} (who : ByStr20, amount : Uint128, s : String)\n"
+        ));
+        let blocks: Vec<String> =
+            kinds.iter().enumerate().map(|(i, k)| block(*k, t * 100 + i)).collect();
+        src.push_str(&blocks.join(";\n"));
+        src.push_str("\nend\n");
+    }
+    src
+}
+
+fn transitions_strategy() -> impl Strategy<Value = Vec<Vec<usize>>> {
+    prop::collection::vec(prop::collection::vec(0..BLOCK_KINDS, 1..6), 1..4)
+}
+
+fn addr(n: u8) -> [u8; 20] {
+    [n; 20]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// The refined analysis never emits a global ⊤, localizes every loss to
+    /// a blamed field, and is at least as precise as the legacy analysis.
+    #[test]
+    fn refined_is_localized_blamed_and_monotone(ts in transitions_strategy()) {
+        let src = contract_src(&ts);
+        let checked = scilla::typechecker::typecheck(
+            scilla::parser::parse_module(&src).expect("generated source must parse"),
+        )
+        .expect("generated source must type-check");
+
+        let refined = AnalyzedContract::analyze_with_mode(&checked, AnalysisMode::Refined);
+        for s in &refined.summaries {
+            prop_assert!(!s.has_top(), "refined summary went globally ⊤: {s}");
+            for pf in s.top_fields() {
+                prop_assert!(
+                    refined.blames.iter().any(|b| b.transition == s.name
+                        && b.field.as_ref().is_some_and(|f| f.field == pf.field)),
+                    "⊤[{pf}] in {} has no blame cause naming its field", s.name
+                );
+            }
+        }
+
+        let legacy = summarize_contract_legacy(&checked);
+        if legacy.iter().all(|s| !s.has_top()) {
+            for s in &refined.summaries {
+                prop_assert!(
+                    s.top_fields().next().is_none(),
+                    "legacy was fully precise but refined has ⊤[_] in {s}"
+                );
+            }
+        }
+    }
+
+    /// Every interpreted footprint is contained in its refined summary.
+    #[test]
+    fn interpreted_footprints_are_contained(ts in transitions_strategy()) {
+        let src = contract_src(&ts);
+        let checked = scilla::typechecker::typecheck(
+            scilla::parser::parse_module(&src).expect("generated source must parse"),
+        )
+        .expect("generated source must type-check");
+        let refined = AnalyzedContract::analyze_with_mode(&checked, AnalysisMode::Refined);
+
+        let compiled = CompiledContract::compile(checked).expect("library must compile");
+        let init = compiled.init_fields(&[]).expect("field initialisers must evaluate");
+
+        let args = [
+            ("who".to_string(), Value::address(addr(3))),
+            ("amount".to_string(), Value::Uint(128, 7)),
+            ("s".to_string(), Value::Str("abc".into())),
+        ];
+        let resolve = |name: &str| match name {
+            "who" => Some(Value::address(addr(3))),
+            "_sender" | "_origin" => Some(Value::address(addr(1))),
+            "amount" => Some(Value::Uint(128, 7)),
+            "s" => Some(Value::Str("abc".into())),
+            _ => None,
+        };
+        let mut ctx = TransitionContext::zeroed();
+        ctx.sender = addr(1);
+        ctx.origin = addr(1);
+        ctx.amount = 50;
+
+        for s in &refined.summaries {
+            // Each transition runs against a fresh deployment so failures
+            // in one cannot mask effects of another.
+            let mut store = InMemoryState::from_fields(init.clone());
+            let mut gas = scilla::gas::GasMeter::unlimited();
+            let mut tracer = EffectTracer::new(&s.name);
+            compiled
+                .execute_traced(&mut store, &s.name, &args, &[], &ctx, &mut gas, &mut tracer)
+                .expect("generated transition must execute");
+            let fp = tracer.finish();
+            let violations = audit_transition(&fp, s, &resolve);
+            prop_assert!(
+                violations.is_empty(),
+                "footprint of {} escaped its refined summary: {violations:?}\nsource:\n{src}",
+                s.name
+            );
+        }
+    }
+}

@@ -35,6 +35,13 @@ pub enum Kind {
     /// `compose_calls` off every transaction serialises at the DS committee,
     /// with it on the composed chain dispatches shard-local.
     RelayPing,
+    /// FungibleToken airdrop claims keyed by `sha256hash(proof)`. Not part
+    /// of Fig. 14 ([`Kind::all`]); exercises the precision frontier between
+    /// the legacy and flow-sensitive analyses — the legacy Fig-6 accumulator
+    /// collapses `ClaimAirdrop` to ⊤ (computed map key), so every claim
+    /// serialises at the DS committee, while the refined analysis derives
+    /// the key and the claims dispatch shard-local.
+    FtAirdrop,
 }
 
 impl Kind {
@@ -64,6 +71,7 @@ impl Kind {
             Kind::UdBestow => "UD bestow",
             Kind::UdConfig => "UD config",
             Kind::RelayPing => "Relay ping",
+            Kind::FtAirdrop => "FT airdrop",
         }
     }
 }
@@ -487,6 +495,42 @@ pub fn build_with_rng(kind: Kind, users: u64, load_txs: usize, rng: &mut StdRng)
                     params: Vec::new(),
                     sharded_transitions: vec!["Hello", "Deposit"],
                 }],
+                setup: Vec::new(),
+                load,
+            }
+        }
+        Kind::FtAirdrop => {
+            let params = vec![
+                ("contract_owner".to_string(), admin().to_value()),
+                ("name".to_string(), Value::Str("Gold".into())),
+                ("symbol".to_string(), Value::Str("GLD".into())),
+                ("init_supply".to_string(), uint(0)),
+            ];
+            // Each claim presents a distinct proof, so no claim aborts on
+            // `AlreadyClaimed` and the whole load is commit-eligible. The
+            // claimed slot is `airdrop_claimed[sha256hash(proof)]` — a key
+            // only the refined analysis can summarise.
+            let load = (0..load_txs)
+                .map(|i| {
+                    let who = rng.gen_range(0..users);
+                    Transaction::call(
+                        next_id(),
+                        user(who),
+                        next_nonce(who),
+                        c,
+                        "ClaimAirdrop",
+                        vec![("proof".into(), Value::Str(format!("proof-{i:08}")))],
+                    )
+                })
+                .collect();
+            Scenario {
+                kind,
+                corpus_name: "FungibleToken",
+                params,
+                weak_reads: WeakReads::AcceptAll,
+                sharded_transitions: vec!["Transfer", "ClaimAirdrop"],
+                users,
+                extra: Vec::new(),
                 setup: Vec::new(),
                 load,
             }
