@@ -1,0 +1,93 @@
+//! Hot-path smoke test for CI (`scripts/check.sh`).
+//!
+//! Asserts the three hot-path layers actually pay off and stay sound:
+//!
+//! - compiled transition dispatch beats the AST walker on a serial
+//!   FungibleToken transfer stream (≥ 1.05×, lenient against CI noise —
+//!   `paper hotpath` reports the full number);
+//! - the work-stealing executor produces bit-identical output to the
+//!   serial executor (asserted inside the sweep) with a modelled speedup
+//!   ≥ 1.0, claims every transaction through the ready queue, and
+//!   batch-applies peer deltas;
+//! - on a multi-core host the raw wall clock also beats serial at 4
+//!   workers (vacuous on 1-core hosts, where parallelism cannot win wall
+//!   time by construction);
+//! - the transaction path performs zero owned-name state accesses
+//!   (`chain.state.hot_clones`).
+//!
+//! Usage: `hotpath_smoke`.
+
+use cosplit_bench::experiments::hotpath_experiment;
+
+fn main() {
+    let h = hotpath_experiment(2_048, 800, 2_000, &[2, 4], 3);
+    let mut failures = 0u32;
+
+    println!(
+        "  dispatch: AST {:.0} calls/s, compiled {:.0} calls/s ({:.2}x)",
+        h.dispatch.ast_tps(),
+        h.dispatch.compiled_tps(),
+        h.dispatch.speedup()
+    );
+    if h.dispatch.speedup() < 1.05 {
+        eprintln!(
+            "FAIL: compiled dispatch is not faster than the AST walker ({:.2}x)",
+            h.dispatch.speedup()
+        );
+        failures += 1;
+    }
+
+    for s in &h.sweeps {
+        println!(
+            "  {} workers: {} txs, serial {:.1} ms, modelled {:.2}x, wall {:.2}x ({} core(s))",
+            s.workers,
+            s.txs,
+            s.serial.as_secs_f64() * 1e3,
+            s.speedup(),
+            s.speedup_wall(),
+            s.host_cores
+        );
+        if s.speedup() < 1.0 {
+            eprintln!(
+                "FAIL: {} workers: modelled speedup below serial ({:.2}x)",
+                s.workers,
+                s.speedup()
+            );
+            failures += 1;
+        }
+        if s.host_cores >= 2 && s.workers <= s.host_cores && s.speedup_wall() <= 1.0 {
+            eprintln!(
+                "FAIL: {} workers on {} cores: wall speedup {:.2}x did not beat serial",
+                s.workers,
+                s.host_cores,
+                s.speedup_wall()
+            );
+            failures += 1;
+        }
+    }
+
+    println!(
+        "  work stealing: {} steals, {} local pops, {} drains ({} peer deltas)",
+        h.steals, h.local_pops, h.drains, h.drained_deltas
+    );
+    let batch_txs: u64 = h.sweeps.iter().map(|s| s.txs as u64).sum();
+    if h.steals + h.local_pops == 0 && batch_txs > 0 {
+        eprintln!("FAIL: the work-stealing pool claimed nothing across the sweep");
+        failures += 1;
+    }
+
+    println!("  hot clones: {}", h.hot_clones);
+    if h.hot_clones != 0 {
+        eprintln!(
+            "FAIL: {} owned-name state accesses on the transaction path",
+            h.hot_clones
+        );
+        failures += 1;
+    }
+
+    if failures > 0 {
+        eprintln!("hotpath_smoke: {failures} failure(s)");
+        std::process::exit(1);
+    }
+    println!("hotpath_smoke: all gates passed");
+}

@@ -987,6 +987,13 @@ pub struct BaselineMeasurement {
     pub to_ds_permille: u64,
     /// Tracing overhead factor ([`tracing_overhead`]).
     pub trace_overhead: f64,
+    /// Raw wall-clock speedup of the 4-worker work-stealing executor over
+    /// the serial executor on this host ([`ParallelSpeedup::speedup_wall`]).
+    /// Only meaningful when the host offers ≥ 2 cores; recorded regardless
+    /// so the gate can compare like-for-like.
+    pub speedup_wall: f64,
+    /// Cores the measuring host offered (`available_parallelism`).
+    pub host_cores: usize,
 }
 
 impl BaselineMeasurement {
@@ -1001,6 +1008,11 @@ impl BaselineMeasurement {
             "baseline.trace_overhead_x1000".into(),
             (self.trace_overhead * 1000.0) as i64,
         );
+        s.gauges.insert(
+            "baseline.speedup_wall_x1000".into(),
+            (self.speedup_wall * 1000.0) as i64,
+        );
+        s.gauges.insert("baseline.host_cores".into(), self.host_cores as i64);
         for (reason, v) in &self.reason_permille {
             s.gauges.insert(format!("baseline.reason_permille.{reason}"), *v as i64);
         }
@@ -1021,6 +1033,7 @@ impl BaselineMeasurement {
         self.serial_tps = self.serial_tps.min(other.serial_tps);
         self.epoch_wall = self.epoch_wall.max(other.epoch_wall);
         self.trace_overhead = self.trace_overhead.max(other.trace_overhead);
+        self.speedup_wall = self.speedup_wall.min(other.speedup_wall);
         self
     }
 
@@ -1045,6 +1058,8 @@ impl BaselineMeasurement {
             reason_permille,
             to_ds_permille: gauge("baseline.to_ds_permille")? as u64,
             trace_overhead: gauge("baseline.trace_overhead_x1000")? as f64 / 1000.0,
+            speedup_wall: gauge("baseline.speedup_wall_x1000")? as f64 / 1000.0,
+            host_cores: gauge("baseline.host_cores")? as usize,
         })
     }
 }
@@ -1140,7 +1155,20 @@ pub fn measure_baseline(reps: u32) -> BaselineMeasurement {
 
     let trace_overhead = tracing_overhead(40, 600, 2, 2, reps.max(1));
 
-    BaselineMeasurement { serial_tps, epoch_wall, reason_permille, to_ds_permille, trace_overhead }
+    // Work-stealing wall speedup at 4 workers (best-of-reps, identical
+    // outputs asserted inside). On a 1-core host this is ≤ 1 by
+    // construction; the check gate only enforces it on multi-core hosts.
+    let sweep = parallel_speedup(2_048, 800, 4, reps.max(1));
+
+    BaselineMeasurement {
+        serial_tps,
+        epoch_wall,
+        reason_permille,
+        to_ds_permille,
+        trace_overhead,
+        speedup_wall: sweep.speedup_wall(),
+        host_cores: sweep.host_cores,
+    }
 }
 
 /// Compares a fresh measurement against the committed baseline. Wall
@@ -1164,6 +1192,18 @@ pub fn check_baseline(
         failures.push(format!(
             "epoch wall regressed: {:?} vs baseline {:?}",
             current.epoch_wall, committed.epoch_wall
+        ));
+    }
+    // The parallel executor must keep its wall-clock win — but only judge
+    // it on a host that can express one (≥ 2 cores) against a baseline
+    // from a comparable host; a 1-core wall number is all preemption.
+    if current.host_cores >= 2
+        && committed.host_cores >= 2
+        && current.speedup_wall < committed.speedup_wall / slack
+    {
+        failures.push(format!(
+            "parallel wall speedup regressed: {:.2}x vs baseline {:.2}x",
+            current.speedup_wall, committed.speedup_wall
         ));
     }
     // The tracer must stay cheap in absolute terms too (satellite: <1.5×).
@@ -1546,6 +1586,188 @@ pub fn precision_rows(users: u64, txs: usize, epochs: usize) -> Vec<PrecisionRow
         })
         .collect();
     rows
+}
+
+// ------------------------------------------------------------- hot path
+
+/// Serial interpreter dispatch cost: the same transfer stream executed
+/// through the definitional AST walker and the compiled instruction
+/// sequences, best-of-reps.
+#[derive(Debug, Clone)]
+pub struct HotpathDispatch {
+    /// Transfer calls per timed run.
+    pub calls: usize,
+    /// Best-of-reps wall for the AST walker.
+    pub ast: Duration,
+    /// Best-of-reps wall for the compiled form.
+    pub compiled: Duration,
+}
+
+impl HotpathDispatch {
+    /// AST-walker calls per second.
+    pub fn ast_tps(&self) -> f64 {
+        self.calls as f64 / self.ast.as_secs_f64().max(1e-9)
+    }
+
+    /// Compiled calls per second.
+    pub fn compiled_tps(&self) -> f64 {
+        self.calls as f64 / self.compiled.as_secs_f64().max(1e-9)
+    }
+
+    /// AST time over compiled time.
+    pub fn speedup(&self) -> f64 {
+        self.ast.as_secs_f64() / self.compiled.as_secs_f64().max(1e-9)
+    }
+}
+
+/// Times `calls` FungibleToken `Transfer` executions through each backend
+/// on a pre-minted in-memory state (no chain machinery — this isolates the
+/// interpreter dispatch cost the compiled pipeline attacks).
+pub fn hotpath_dispatch(calls: usize, reps: u32) -> HotpathDispatch {
+    use scilla::gas::GasMeter;
+    use scilla::interpreter::{ExecMode, TransitionContext};
+    use scilla::state::InMemoryState;
+    use scilla::value::Value;
+
+    let entry = corpus::get("FungibleToken").expect("corpus");
+    let contract = scilla::compile_str(entry.source).expect("corpus compiles");
+    contract.precompile();
+    let owner = [9u8; 20];
+    let params = vec![
+        ("contract_owner".to_string(), Value::address(owner)),
+        ("name".to_string(), Value::Str("Bench".into())),
+        ("symbol".to_string(), Value::Str("B".into())),
+        ("init_supply".to_string(), Value::Uint(128, 0)),
+    ];
+    let mut base = InMemoryState::from_fields(contract.init_fields(&params).expect("init"));
+    let users: Vec<[u8; 20]> = (0..16u8).map(|i| [i + 1; 20]).collect();
+    let ctx = |sender: [u8; 20]| TransitionContext {
+        sender,
+        origin: sender,
+        amount: 0,
+        this_address: [0xCC; 20],
+        block_number: 1,
+    };
+    for u in &users {
+        let mut gas = GasMeter::new(u64::MAX);
+        contract
+            .execute_mode(
+                &mut base,
+                "Mint",
+                &[("to".into(), Value::address(*u)), ("amount".into(), Value::Uint(128, 1 << 30))],
+                &params,
+                &ctx(owner),
+                &mut gas,
+                None,
+                ExecMode::Auto,
+            )
+            .expect("mint succeeds");
+    }
+
+    let time_mode = |mode: ExecMode| -> Duration {
+        let mut best = Duration::MAX;
+        for _ in 0..reps.max(1) {
+            let mut st = base.clone();
+            let t0 = Instant::now();
+            for i in 0..calls {
+                let from = users[i % users.len()];
+                let to = users[(i + 1) % users.len()];
+                let mut gas = GasMeter::new(u64::MAX);
+                contract
+                    .execute_mode(
+                        &mut st,
+                        "Transfer",
+                        &[("to".into(), Value::address(to)), ("amount".into(), Value::Uint(128, 1))],
+                        &params,
+                        &ctx(from),
+                        &mut gas,
+                        None,
+                        mode,
+                    )
+                    .expect("transfer succeeds");
+            }
+            best = best.min(t0.elapsed());
+        }
+        best
+    };
+    let ast = time_mode(ExecMode::Ast);
+    let compiled = time_mode(ExecMode::Compiled);
+    HotpathDispatch { calls, ast, compiled }
+}
+
+/// The hot-path experiment: serial dispatch AST-vs-compiled plus the
+/// work-stealing worker sweep, with the pool's steal/drain counters and the
+/// hot-clone audit over the sweep.
+#[derive(Debug, Clone)]
+pub struct HotpathResult {
+    /// Interpreter dispatch comparison.
+    pub dispatch: HotpathDispatch,
+    /// One [`ParallelSpeedup`] per requested worker count.
+    pub sweeps: Vec<ParallelSpeedup>,
+    /// Ready-queue claims of work another worker (or the root seed) made
+    /// available, across the sweep.
+    pub steals: u64,
+    /// Claims of work the claiming worker itself unblocked.
+    pub local_pops: u64,
+    /// Batched peer-commit catch-ups performed.
+    pub drains: u64,
+    /// Peer commit-log entries those catch-ups composed and applied.
+    pub drained_deltas: u64,
+    /// Owned-name state accesses observed on the transaction path (must
+    /// stay 0 — the `Sym`-threaded pipeline never interns per call).
+    pub hot_clones: u64,
+}
+
+/// Runs the full hot-path experiment and gauges the results into the
+/// metrics snapshot under `bench.hotpath.*`.
+pub fn hotpath_experiment(
+    users: u64,
+    txs: usize,
+    dispatch_calls: usize,
+    workers: &[usize],
+    reps: u32,
+) -> HotpathResult {
+    telemetry::set_enabled(true);
+    trace::set_tracing(false);
+
+    let dispatch = hotpath_dispatch(dispatch_calls, reps);
+
+    let reg = telemetry::registry();
+    let steals0 = reg.counter("chain.executor.ws.steals").get();
+    let pops0 = reg.counter("chain.executor.ws.local_pops").get();
+    let drains0 = reg.counter("chain.executor.ws.drains").get();
+    let dd0 = reg.counter("chain.executor.ws.drained_deltas").get();
+    let hc0 = reg.counter(telemetry::names::STATE_HOT_CLONES).get();
+    let sweeps: Vec<ParallelSpeedup> =
+        workers.iter().map(|&w| parallel_speedup(users, txs, w, reps)).collect();
+    let result = HotpathResult {
+        dispatch,
+        steals: reg.counter("chain.executor.ws.steals").get() - steals0,
+        local_pops: reg.counter("chain.executor.ws.local_pops").get() - pops0,
+        drains: reg.counter("chain.executor.ws.drains").get() - drains0,
+        drained_deltas: reg.counter("chain.executor.ws.drained_deltas").get() - dd0,
+        hot_clones: reg.counter(telemetry::names::STATE_HOT_CLONES).get() - hc0,
+        sweeps,
+    };
+
+    reg.gauge("bench.hotpath.dispatch_calls").set(result.dispatch.calls as i64);
+    reg.gauge("bench.hotpath.ast_tps_x1000").set((result.dispatch.ast_tps() * 1000.0) as i64);
+    reg.gauge("bench.hotpath.compiled_tps_x1000")
+        .set((result.dispatch.compiled_tps() * 1000.0) as i64);
+    reg.gauge("bench.hotpath.dispatch_speedup_x1000")
+        .set((result.dispatch.speedup() * 1000.0) as i64);
+    for s in &result.sweeps {
+        reg.gauge(&format!("bench.hotpath.speedup_w{}_x1000", s.workers))
+            .set((s.speedup() * 1000.0) as i64);
+        reg.gauge(&format!("bench.hotpath.speedup_wall_w{}_x1000", s.workers))
+            .set((s.speedup_wall() * 1000.0) as i64);
+    }
+    reg.gauge("bench.hotpath.ws_steals").set(result.steals as i64);
+    reg.gauge("bench.hotpath.ws_local_pops").set(result.local_pops as i64);
+    reg.gauge("bench.hotpath.ws_drains").set(result.drains as i64);
+    reg.gauge("bench.hotpath.ws_drained_deltas").set(result.drained_deltas as i64);
+    reg.gauge("bench.hotpath.hot_clones").set(result.hot_clones as i64);
+    result
 }
 
 #[cfg(test)]

@@ -17,17 +17,22 @@ use crate::error::MergeError;
 use crate::state::GlobalState;
 use std::sync::Arc;
 use scilla::builtins::uint_max;
+use scilla::intern::Sym;
 use scilla::state::{delete_at, descend, insert_at, StateStore};
 use scilla::value::Value;
 use serde_json::json;
 use std::collections::BTreeMap;
 
 /// One addressable state component: a field plus a (possibly empty) key path.
-pub type Component = (String, Vec<Value>);
+///
+/// The field name is interned; component maps key and compare by intern id
+/// (fast, in-process deterministic). Anything canonical — the wire encoding,
+/// diagnostics — resolves the [`Sym`] back to text and orders by it.
+pub type Component = (Sym, Vec<Value>);
 
 /// Renders a component for diagnostics.
 pub fn component_name(c: &Component) -> String {
-    let mut s = c.0.clone();
+    let mut s = c.0.as_str().to_string();
     for k in &c.1 {
         s.push_str(&format!("[{k}]"));
     }
@@ -151,6 +156,59 @@ impl StateDelta {
         Ok(out)
     }
 
+    /// Sequential composition: one delta with the same net effect as
+    /// applying the inputs **in order**.
+    ///
+    /// Where [`StateDelta::merge_ref`] combines *concurrent* contributions —
+    /// and therefore must reject two overwrites of the same component — the
+    /// inputs here are *ordered* (a per-transaction commit log whose
+    /// conflicting entries were sequenced by the dependency scheduler), so
+    /// collisions compose instead of erroring: a later overwrite supersedes
+    /// anything earlier, an integer delta over an earlier overwrite folds
+    /// into that overwrite's value (the delta was computed against exactly
+    /// it), and integer deltas accumulate. The work-stealing executor uses
+    /// this to drain a batch of peer commits in one application instead of
+    /// one pass per transaction.
+    #[must_use]
+    pub fn compose_ref<'a>(deltas: impl IntoIterator<Item = &'a StateDelta>) -> StateDelta {
+        let mut out = StateDelta::new();
+        for d in deltas {
+            for (addr, cd) in &d.contracts {
+                let target = out.contracts.entry(*addr).or_default();
+                for (comp, id) in &cd.int_deltas {
+                    if let Some(ow) = target.overwrites.get_mut(comp) {
+                        let folded = apply_int_delta(ow.as_ref(), id)
+                            .expect("int delta composes over the overwrite it was computed against");
+                        *ow = Some(folded);
+                    } else {
+                        let entry = target.int_deltas.entry(comp.clone()).or_insert(IntDelta {
+                            delta: 0,
+                            width: id.width,
+                            signed: id.signed,
+                        });
+                        entry.delta = entry
+                            .delta
+                            .checked_add(id.delta)
+                            .expect("composed int deltas stay in range");
+                        entry.width = id.width;
+                        entry.signed = id.signed;
+                    }
+                }
+                for (comp, ow) in &cd.overwrites {
+                    target.int_deltas.remove(comp);
+                    target.overwrites.insert(comp.clone(), ow.clone());
+                }
+            }
+            for (addr, b) in &d.balances {
+                *out.balances.entry(*addr).or_insert(0) += b;
+            }
+            for (addr, ns) in &d.nonces {
+                out.nonces.entry(*addr).or_default().extend(ns.iter().copied());
+            }
+        }
+        out
+    }
+
     /// Applies the delta to the global state (the DS committee's three-way
     /// merge of epoch-start state with the combined deltas).
     ///
@@ -170,12 +228,12 @@ impl StateDelta {
                 match ow {
                     Some(v) => {
                         if keys.is_empty() {
-                            storage.store(field, v.clone());
+                            storage.store_sym(*field, v.clone());
                         } else {
-                            storage.map_update(field, keys, v.clone());
+                            storage.map_update_sym(*field, keys, v.clone());
                         }
                     }
-                    None => storage.map_delete(field, keys),
+                    None => storage.map_delete_sym(*field, keys),
                 }
             }
             for (comp, id) in &cd.int_deltas {
@@ -184,12 +242,12 @@ impl StateDelta {
                     contract: addr.to_string(),
                     component: component_name(comp),
                 };
-                let old = storage.map_get(field, keys);
+                let old = storage.map_get_sym(*field, keys);
                 let nv = apply_int_delta(old.as_ref(), id).ok_or_else(err)?;
                 if keys.is_empty() {
-                    storage.store(field, nv);
+                    storage.store_sym(*field, nv);
                 } else {
-                    storage.map_update(field, keys, nv);
+                    storage.map_update_sym(*field, keys, nv);
                 }
             }
         }
@@ -212,30 +270,42 @@ impl StateDelta {
             .contracts
             .iter()
             .map(|(addr, cd)| {
-                let ints: Vec<serde_json::Value> = cd
-                    .int_deltas
-                    .iter()
-                    .map(|(c, d)| {
-                        json!({
-                            "field": c.0.clone(),
-                            "keys": c.1.iter().map(scilla::wire::to_json).collect::<Vec<_>>(),
-                            "delta": d.delta.to_string(),
-                            "width": d.width,
-                            "signed": d.signed,
+                // Component maps iterate in intern-id order, which varies
+                // with process history; the wire form is canonical, so sort
+                // by field text (then keys) before emitting.
+                let canonical = |comps: Vec<(&Component, serde_json::Value)>| {
+                    let mut comps = comps;
+                    comps.sort_by(|(a, _), (b, _)| {
+                        a.0.cmp_str(b.0).then_with(|| a.1.cmp(&b.1))
+                    });
+                    comps.into_iter().map(|(_, j)| j).collect::<Vec<_>>()
+                };
+                let ints = canonical(
+                    cd.int_deltas
+                        .iter()
+                        .map(|(c, d)| {
+                            (c, json!({
+                                "field": c.0.as_str(),
+                                "keys": c.1.iter().map(scilla::wire::to_json).collect::<Vec<_>>(),
+                                "delta": d.delta.to_string(),
+                                "width": d.width,
+                                "signed": d.signed,
+                            }))
                         })
-                    })
-                    .collect();
-                let ows: Vec<serde_json::Value> = cd
-                    .overwrites
-                    .iter()
-                    .map(|(c, v)| {
-                        json!({
-                            "field": c.0.clone(),
-                            "keys": c.1.iter().map(scilla::wire::to_json).collect::<Vec<_>>(),
-                            "value": v.as_ref().map(scilla::wire::to_json),
+                        .collect(),
+                );
+                let ows = canonical(
+                    cd.overwrites
+                        .iter()
+                        .map(|(c, v)| {
+                            (c, json!({
+                                "field": c.0.as_str(),
+                                "keys": c.1.iter().map(scilla::wire::to_json).collect::<Vec<_>>(),
+                                "value": v.as_ref().map(scilla::wire::to_json),
+                            }))
                         })
-                    })
-                    .collect();
+                        .collect(),
+                );
                 json!({"contract": addr.to_string(), "ints": ints, "overwrites": ows})
             })
             .collect();
@@ -267,7 +337,7 @@ impl StateDelta {
             let addr = parse_addr(c["contract"].as_str().ok_or("missing contract address")?)?;
             let cd = out.contracts.entry(addr).or_default();
             for i in c["ints"].as_array().ok_or("missing ints")? {
-                let field = i["field"].as_str().ok_or("missing field")?.to_string();
+                let field = scilla::intern::intern(i["field"].as_str().ok_or("missing field")?);
                 let keys = parse_keys(&i["keys"])?;
                 let delta: i128 =
                     i["delta"].as_str().ok_or("missing delta")?.parse().map_err(|_| "bad delta")?;
@@ -276,7 +346,7 @@ impl StateDelta {
                 cd.int_deltas.insert((field, keys), IntDelta { delta, width, signed });
             }
             for o in c["overwrites"].as_array().ok_or("missing overwrites")? {
-                let field = o["field"].as_str().ok_or("missing field")?.to_string();
+                let field = scilla::intern::intern(o["field"].as_str().ok_or("missing field")?);
                 let keys = parse_keys(&o["keys"])?;
                 let value = match &o["value"] {
                     serde_json::Value::Null => None,
@@ -383,9 +453,9 @@ pub fn apply_int_delta(old: Option<&Value>, id: &IntDelta) -> Option<Value> {
 /// Convenience: read a component's current value from storage.
 pub fn read_component(storage: &dyn StateStore, comp: &Component) -> Option<Value> {
     if comp.1.is_empty() {
-        storage.load(&comp.0)
+        storage.load_sym(comp.0)
     } else {
-        storage.map_get(&comp.0, &comp.1)
+        storage.map_get_sym(comp.0, &comp.1)
     }
 }
 
@@ -472,6 +542,96 @@ mod tests {
         let ab = StateDelta::merge([d1.clone(), d2.clone()]).unwrap();
         let ba = StateDelta::merge([d2, d1]).unwrap();
         assert_eq!(ab, ba);
+    }
+
+    #[test]
+    fn compose_sequences_overwrites_instead_of_erroring() {
+        let c = addr(100);
+        let comp: Component = ("owners".into(), vec![key(1)]);
+        let mk = |v: u128| {
+            let mut sd = StateDelta::new();
+            sd.contracts
+                .entry(c)
+                .or_default()
+                .overwrites
+                .insert(comp.clone(), Some(Value::Uint(128, v)));
+            sd
+        };
+        // merge rejects the collision; compose takes the later write.
+        assert!(StateDelta::merge([mk(1), mk(2)]).is_err());
+        let composed = StateDelta::compose_ref([&mk(1), &mk(2)]);
+        assert_eq!(composed.contracts[&c].overwrites[&comp], Some(Value::Uint(128, 2)));
+    }
+
+    #[test]
+    fn compose_folds_int_delta_into_prior_overwrite() {
+        let c = addr(100);
+        let comp: Component = ("total".into(), vec![]);
+        let mut d1 = StateDelta::new();
+        d1.contracts
+            .entry(c)
+            .or_default()
+            .overwrites
+            .insert(comp.clone(), Some(Value::Uint(128, 40)));
+        let mut d2 = StateDelta::new();
+        d2.contracts.entry(c).or_default().int_deltas.insert(comp.clone(), int_delta(5));
+
+        let composed = StateDelta::compose_ref([&d1, &d2]);
+        // The +5 was computed against the overwritten 40; the composite is a
+        // single overwrite of 45 with no residual int delta.
+        assert_eq!(composed.contracts[&c].overwrites[&comp], Some(Value::Uint(128, 45)));
+        assert!(!composed.contracts[&c].int_deltas.contains_key(&comp));
+    }
+
+    #[test]
+    fn compose_accumulates_int_deltas_and_balances() {
+        let c = addr(100);
+        let comp: Component = ("counters".into(), vec![key(3)]);
+        let mk = |d: i128, b: i128| {
+            let mut sd = StateDelta::new();
+            sd.contracts.entry(c).or_default().int_deltas.insert(comp.clone(), int_delta(d));
+            sd.balances.insert(addr(1), b);
+            sd
+        };
+        let composed = StateDelta::compose_ref([&mk(10, -7), &mk(-3, 3)]);
+        assert_eq!(composed.contracts[&c].int_deltas[&comp].delta, 7);
+        assert_eq!(composed.balances[&addr(1)], -4);
+    }
+
+    #[test]
+    fn compose_matches_sequential_apply() {
+        let c = addr(100);
+        let mut state = GlobalState::new();
+        let storage = Arc::make_mut(state.storage.entry(c).or_default());
+        storage.map_update("balances", &[key(1)], Value::Uint(128, 100));
+        storage.store("owner", Value::Uint(128, 1));
+
+        let mut d1 = StateDelta::new();
+        {
+            let cd = d1.contracts.entry(c).or_default();
+            cd.int_deltas.insert(("balances".into(), vec![key(1)]), int_delta(20));
+            cd.overwrites.insert(("owner".into(), vec![]), Some(Value::Uint(128, 2)));
+        }
+        let mut d2 = StateDelta::new();
+        {
+            let cd = d2.contracts.entry(c).or_default();
+            cd.int_deltas.insert(("balances".into(), vec![key(1)]), int_delta(-5));
+            cd.overwrites.insert(("owner".into(), vec![]), Some(Value::Uint(128, 3)));
+        }
+
+        let mut seq = state.clone();
+        d1.apply(&mut seq).unwrap();
+        d2.apply(&mut seq).unwrap();
+        let mut batched = state;
+        StateDelta::compose_ref([&d1, &d2]).apply(&mut batched).unwrap();
+
+        let read = |st: &GlobalState, field: &str, keys: &[Value]| {
+            read_component(st.storage[&c].as_ref(), &(field.into(), keys.to_vec()))
+        };
+        assert_eq!(read(&seq, "balances", &[key(1)]), read(&batched, "balances", &[key(1)]));
+        assert_eq!(read(&seq, "owner", &[]), read(&batched, "owner", &[]));
+        assert_eq!(read(&batched, "owner", &[]), Some(Value::Uint(128, 3)));
+        assert_eq!(read(&batched, "balances", &[key(1)]), Some(Value::Uint(128, 115)));
     }
 
     #[test]

@@ -8,13 +8,19 @@
 //! enabled.
 //!
 //! With `parallel_workers ≥ 2` a shard instead schedules its packet over the
-//! per-contract [`ConflictMatrix`]: transactions are topologically layered by
-//! a pairwise dependency test (the matrix for same-contract calls, account
-//! overlap otherwise), each layer runs on `std::thread::scope` workers, and
-//! the per-worker [`StateDelta`]s merge back through the PCM merge. The
+//! per-contract [`ConflictMatrix`]: a pairwise dependency test (the matrix
+//! for same-contract calls, account overlap otherwise) builds a DAG, and a
+//! work-stealing pool of persistent `std::thread::scope` workers drains its
+//! dependency-counted ready queue — no layer barriers, so a long dependency
+//! chain no longer gates the independent transactions beside it. Every
+//! finished transaction publishes its per-transaction [`StateDelta`] to a
+//! shared commit log; a worker claiming new work catches up on peer commits
+//! in one batched [`StateDelta::compose_ref`] application per drain. The
 //! scheduler only omits an edge when the static analysis proves the pair
-//! touches disjoint state, so receipts, deltas, and digests stay bit-identical
-//! to the serial order.
+//! touches disjoint state — a claimed transaction can therefore only ever
+//! observe its dependency ancestors (anything else in the log is provably
+//! non-interfering) — so receipts, deltas, and digests stay bit-identical to
+//! the serial order regardless of steal order.
 
 use crate::address::Address;
 use crate::delta::{
@@ -29,13 +35,14 @@ use cosplit_analysis::signature::Join;
 use scilla::builtins::uint_max;
 use scilla::error::ExecError;
 use scilla::gas::{GasMeter, COST_TX_BASE};
+use scilla::intern::Sym;
 use scilla::interpreter::{OutMsg, TransitionContext};
 use scilla::span::Span;
 use scilla::state::{CowState, StateStore};
 use scilla::trace::{DynamicFootprint, EffectTracer};
 use scilla::value::Value;
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
-use std::sync::Arc;
+use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 use crate::state::{DeployedContract, GlobalState};
@@ -382,13 +389,13 @@ struct Executor<'a> {
     /// On wave workers only: `(sender, committed-nonce count at wave start)`
     /// for every sender that committed a nonce this wave, in commit order,
     /// so the wave yield reports nonces in O(wave) instead of O(accounts).
-    wave_nonce_marks: Vec<(Address, usize)>,
-    /// Set on forked wave workers; gates `wave_nonce_marks` tracking.
-    track_wave_marks: bool,
-    /// `(wave, worker)` labels for the per-transaction trace span, set by
-    /// the parallel scheduler on its wave workers; `None` on the serial
-    /// path and the scheduler itself.
-    trace_ctx: Option<(u64, usize)>,
+    yield_nonce_marks: Vec<(Address, usize)>,
+    /// Set on forked pool workers; gates `yield_nonce_marks` tracking.
+    track_yield_marks: bool,
+    /// Worker label for the per-transaction trace span, set by the parallel
+    /// scheduler on its pool workers; `None` on the serial path and the
+    /// scheduler itself.
+    trace_ctx: Option<usize>,
     /// Wall-clock spent inside this scheduler's parallel regions, and the
     /// per-region maximum of the participants' thread-CPU busy time (the
     /// region's critical path on an unconstrained host). Reported through
@@ -420,8 +427,8 @@ impl<'a> Executor<'a> {
             violations: Vec::new(),
             traced: Vec::new(),
             current_tx: 0,
-            wave_nonce_marks: Vec::new(),
-            track_wave_marks: false,
+            yield_nonce_marks: Vec::new(),
+            track_yield_marks: false,
             trace_ctx: None,
             par_region_wall: Duration::ZERO,
             par_region_critical: Duration::ZERO,
@@ -462,8 +469,8 @@ impl<'a> Executor<'a> {
             violations: Vec::new(),
             traced: Vec::new(),
             current_tx: 0,
-            wave_nonce_marks: Vec::new(),
-            track_wave_marks: true,
+            yield_nonce_marks: Vec::new(),
+            track_yield_marks: true,
             trace_ctx: None,
             par_region_wall: Duration::ZERO,
             par_region_critical: Duration::ZERO,
@@ -496,8 +503,7 @@ impl<'a> Executor<'a> {
         let mut span = telemetry::span!(telemetry::names::TX_EXEC);
         span.attr("tx", tx.id);
         span.attr("role", crate::network::assignment_label(self.cfg.role));
-        if let Some((wave, worker)) = self.trace_ctx {
-            span.attr("wave", wave);
+        if let Some(worker) = self.trace_ctx {
             span.attr("worker", worker);
         }
         self.process_inner(tx);
@@ -573,8 +579,8 @@ impl<'a> Executor<'a> {
         self.balance.credit(tx.sender, fee_reserve.saturating_sub(actual_fee));
         self.gas_used += gas;
         let committed = self.nonce_committed.entry(tx.sender).or_default();
-        if self.track_wave_marks {
-            self.wave_nonce_marks.push((tx.sender, committed.len()));
+        if self.track_yield_marks {
+            self.yield_nonce_marks.push((tx.sender, committed.len()));
         }
         committed.push(tx.nonce);
         self.receipts.push(Receipt { tx_id: tx.id, status, gas_used: gas, events });
@@ -889,7 +895,7 @@ impl<'a> Executor<'a> {
             {
                 let Some(joins) = self.joins_of(addr) else { continue };
                 let Some(storage) = self.storages.get(addr) else { continue };
-                if joins.get(&comp.0) != Some(&Join::IntMerge) {
+                if joins.get(comp.0.as_str()) != Some(&Join::IntMerge) {
                     continue;
                 }
                 let base_storage = self.snapshot.storage.get(addr);
@@ -967,63 +973,145 @@ impl<'a> Executor<'a> {
         }
     }
 
-    /// Executes one gas-admitted window: topologically layer the dependency
-    /// graph, run each multi-transaction layer on scoped workers, and
-    /// re-assemble every per-transaction output in packet order.
+    /// Executes one gas-admitted window: build the dependency DAG, drain it
+    /// with a work-stealing worker pool, and re-assemble every
+    /// per-transaction output in packet order.
     fn run_window(&mut self, window: Vec<Transaction>) {
-        let layers = {
+        let dag = {
             let nodes: Vec<TxNode> =
                 window.iter().map(|tx| TxNode::of(tx, self.snapshot)).collect();
-            // layer(k) = 1 + max layer over earlier transactions k depends
-            // on. "No edge" is a *symmetric* no-interference guarantee, so a
-            // later-packet transaction may safely run in an earlier wave:
-            // neither side reads, writes, or debits anything the other
-            // touches, hence both receipts and the final state match the
-            // serial packet order.
-            let layer = layer_window(&nodes);
-            let num_layers = layer.iter().max().map_or(0, |m| m + 1);
-            let mut layers: Vec<Vec<usize>> = vec![Vec::new(); num_layers];
-            for (k, l) in layer.iter().enumerate() {
-                layers[*l].push(k);
-            }
-            layers
+            // An edge j → k (j earlier in the packet) exists iff the pair
+            // interferes. "No edge" is a *symmetric* no-interference
+            // guarantee, so a later-packet transaction may safely overtake
+            // an earlier one: neither side reads, writes, or debits anything
+            // the other touches, hence both receipts and the final state
+            // match the serial packet order.
+            dag_window(&nodes)
         };
         if telemetry::enabled() {
+            let num_layers = dag.layer.iter().max().map_or(0, |m| m + 1);
             telemetry::histogram!(telemetry::names::PARALLEL_LAYERS, telemetry::SIZE_BUCKETS)
-                .record(layers.len() as u64);
-            for wave in &layers {
+                .record(num_layers as u64);
+            let mut widths = vec![0u64; num_layers];
+            for l in &dag.layer {
+                widths[*l] += 1;
+            }
+            for w in widths {
                 telemetry::histogram!(
                     telemetry::names::PARALLEL_LAYER_WIDTH,
                     telemetry::SIZE_BUCKETS
                 )
-                .record(wave.len() as u64);
+                .record(w);
             }
         }
 
-        let mut slots: Vec<Option<TxSlot>> = Vec::new();
-        slots.resize_with(window.len(), || None);
-        let mut window: Vec<Option<Transaction>> = window.into_iter().map(Some).collect();
-        // Workers are forked once, at the first multi-transaction wave, and
-        // persist for the rest of the window: re-cloning the full working
-        // state every wave would cost O(state × workers × waves), while
-        // re-syncing persistent workers with their peers' wave deltas costs
-        // O(touched × workers). Until that first fork, single-transaction
-        // waves run inline on the scheduler; afterwards they go through a
-        // worker like any other wave so every copy of the state stays in
-        // lock-step.
-        let mut workers: Vec<Executor<'a>> = Vec::new();
-        for (wave_no, wave) in layers.into_iter().enumerate() {
-            if wave.len() == 1 && workers.is_empty() {
-                let k = wave[0];
-                let tx = window[k].take().expect("tx scheduled once");
-                slots[k] = Some(self.process_slotted(tx));
-                continue;
+        // A window that is one long dependency chain has no parallelism to
+        // mine; run it inline and skip the worker forks entirely.
+        let max_width = {
+            let num_layers = dag.layer.iter().max().map_or(0, |m| m + 1);
+            let mut widths = vec![0usize; num_layers];
+            for l in &dag.layer {
+                widths[*l] += 1;
             }
-            if workers.is_empty() {
-                workers = (0..self.cfg.parallel_workers).map(|_| self.fork()).collect();
+            widths.into_iter().max().unwrap_or(0)
+        };
+        if max_width <= 1 {
+            for tx in window {
+                self.process(tx);
             }
-            self.run_wave(wave_no as u64, &wave, &mut window, &mut slots, &mut workers);
+            return;
         }
+
+        let num_txs = window.len();
+        let mut slots: Vec<Option<TxSlot>> = Vec::new();
+        slots.resize_with(num_txs, || None);
+        // More workers than the DAG's widest antichain can never all be
+        // busy; forking them would only copy state for nothing.
+        let num_workers = self.cfg.parallel_workers.min(max_width).max(2);
+        let mut workers: Vec<Executor<'a>> = (0..num_workers).map(|_| self.fork()).collect();
+
+        let shared = WsShared {
+            q: Mutex::new(WsQueue {
+                window: window.into_iter().map(Some).collect(),
+                npreds: dag.npreds,
+                succs: dag.succs,
+                // Seed with every dependency-free transaction, reversed so
+                // the LIFO pop hands out packet order first.
+                ready: Vec::new(),
+                remaining: num_txs,
+                log: Vec::new(),
+                busy: vec![Duration::ZERO; num_txs],
+            }),
+            cv: Condvar::new(),
+        };
+        {
+            let mut q = shared.q.lock().expect("queue lock");
+            let roots: Vec<usize> = (0..num_txs).filter(|&k| q.npreds[k] == 0).collect();
+            q.ready.extend(roots.into_iter().rev().map(|k| (k, usize::MAX)));
+        }
+
+        // Drain the DAG on scoped worker threads. Workers are fresh threads
+        // with empty span stacks; nest their per-transaction spans under the
+        // batch span running on this thread.
+        let trace_parent = telemetry::trace::current_span();
+        let wall = Instant::now();
+        let outs: Vec<Vec<(usize, TxSlot)>> = std::thread::scope(|scope| {
+            let shared = &shared;
+            let handles: Vec<_> = workers
+                .iter_mut()
+                .enumerate()
+                .map(|(wi, w)| {
+                    scope.spawn(move || {
+                        let _adopt = telemetry::trace::adopt_parent(trace_parent);
+                        ws_worker(w, wi, shared)
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("window worker panicked")).collect()
+        });
+        let wall = wall.elapsed();
+
+        for out in outs {
+            for (k, slot) in out {
+                slots[k] = Some(slot);
+            }
+        }
+        let q = shared.q.into_inner().expect("workers exited");
+        debug_assert_eq!(q.remaining, 0, "every transaction committed");
+
+        // The window's critical path: per-transaction busy time composed
+        // along the longest dependency chain. Edges run from lower to higher
+        // packet index, so index order is already topological. This is the
+        // batch latency a host with ≥ `num_workers` free cores would see;
+        // the wall clock on a smaller host adds preemption stalls.
+        let mut crit = q.busy.clone();
+        let mut best = Duration::ZERO;
+        for k in 0..num_txs {
+            for &s in &q.succs[k] {
+                let through = crit[k] + q.busy[s];
+                if through > crit[s] {
+                    crit[s] = through;
+                }
+            }
+            best = best.max(crit[k]);
+        }
+        self.par_region_wall += wall;
+        self.par_region_critical += best.min(wall);
+
+        // Fold the whole commit log into the scheduler's working state in
+        // one batched pass: compose the per-transaction deltas in commit
+        // order (conflicting entries were dependency-sequenced, commuting
+        // entries compose in any order) and apply the net effect once.
+        let commits: Vec<&StateDelta> = q.log.iter().map(|c| &c.delta).collect();
+        let batch = StateDelta::compose_ref(commits);
+        self.apply_commit_delta(&batch);
+        for c in &q.log {
+            for (addr, v) in &c.spent {
+                *self.balance.spent.entry(*addr).or_insert(0) += v;
+            }
+            self.gas_used += c.gas;
+        }
+
         for slot in slots.into_iter().flatten() {
             self.receipts.push(slot.receipt);
             self.violations.extend(slot.violations);
@@ -1032,125 +1120,6 @@ impl<'a> Executor<'a> {
                 self.rerouted.push(tx);
             }
         }
-    }
-
-    /// Runs one wave on the window's scoped worker threads, merges the
-    /// per-worker state deltas back through the PCM merge, and brings every
-    /// worker in sync with its peers' contributions.
-    fn run_wave(
-        &mut self,
-        wave_no: u64,
-        wave: &[usize],
-        window: &mut [Option<Transaction>],
-        slots: &mut [Option<TxSlot>],
-        workers: &mut [Executor<'a>],
-    ) {
-        let active = workers.len().min(wave.len());
-        let chunk_size = wave.len().div_ceil(active);
-        // Contiguous chunks keep packet order within and across workers.
-        let chunks: Vec<Vec<(usize, Transaction)>> = wave
-            .chunks(chunk_size)
-            .map(|c| {
-                c.iter().map(|&k| (k, window[k].take().expect("tx scheduled once"))).collect()
-            })
-            .collect();
-
-        // Phase A: execute the chunks on scoped worker threads. Each worker
-        // reports its thread-CPU busy time alongside its yield so the
-        // region's critical path is known even when the host has fewer cores
-        // than workers (the wall-clock then includes preemption stalls that
-        // a machine with ≥ `parallel_workers` cores would not see).
-        let wall_a = Instant::now();
-        type WaveYield =
-            (Vec<(usize, TxSlot)>, StateDelta, BTreeMap<Address, u128>, u64, Duration);
-        // Wave workers are fresh threads with empty span stacks; nest their
-        // per-transaction spans under the batch span running on this thread.
-        let trace_parent = telemetry::trace::current_span();
-        let yields: Vec<WaveYield> = std::thread::scope(|scope| {
-            let handles: Vec<_> = workers
-                .iter_mut()
-                .enumerate()
-                .zip(chunks)
-                .map(|((wi, w), chunk)| {
-                    scope.spawn(move || {
-                        let _adopt = telemetry::trace::adopt_parent(trace_parent);
-                        w.trace_ctx = Some((wave_no, wi));
-                        let cpu0 = thread_cpu_time();
-                        let mut out = Vec::new();
-                        for (k, tx) in chunk {
-                            out.push((k, w.process_slotted(tx)));
-                        }
-                        let (delta, spent_diff, gas) = w.take_wave_yield();
-                        (out, delta, spent_diff, gas, thread_cpu_time().saturating_sub(cpu0))
-                    })
-                })
-                .collect();
-            handles.into_iter().map(|h| h.join().expect("layer worker panicked")).collect()
-        });
-        let wall_a = wall_a.elapsed();
-
-        let mut wave_deltas = Vec::new();
-        let mut spent_diffs = Vec::new();
-        let mut max_busy = Duration::ZERO;
-        for (out, delta, spent_diff, gas, busy) in yields {
-            for (k, slot) in out {
-                slots[k] = Some(slot);
-            }
-            self.gas_used += gas;
-            wave_deltas.push(delta);
-            spent_diffs.push(spent_diff);
-            max_busy = max_busy.max(busy);
-        }
-        self.par_region_wall += wall_a;
-        self.par_region_critical += max_busy.min(wall_a);
-
-        // The wave's cells are pairwise disjoint across workers — that is
-        // exactly what the missing dependency edges prove — so the PCM merge
-        // cannot hit an overwrite collision. Asserted in debug builds;
-        // release builds apply the disjoint deltas directly.
-        #[cfg(debug_assertions)]
-        StateDelta::merge(wave_deltas.iter().cloned()).expect("wave deltas are disjoint");
-
-        // Phase B: each worker already holds its own writes; scoped threads
-        // hand it the peers', which apply against the very priors they were
-        // computed from (disjointness again). The scheduler concurrently
-        // folds every delta into its own working copy on this thread — its
-        // storages are distinct from all the workers'.
-        let wall_b = Instant::now();
-        let (sched_busy, sync_busies): (Duration, Vec<Duration>) = std::thread::scope(|scope| {
-            let wave_deltas = &wave_deltas;
-            let spent_diffs = &spent_diffs;
-            let handles: Vec<_> = workers
-                .iter_mut()
-                .enumerate()
-                .map(|(wi, w)| {
-                    scope.spawn(move || {
-                        let cpu0 = thread_cpu_time();
-                        for (di, delta) in wave_deltas.iter().enumerate() {
-                            if di != wi {
-                                w.sync_peer_delta(delta, &spent_diffs[di]);
-                            }
-                        }
-                        thread_cpu_time().saturating_sub(cpu0)
-                    })
-                })
-                .collect();
-            let cpu0 = thread_cpu_time();
-            for (delta, spent_diff) in wave_deltas.iter().zip(spent_diffs) {
-                self.apply_wave_delta(delta);
-                for (addr, v) in spent_diff {
-                    *self.balance.spent.entry(*addr).or_insert(0) += v;
-                }
-            }
-            let sched = thread_cpu_time().saturating_sub(cpu0);
-            let busies =
-                handles.into_iter().map(|h| h.join().expect("sync worker panicked")).collect();
-            (sched, busies)
-        });
-        let wall_b = wall_b.elapsed();
-        let crit_b = sync_busies.into_iter().fold(sched_busy, Duration::max);
-        self.par_region_wall += wall_b;
-        self.par_region_critical += crit_b.min(wall_b);
     }
 
     /// Runs one transaction and captures its outputs as a slot instead of
@@ -1168,17 +1137,19 @@ impl<'a> Executor<'a> {
         }
     }
 
-    /// Yields a persistent layer worker's contribution against the wave
-    /// start — a [`StateDelta`] (integer deltas wherever the change is a
-    /// plain add/sub, overwrites otherwise), the gross spent increments, and
-    /// the gas it consumed — and resets the per-wave tracking so the next
-    /// wave's yield reports only its own work. The worker's balance deltas
-    /// are wave-local (`debit` never consults them), so taking the whole map
-    /// is exact; `spent` is cumulative and stays. Everything is
-    /// reconstructed from per-wave journals (touched components, nonce
-    /// marks, the ledger's undo log), so a yield costs O(wave work), not
-    /// O(accounts touched since the window began).
-    fn take_wave_yield(&mut self) -> (StateDelta, BTreeMap<Address, u128>, u64) {
+    /// Yields a pool worker's contribution since the last yield — a
+    /// [`StateDelta`] (integer deltas wherever the change is a plain
+    /// add/sub, overwrites otherwise), the gross spent increments, and the
+    /// gas it consumed — and resets the tracking so the next yield reports
+    /// only its own work. Called once per committed transaction, this is the
+    /// commit-log entry the work-stealing pool publishes. The worker's
+    /// balance deltas are yield-local (`debit` never consults them), so
+    /// taking the whole map is exact; `spent` is cumulative and stays.
+    /// Everything is reconstructed from journals scoped to the yield
+    /// (touched components, nonce marks, the ledger's undo log), so a yield
+    /// costs O(work since the last yield), not O(accounts touched since the
+    /// window began).
+    fn take_yield(&mut self) -> (StateDelta, BTreeMap<Address, u128>, u64) {
         let mut delta = StateDelta::new();
         for (addr, storage) in &mut self.storages {
             if storage.touched.is_empty() {
@@ -1203,7 +1174,7 @@ impl<'a> Executor<'a> {
             delta.contracts.insert(*addr, cd);
         }
         delta.balances = std::mem::take(&mut self.balance.deltas);
-        // The first `Spent` undo record per address carries its wave-start
+        // The first `Spent` undo record per address carries its yield-start
         // gross total (later records only re-confirm it).
         let mut spent_base: BTreeMap<Address, u128> = BTreeMap::new();
         for entry in &self.balance.log {
@@ -1219,9 +1190,9 @@ impl<'a> Executor<'a> {
                 spent_diff.insert(addr, cur - base);
             }
         }
-        // Likewise, the first nonce mark per sender carries its wave-start
+        // Likewise, the first nonce mark per sender carries its yield-start
         // committed count.
-        for (addr, start) in std::mem::take(&mut self.wave_nonce_marks) {
+        for (addr, start) in std::mem::take(&mut self.yield_nonce_marks) {
             if delta.nonces.contains_key(&addr) {
                 continue;
             }
@@ -1233,19 +1204,19 @@ impl<'a> Executor<'a> {
         (delta, spent_diff, std::mem::take(&mut self.gas_used))
     }
 
-    /// Applies a peer worker's wave delta to this worker's working copy so
-    /// the next wave starts from the merged state. Deliberately does *not*
-    /// record anything as touched: peer writes are context, not this
-    /// worker's contribution, and must not resurface in its next yield.
-    /// (Peer balance deltas are skipped outright — worker deltas are
-    /// wave-local and nothing on the worker reads them.)
+    /// Applies a batch of peer commits to this worker's working copy so the
+    /// next claimed transaction starts from every ancestor's state.
+    /// Deliberately does *not* record anything as touched: peer writes are
+    /// context, not this worker's contribution, and must not resurface in
+    /// its next yield. (Peer balance deltas are skipped outright — worker
+    /// deltas are per-transaction and nothing on the worker reads them.)
     fn sync_peer_delta(&mut self, delta: &StateDelta, spent_diff: &BTreeMap<Address, u128>) {
         for (addr, cd) in &delta.contracts {
             self.ensure_storage(*addr);
             let storage = self.storages.get_mut(addr).expect("ensured above");
             for (comp, id) in &cd.int_deltas {
                 let cur = read_component(&storage.state, comp);
-                let new = apply_int_delta(cur.as_ref(), id).expect("wave delta applies");
+                let new = apply_int_delta(cur.as_ref(), id).expect("peer commit applies");
                 write_component(&mut storage.state, comp, Some(new));
             }
             for (comp, val) in &cd.overwrites {
@@ -1260,19 +1231,17 @@ impl<'a> Executor<'a> {
         }
     }
 
-    /// Applies one worker's wave delta onto the scheduler's working state
-    /// (workers' deltas are disjoint, so applying them one by one equals
-    /// applying their merge).
-    fn apply_wave_delta(&mut self, delta: &StateDelta) {
+    /// Applies the window's composed commit log onto the scheduler's working
+    /// state. Integer deltas add onto the scheduler's window-start values —
+    /// exactly the priors they compose over — and overwrites carry each
+    /// component's final value, so one application reproduces the log.
+    fn apply_commit_delta(&mut self, delta: &StateDelta) {
         for (addr, cd) in &delta.contracts {
             self.ensure_storage(*addr);
             let storage = self.storages.get_mut(addr).expect("ensured above");
             for (comp, id) in &cd.int_deltas {
                 let cur = read_component(&storage.state, comp);
-                // At most one transaction per wave touches any component, so
-                // `cur` is exactly the prior the delta was computed against
-                // and the addition reproduces the worker's final value.
-                let new = apply_int_delta(cur.as_ref(), id).expect("wave delta applies");
+                let new = apply_int_delta(cur.as_ref(), id).expect("commit delta applies");
                 write_component(&mut storage.state, comp, Some(new));
                 storage.touched.insert(comp.clone());
             }
@@ -1424,7 +1393,7 @@ impl<'a> Executor<'a> {
             let mut cd = ContractDelta::default();
             for comp in &storage.touched {
                 let final_v = read_component(&storage.state, comp);
-                let merge = joins.get(&comp.0) == Some(&Join::IntMerge);
+                let merge = joins.get(comp.0.as_str()) == Some(&Join::IntMerge);
                 let delta = match (&final_v, merge) {
                     (Some(v), true) => {
                         let initial = base.and_then(|s| read_component(s.as_ref(), comp));
@@ -1495,16 +1464,16 @@ impl TxJournal {
             match prior {
                 Some(v) => {
                     if keys.is_empty() {
-                        s.state.store(field, v);
+                        s.state.store_sym(*field, v);
                     } else {
-                        s.state.map_update(field, keys, v);
+                        s.state.map_update_sym(*field, keys, v);
                     }
                 }
                 None => {
                     if keys.is_empty() {
-                        s.state.remove_field(field);
+                        s.state.remove_field(field.as_str());
                     } else {
-                        s.state.map_delete(field, keys);
+                        s.state.map_delete_sym(*field, keys);
                     }
                 }
             }
@@ -1521,40 +1490,83 @@ struct JournaledStore<'a, 'j> {
 }
 
 impl JournaledStore<'_, '_> {
-    fn record(&mut self, field: &str, keys: &[Value]) {
-        let comp: Component = (field.to_string(), keys.to_vec());
+    fn record(&mut self, field: Sym, keys: &[Value]) {
+        // The field side of the component is a `Copy` symbol; only the key
+        // path is owned. (Writes used to clone the field string per call —
+        // `chain.state.hot_clones` counts any remaining owned-name copies.)
+        let comp: Component = (field, keys.to_vec());
         let prior = read_component(self.inner, &comp);
         self.journal.undo.push((self.contract, comp.clone(), prior));
         self.journal.touched.push((self.contract, comp));
     }
 }
 
+/// Marks one string-name state access on the transaction hot path: the
+/// caller paid a per-call intern (an owned-name allocation) that the
+/// `Sym`-threaded pipeline avoids. Zero across a workload proves the hot
+/// path is clone-free; see [`telemetry::names::STATE_HOT_CLONES`].
+fn count_hot_clone() {
+    if telemetry::enabled() {
+        telemetry::counter!(telemetry::names::STATE_HOT_CLONES).inc();
+    }
+}
+
 impl StateStore for JournaledStore<'_, '_> {
     fn load(&self, field: &str) -> Option<Value> {
-        self.inner.load(field)
+        count_hot_clone();
+        self.load_sym(scilla::intern::intern(field))
     }
 
     fn store(&mut self, field: &str, value: Value) {
-        self.record(field, &[]);
-        self.inner.store(field, value);
+        count_hot_clone();
+        self.store_sym(scilla::intern::intern(field), value);
     }
 
     fn map_get(&self, field: &str, keys: &[Value]) -> Option<Value> {
-        self.inner.map_get(field, keys)
+        count_hot_clone();
+        self.map_get_sym(scilla::intern::intern(field), keys)
     }
 
     fn map_update(&mut self, field: &str, keys: &[Value], value: Value) {
-        self.record(field, keys);
-        self.inner.map_update(field, keys, value);
+        count_hot_clone();
+        self.map_update_sym(scilla::intern::intern(field), keys, value);
     }
 
     fn map_exists(&self, field: &str, keys: &[Value]) -> bool {
-        self.inner.map_exists(field, keys)
+        count_hot_clone();
+        self.map_exists_sym(scilla::intern::intern(field), keys)
     }
 
     fn map_delete(&mut self, field: &str, keys: &[Value]) {
+        count_hot_clone();
+        self.map_delete_sym(scilla::intern::intern(field), keys);
+    }
+
+    fn load_sym(&self, field: Sym) -> Option<Value> {
+        self.inner.load_sym(field)
+    }
+
+    fn store_sym(&mut self, field: Sym, value: Value) {
+        self.record(field, &[]);
+        self.inner.store_sym(field, value);
+    }
+
+    fn map_get_sym(&self, field: Sym, keys: &[Value]) -> Option<Value> {
+        self.inner.map_get_sym(field, keys)
+    }
+
+    fn map_update_sym(&mut self, field: Sym, keys: &[Value], value: Value) {
         self.record(field, keys);
-        self.inner.map_delete(field, keys);
+        self.inner.map_update_sym(field, keys, value);
+    }
+
+    fn map_exists_sym(&self, field: Sym, keys: &[Value]) -> bool {
+        self.inner.map_exists_sym(field, keys)
+    }
+
+    fn map_delete_sym(&mut self, field: Sym, keys: &[Value]) {
+        self.record(field, keys);
+        self.inner.map_delete_sym(field, keys);
     }
 }
 
@@ -1602,15 +1614,28 @@ impl<'t> TxNode<'t> {
     }
 }
 
-/// Assigns every window transaction its dependency layer without testing all
+/// The interference DAG of one window. Vertices are packet indices; an edge
+/// `j → k` (always `j < k`, so packet order is a topological order) means the
+/// pair interferes and `k` must observe `j`'s commit before it runs.
+struct WindowDag {
+    /// Outgoing edges per vertex, each target strictly greater.
+    succs: Vec<Vec<usize>>,
+    /// Incoming edge count per vertex (the scheduler's ready countdown).
+    npreds: Vec<usize>,
+    /// Longest-path depth per vertex — kept for width/depth telemetry and
+    /// the inline-serial fast path, not for scheduling.
+    layer: Vec<usize>,
+}
+
+/// Builds every window transaction's dependency edges without testing all
 /// `O(n²)` pairs: each transaction is only paired against *candidates* pulled
 /// from token indices, and [`depends`] stays the authority on every candidate
 /// pair. Token generation over-approximates `depends` (see the bucket
-/// catalogue on [`CandidateIndex`]), so the resulting layers are identical to
-/// the exhaustive double loop — a transaction with no shared token shares no
-/// sender, no account, and (via the matrix's verdict structure) no static
+/// catalogue on [`CandidateIndex`]), so the resulting edge set is identical
+/// to the exhaustive double loop — a transaction with no shared token shares
+/// no sender, no account, and (via the matrix's verdict structure) no static
 /// conflict or aliasing key clash with the other side.
-fn layer_window(nodes: &[TxNode]) -> Vec<usize> {
+fn dag_window(nodes: &[TxNode]) -> WindowDag {
     let mut scheds: BTreeMap<Address, ContractSched> = BTreeMap::new();
     for node in nodes {
         if let (TxKind::Call { contract, .. }, Some((deployed, matrix))) =
@@ -1622,25 +1647,170 @@ fn layer_window(nodes: &[TxNode]) -> Vec<usize> {
     let tokens: Vec<TxTokens> = nodes.iter().map(|nd| TxTokens::of(nd, &scheds)).collect();
 
     let mut index = CandidateIndex::default();
-    let mut layer = vec![0usize; nodes.len()];
+    let n = nodes.len();
+    let mut succs = vec![Vec::new(); n];
+    let mut npreds = vec![0usize; n];
+    let mut layer = vec![0usize; n];
     // Dedup marker: a candidate surfacing from several buckets is tested once.
-    let mut seen = vec![usize::MAX; nodes.len()];
-    for k in 0..nodes.len() {
-        let (done, todo) = layer.split_at_mut(k);
-        let lk = &mut todo[0];
+    let mut seen = vec![usize::MAX; n];
+    for k in 0..n {
+        let mut lk = 0usize;
         index.consult(&nodes[k], &tokens[k], &scheds, |j| {
             if seen[j] != k {
                 seen[j] = k;
-                // Skipping when layer(j) < layer(k) is sound: layer(k) only
-                // grows, so j could never raise it anyway.
-                if done[j] >= *lk && depends(&nodes[j], &nodes[k]) {
-                    *lk = done[j] + 1;
+                // Unlike pure layering, *every* interfering predecessor
+                // matters here — the ready countdown needs the full edge
+                // set, so there is no layer-based skip.
+                if depends(&nodes[j], &nodes[k]) {
+                    succs[j].push(k);
+                    npreds[k] += 1;
+                    lk = lk.max(layer[j] + 1);
                 }
             }
         });
+        layer[k] = lk;
         index.insert(k, &nodes[k], &tokens[k]);
     }
-    layer
+    for s in &mut succs {
+        s.sort_unstable();
+    }
+    WindowDag { succs, npreds, layer }
+}
+
+/// One committed transaction's published effect: the state delta it wrote,
+/// the gross spent increments it charged, and the gas it burned, tagged with
+/// the worker that produced it so workers skip re-applying their own work.
+struct WsCommit {
+    worker: usize,
+    delta: StateDelta,
+    spent: BTreeMap<Address, u128>,
+    gas: u64,
+}
+
+/// The mutex-guarded heart of the work-stealing pool. One lock guards the
+/// whole struct; workers hold it only for queue pops and commit pushes —
+/// every transaction execution and every peer-delta application happens
+/// outside it.
+struct WsQueue {
+    /// The window's transactions, taken (exactly once) as they are claimed.
+    window: Vec<Option<Transaction>>,
+    /// Per-transaction countdown of uncommitted interfering predecessors.
+    npreds: Vec<usize>,
+    /// Dependency successors (edges to strictly higher packet indices).
+    succs: Vec<Vec<usize>>,
+    /// Dependency-free transactions awaiting a worker, as `(packet index,
+    /// releasing worker)` — `usize::MAX` for the window's roots. LIFO: a
+    /// worker preferentially continues the chain it just unblocked.
+    ready: Vec<(usize, usize)>,
+    /// Transactions not yet committed; `0` means the window is drained.
+    remaining: usize,
+    /// Commit log in commit order. Arc'd so workers can snapshot an unseen
+    /// suffix under the lock and apply it after releasing it.
+    log: Vec<Arc<WsCommit>>,
+    /// Per-transaction thread-CPU busy time, for critical-path modelling.
+    busy: Vec<Duration>,
+}
+
+struct WsShared {
+    q: Mutex<WsQueue>,
+    cv: Condvar,
+}
+
+/// One worker's drain loop: claim a ready transaction (preferring work this
+/// worker just unblocked, stealing from the shared queue otherwise), catch up
+/// on peer commits in one batched composed apply, execute, publish the
+/// commit, and release any newly dependency-free successors. Returns the
+/// per-transaction output slots this worker produced, keyed by packet index.
+///
+/// Correctness of the lazy catch-up: a transaction becomes ready only after
+/// every interfering predecessor has *committed to the log*, so whatever log
+/// prefix exists at claim time contains all of its dependency ancestors.
+/// Entries from non-interfering transactions touch disjoint state, so
+/// applying them (or already holding residual writes from this worker's own
+/// unrelated work) cannot change the claimed transaction's execution.
+fn ws_worker(w: &mut Executor<'_>, wi: usize, shared: &WsShared) -> Vec<(usize, TxSlot)> {
+    w.trace_ctx = Some(wi);
+    let mut out: Vec<(usize, TxSlot)> = Vec::new();
+    // Commit-log prefix this worker has already observed.
+    let mut applied = 0usize;
+    // A successor this worker unblocked and reserved for itself.
+    let mut next: Option<(usize, usize)> = None;
+    loop {
+        let (k, origin, tx, fresh) = {
+            let mut q = shared.q.lock().expect("ws queue lock");
+            let (k, origin) = loop {
+                if let Some(claimed) = next.take().or_else(|| q.ready.pop()) {
+                    break claimed;
+                }
+                if q.remaining == 0 {
+                    return out;
+                }
+                q = shared.cv.wait(q).expect("ws queue lock");
+            };
+            let tx = q.window[k].take().expect("transaction claimed exactly once");
+            let fresh: Vec<Arc<WsCommit>> = q.log[applied..].to_vec();
+            applied = q.log.len();
+            (k, origin, tx, fresh)
+        };
+        if telemetry::enabled() {
+            if origin == wi {
+                telemetry::counter!("chain.executor.ws.local_pops").inc();
+            } else {
+                telemetry::counter!("chain.executor.ws.steals").inc();
+            }
+        }
+
+        // Catch up on peer commits outside the lock: compose the unseen
+        // suffix into one batched delta and apply it once, instead of one
+        // full state pass per peer transaction.
+        let peers: Vec<&Arc<WsCommit>> = fresh.iter().filter(|c| c.worker != wi).collect();
+        if !peers.is_empty() {
+            if telemetry::enabled() {
+                telemetry::counter!("chain.executor.ws.drains").inc();
+                telemetry::counter!("chain.executor.ws.drained_deltas")
+                    .add(peers.len() as u64);
+            }
+            let batch = StateDelta::compose_ref(peers.iter().map(|c| &c.delta));
+            let mut spent: BTreeMap<Address, u128> = BTreeMap::new();
+            for c in &peers {
+                for (addr, v) in &c.spent {
+                    *spent.entry(*addr).or_insert(0) += v;
+                }
+            }
+            w.sync_peer_delta(&batch, &spent);
+        }
+
+        let cpu0 = thread_cpu_time();
+        let slot = w.process_slotted(tx);
+        let (delta, spent, gas) = w.take_yield();
+        let busy = thread_cpu_time().saturating_sub(cpu0);
+        out.push((k, slot));
+
+        {
+            let mut q = shared.q.lock().expect("ws queue lock");
+            q.log.push(Arc::new(WsCommit { worker: wi, delta, spent, gas }));
+            q.busy[k] = busy;
+            q.remaining -= 1;
+            let mut newly: Vec<usize> = Vec::new();
+            let WsQueue { succs, npreds, .. } = &mut *q;
+            for &s in &succs[k] {
+                npreds[s] -= 1;
+                if npreds[s] == 0 {
+                    newly.push(s);
+                }
+            }
+            // Keep the lowest newly-ready successor for ourselves (its
+            // ancestors' effects are already in our working state); publish
+            // the rest, reversed so the LIFO pop hands out packet order.
+            let mut it = newly.into_iter();
+            next = it.next().map(|s| (s, wi));
+            let rest: Vec<usize> = it.collect();
+            for &s in rest.iter().rev() {
+                q.ready.push((s, wi));
+            }
+            shared.cv.notify_all();
+        }
+    }
 }
 
 /// Per-contract scheduling tables, derived once per window.
@@ -1728,7 +1898,7 @@ fn fnv_value(h: u64, v: &Value) -> u64 {
             h
         }
         Value::Adt { ctor, args } => {
-            let mut h = fnv_bytes(fnv_u64(h, 7), ctor.as_bytes());
+            let mut h = fnv_bytes(fnv_u64(h, 7), ctor.as_str().as_bytes());
             for a in args {
                 h = fnv_value(h, a);
             }
@@ -1994,16 +2164,16 @@ fn write_component(state: &mut CowState, comp: &Component, value: Option<Value>)
     match value {
         Some(v) => {
             if keys.is_empty() {
-                state.store(field, v);
+                state.store_sym(*field, v);
             } else {
-                state.map_update(field, keys, v);
+                state.map_update_sym(*field, keys, v);
             }
         }
         None => {
             if keys.is_empty() {
-                state.remove_field(field);
+                state.remove_field(field.as_str());
             } else {
-                state.map_delete(field, keys);
+                state.map_delete_sym(*field, keys);
             }
         }
     }

@@ -64,6 +64,11 @@ impl DeployedContract {
         params: Vec<(String, Value)>,
         signature: Option<ShardingSignature>,
     ) -> Self {
+        // Deploy-time warm-up: lower every transition now so the first
+        // transaction of the contract's life pays no compile cost.
+        if scilla::compile::enabled() {
+            compiled.precompile();
+        }
         DeployedContract {
             address,
             compiled,

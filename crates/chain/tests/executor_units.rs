@@ -389,7 +389,7 @@ fn events_surface_in_epoch_receipts() {
     assert_eq!(receipt.status, TxStatus::Success);
     assert_eq!(receipt.events.len(), 1);
     match &receipt.events[0] {
-        Value::Msg(m) => assert_eq!(m.get("_eventname"), Some(&Value::Str("Shouted".into()))),
+        Value::Msg(m) => assert_eq!(m.get(&scilla::intern::Sym::EVENTNAME), Some(&Value::Str("Shouted".into()))),
         other => panic!("expected event message, got {other}"),
     }
 }

@@ -1,0 +1,211 @@
+//! Work-stealing scheduler tests: the dependency-counted ready-queue
+//! executor must be bit-identical to the serial executor on every
+//! observable — receipts (in packet order), the state delta, gas — at any
+//! worker count, under any steal interleaving the host produces; it must
+//! not starve long dependency chains behind wide independent work; and the
+//! transaction hot path it drives must stay free of owned-name clones.
+
+use chain::address::Address;
+use chain::dispatch::Assignment;
+use chain::executor::{execute_batch, ExecutorConfig, MicroBlock, TxStatus};
+use chain::network::{ChainConfig, Network};
+use chain::tx::Transaction;
+use cosplit_analysis::signature::WeakReads;
+use proptest::prelude::*;
+use scilla::value::Value;
+
+const SHARDED: &[&str] =
+    &["Mint", "Burn", "Transfer", "TransferFrom", "IncreaseAllowance", "DecreaseAllowance"];
+
+fn owner() -> Address {
+    Address::from_index(999)
+}
+
+fn contract_addr() -> Address {
+    Address::from_index(1_000_000)
+}
+
+fn user(i: u64) -> Address {
+    Address::from_index(i)
+}
+
+/// A single-shard world with a deployed FungibleToken and `users` funded
+/// holders, each minted `supply` tokens in a setup epoch.
+fn token_world(users: u64, supply: u128) -> Network {
+    let mut net = Network::new(ChainConfig::evaluation(1, true));
+    net.fund_account(owner(), 1_000_000_000);
+    for i in 0..users {
+        net.fund_account(user(i), 1_000_000_000);
+    }
+    let params = vec![
+        ("contract_owner".to_string(), owner().to_value()),
+        ("name".to_string(), Value::Str("Test".into())),
+        ("symbol".to_string(), Value::Str("TST".into())),
+        ("init_supply".to_string(), Value::Uint(128, 0)),
+    ];
+    let src = scilla::corpus::get("FungibleToken").unwrap().source;
+    net.deploy(contract_addr(), src, params, Some((SHARDED, WeakReads::AcceptAll))).unwrap();
+    let mut pool: Vec<Transaction> = (0..users)
+        .map(|i| {
+            Transaction::call(
+                1000 + i,
+                owner(),
+                i + 1,
+                contract_addr(),
+                "Mint",
+                vec![
+                    ("to".into(), user(i).to_value()),
+                    ("amount".into(), Value::Uint(128, supply)),
+                ],
+            )
+        })
+        .collect();
+    while !pool.is_empty() {
+        net.run_epoch(&mut pool);
+    }
+    net
+}
+
+fn cfg(workers: usize) -> ExecutorConfig {
+    ExecutorConfig {
+        role: Assignment::Shard(0),
+        num_shards: 1,
+        gas_limit: u64::MAX,
+        block_number: 10,
+        use_cosplit: true,
+        overflow_guard: false,
+        allow_contract_msgs: false,
+        audit: false,
+        parallel_workers: workers,
+        compose_calls: false,
+    }
+}
+
+/// Builds a transfer batch from `(sender, recipient, amount)` triples,
+/// assigning each sender its sequential nonces in packet order.
+fn transfer_batch(moves: &[(u64, u64, u128)], users: u64) -> Vec<Transaction> {
+    let mut next_nonce = std::collections::BTreeMap::new();
+    moves
+        .iter()
+        .enumerate()
+        .map(|(i, (from, to, amount))| {
+            let from = from % users;
+            let nonce = next_nonce.entry(from).and_modify(|n| *n += 1).or_insert(1u64);
+            Transaction::call(
+                i as u64,
+                user(from),
+                *nonce,
+                contract_addr(),
+                "Transfer",
+                vec![
+                    ("to".into(), user(to % users).to_value()),
+                    ("amount".into(), Value::Uint(128, *amount)),
+                ],
+            )
+        })
+        .collect()
+}
+
+fn assert_identical(serial: &MicroBlock, parallel: &MicroBlock, label: &str) {
+    assert_eq!(serial.receipts, parallel.receipts, "receipts diverged: {label}");
+    assert_eq!(
+        serial.delta.to_wire(),
+        parallel.delta.to_wire(),
+        "state delta diverged: {label}"
+    );
+    assert_eq!(serial.gas_used, parallel.gas_used, "gas diverged: {label}");
+    assert_eq!(serial.deferred.len(), parallel.deferred.len(), "deferral diverged: {label}");
+    assert_eq!(serial.rerouted.len(), parallel.rerouted.len(), "reroutes diverged: {label}");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Randomized steal-order determinism: a small sender pool forces
+    /// same-sender nonce chains, overlapping recipients force keyed
+    /// balance clashes, and oversized amounts force failures — the
+    /// parallel result must match the serial one bit-for-bit at several
+    /// worker counts, and re-running the same parallel config must
+    /// reproduce itself run-to-run.
+    #[test]
+    fn steal_order_never_changes_results(
+        moves in prop::collection::vec((0u64..6, 0u64..6, 1u128..120), 2..28),
+    ) {
+        let users = 6;
+        let net = token_world(users, 200);
+        let batch = transfer_batch(&moves, users);
+
+        let serial = execute_batch(&cfg(0), net.state(), batch.clone());
+        for workers in [2usize, 3, 5] {
+            let par = execute_batch(&cfg(workers), net.state(), batch.clone());
+            assert_identical(&serial, &par, &format!("workers={workers}"));
+            let again = execute_batch(&cfg(workers), net.state(), batch.clone());
+            assert_identical(&par, &again, &format!("workers={workers} rerun"));
+        }
+    }
+}
+
+/// Starvation/liveness: one sender's long nonce chain (fully sequential)
+/// racing a wide set of independent one-shot senders. The pool must drain
+/// completely — the chain may not starve behind the independent work, nor
+/// deadlock waiting on it — and every claim must come through the ready
+/// queue exactly once.
+#[test]
+fn long_chain_drains_alongside_wide_independent_work() {
+    telemetry::set_enabled(true);
+    let users = 24u64;
+    let net = token_world(users, 500);
+
+    // user(0) sends a 12-deep nonce chain; users 1..17 each send once.
+    let mut moves: Vec<(u64, u64, u128)> = (0..12).map(|i| (0u64, 18 + (i % 6), 3u128)).collect();
+    for i in 1..17 {
+        moves.push((i, 18 + (i % 6), 5));
+    }
+    let batch = transfer_batch(&moves, users);
+    let num_txs = batch.len();
+
+    let reg = telemetry::registry();
+    let claims0 = reg.counter("chain.executor.ws.local_pops").get()
+        + reg.counter("chain.executor.ws.steals").get();
+
+    let serial = execute_batch(&cfg(0), net.state(), batch.clone());
+    let par = execute_batch(&cfg(4), net.state(), batch);
+
+    assert_eq!(par.receipts.len(), num_txs, "every transaction produced a receipt");
+    for r in &par.receipts {
+        assert_eq!(r.status, TxStatus::Success, "tx {} failed", r.tx_id);
+    }
+    assert_identical(&serial, &par, "chain + independent set");
+
+    let claims1 = reg.counter("chain.executor.ws.local_pops").get()
+        + reg.counter("chain.executor.ws.steals").get();
+    assert!(
+        claims1 - claims0 >= num_txs as u64,
+        "expected at least {num_txs} pool claims, saw {}",
+        claims1 - claims0
+    );
+}
+
+/// The transaction hot path performs no owned-name state accesses: every
+/// load/store reaches storage through a pre-resolved `Sym`, so the
+/// `chain.state.hot_clones` counter stays untouched across a full serial +
+/// parallel workload.
+#[test]
+fn hot_path_is_clone_free() {
+    telemetry::set_enabled(true);
+    let users = 8u64;
+    let net = token_world(users, 300);
+    let moves: Vec<(u64, u64, u128)> = (0..40u64).map(|i| (i % 8, (i + 1) % 8, 2u128)).collect();
+    let batch = transfer_batch(&moves, users);
+
+    let counter = telemetry::registry().counter(telemetry::names::STATE_HOT_CLONES);
+    let before = counter.get();
+    let serial = execute_batch(&cfg(0), net.state(), batch.clone());
+    let par = execute_batch(&cfg(3), net.state(), batch);
+    assert_identical(&serial, &par, "hot-clone audit run");
+    assert_eq!(
+        counter.get(),
+        before,
+        "hot path performed owned-name state accesses"
+    );
+}

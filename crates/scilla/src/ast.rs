@@ -5,15 +5,22 @@
 //! exactly the property the CoSplit analysis relies on to give a direct
 //! statement → effect translation (paper §3.3).
 
+use crate::intern::{intern, Sym};
 use crate::span::Span;
 use crate::types::Type;
 use std::fmt;
 
 /// An identifier occurrence (variable, field, transition, or constructor).
+///
+/// The text is interned at construction: `sym` is the handle the interpreter
+/// and compiler use for equality and environment lookup, so executing code
+/// never compares identifier strings.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Ident {
     /// The identifier text.
     pub name: String,
+    /// The interned form of `name`.
+    pub sym: Sym,
     /// Where it occurred.
     pub span: Span,
 }
@@ -21,12 +28,16 @@ pub struct Ident {
 impl Ident {
     /// Creates an identifier with a dummy span (for synthesised nodes and tests).
     pub fn new(name: impl Into<String>) -> Self {
-        Ident { name: name.into(), span: Span::dummy() }
+        let name = name.into();
+        let sym = intern(&name);
+        Ident { name, sym, span: Span::dummy() }
     }
 
     /// Creates an identifier at a given location.
     pub fn spanned(name: impl Into<String>, span: Span) -> Self {
-        Ident { name: name.into(), span }
+        let name = name.into();
+        let sym = intern(&name);
+        Ident { name, sym, span }
     }
 }
 
@@ -361,7 +372,12 @@ pub struct Contract {
 impl Contract {
     /// Looks up a transition by name.
     pub fn transition(&self, name: &str) -> Option<&Transition> {
-        self.transitions.iter().find(|t| t.name.name == name)
+        self.transition_sym(intern(name))
+    }
+
+    /// Looks up a transition by interned name (integer compares only).
+    pub fn transition_sym(&self, name: Sym) -> Option<&Transition> {
+        self.transitions.iter().find(|t| t.name.sym == name)
     }
 
     /// Looks up a field definition by name.

@@ -16,6 +16,59 @@ pub fn is_builtin(op: &str) -> bool {
     KNOWN.contains(&op)
 }
 
+/// A pre-bound builtin operation: name dispatch resolved once, ahead of time.
+pub type BuiltinFn = fn(&[Value]) -> Result<Value, ExecError>;
+
+/// Resolves a builtin name to a direct function pointer.
+///
+/// Each returned function is monomorphic in its op name (a literal), so the
+/// name match inside [`eval_builtin`] constant-folds away; the compiled
+/// transition path pays one indirect call per builtin instead of a string
+/// dispatch.
+pub fn bind_builtin(op: &str) -> Option<BuiltinFn> {
+    macro_rules! bound {
+        ($name:literal) => {{
+            fn f(args: &[Value]) -> Result<Value, ExecError> {
+                eval_builtin($name, args)
+            }
+            Some(f as BuiltinFn)
+        }};
+    }
+    match op {
+        "add" => bound!("add"),
+        "sub" => bound!("sub"),
+        "mul" => bound!("mul"),
+        "div" => bound!("div"),
+        "rem" => bound!("rem"),
+        "pow" => bound!("pow"),
+        "lt" => bound!("lt"),
+        "le" => bound!("le"),
+        "gt" => bound!("gt"),
+        "ge" => bound!("ge"),
+        "eq" => bound!("eq"),
+        "concat" => bound!("concat"),
+        "strlen" => bound!("strlen"),
+        "substr" => bound!("substr"),
+        "to_string" => bound!("to_string"),
+        "sha256hash" => bound!("sha256hash"),
+        "keccak256hash" => bound!("keccak256hash"),
+        "schnorr_verify" => bound!("schnorr_verify"),
+        "blt" => bound!("blt"),
+        "badd" => bound!("badd"),
+        "put" => bound!("put"),
+        "get" => bound!("get"),
+        "contains" => bound!("contains"),
+        "remove" => bound!("remove"),
+        "size" => bound!("size"),
+        "andb" => bound!("andb"),
+        "orb" => bound!("orb"),
+        "notb" => bound!("notb"),
+        "to_uint128" => bound!("to_uint128"),
+        "to_uint256" => bound!("to_uint256"),
+        _ => None,
+    }
+}
+
 const KNOWN: &[&str] = &[
     "add", "sub", "mul", "div", "rem", "pow", "lt", "le", "gt", "ge", "eq", "concat", "strlen",
     "substr", "to_string", "sha256hash", "keccak256hash", "schnorr_verify", "blt", "badd", "put",

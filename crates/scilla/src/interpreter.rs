@@ -10,6 +10,7 @@ use crate::ast::*;
 use crate::builtins::{empty_map, eval_builtin};
 use crate::error::ExecError;
 use crate::gas::{self, GasMeter};
+use crate::intern::{intern, Sym};
 use crate::state::StateStore;
 use crate::trace::EffectTracer;
 use crate::typechecker::CheckedModule;
@@ -71,12 +72,33 @@ pub struct TransitionOutcome {
     pub gas_used: u64,
 }
 
+/// Which interpreter backend runs a transition.
+///
+/// `Auto` (the normal path) uses the compiled form when available, honouring
+/// the `COSPLIT_COMPILE` knob. The forced modes exist for the differential
+/// tests that run the same transaction through both backends and compare
+/// every observable bit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecMode {
+    /// Compiled when available and enabled; AST walker otherwise.
+    Auto,
+    /// Always the AST walker (the definitional reference).
+    Ast,
+    /// Always the compiled form; error if the transition fell back.
+    Compiled,
+}
+
 /// A contract ready to execute: type-checked module plus its evaluated
 /// library environment.
+///
+/// Transitions additionally lower to pre-resolved instruction sequences on
+/// first use (see [`crate::compile`]); the cache is shared across clones, so
+/// every executor view of one deployment reuses the same compiled code.
 #[derive(Debug, Clone)]
 pub struct CompiledContract {
     checked: CheckedModule,
     lib_env: Env,
+    code_cache: Arc<std::sync::RwLock<BTreeMap<Sym, Arc<crate::compile::TransitionCode>>>>,
 }
 
 impl CompiledContract {
@@ -93,15 +115,33 @@ impl CompiledContract {
         for entry in &checked.module.library {
             if let LibEntry::Let { name, body, .. } = entry {
                 let v = eval_expr(&env, body, &mut gas)?;
-                env = env.bind(name.name.clone(), v);
+                env = env.bind(name.sym, v);
             }
         }
-        Ok(CompiledContract { checked, lib_env: env })
+        Ok(CompiledContract { checked, lib_env: env, code_cache: Arc::default() })
     }
 
     /// The underlying checked module.
     pub fn checked(&self) -> &CheckedModule {
         &self.checked
+    }
+
+    /// The lowered code for one transition, compiling (once) on first use.
+    fn code_for(&self, t: &Transition) -> Arc<crate::compile::TransitionCode> {
+        if let Some(c) = self.code_cache.read().unwrap().get(&t.name.sym) {
+            return Arc::clone(c);
+        }
+        let code = Arc::new(crate::compile::compile_transition(self.contract(), &self.lib_env, t));
+        let mut cache = self.code_cache.write().unwrap();
+        Arc::clone(cache.entry(t.name.sym).or_insert(code))
+    }
+
+    /// Lowers every transition now (deploy-time warm-up) instead of on first
+    /// call, so the first transaction of an epoch pays no compile cost.
+    pub fn precompile(&self) {
+        for t in &self.contract().transitions {
+            self.code_for(t);
+        }
     }
 
     /// The contract definition.
@@ -139,7 +179,7 @@ impl CompiledContract {
                 .ok_or_else(|| {
                     ExecError::BadInvocation(format!("missing contract parameter '{}'", p.name.name))
                 })?;
-            env = env.bind(p.name.name.clone(), v);
+            env = env.bind(p.name.sym, v);
         }
         Ok(env)
     }
@@ -187,6 +227,30 @@ impl CompiledContract {
         self.execute_instrumented(store, transition, args, contract_params, ctx, gas, Some(tracer))
     }
 
+    /// Like [`CompiledContract::execute_traced`], but with an explicit
+    /// [`ExecMode`] — the entry point for differential tests that pin the
+    /// backend instead of letting `Auto` choose.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`CompiledContract::execute`]; additionally,
+    /// [`ExecMode::Compiled`] fails with an internal error if the transition
+    /// fell back to the AST walker at compile time.
+    #[allow(clippy::too_many_arguments)]
+    pub fn execute_mode(
+        &self,
+        store: &mut dyn StateStore,
+        transition: &str,
+        args: &[(String, Value)],
+        contract_params: &[(String, Value)],
+        ctx: &TransitionContext,
+        gas: &mut GasMeter,
+        tracer: Option<&mut EffectTracer>,
+        mode: ExecMode,
+    ) -> Result<TransitionOutcome, ExecError> {
+        self.execute_dispatch(store, transition, args, contract_params, ctx, gas, tracer, mode)
+    }
+
     #[allow(clippy::too_many_arguments)]
     fn execute_instrumented(
         &self,
@@ -198,10 +262,35 @@ impl CompiledContract {
         gas: &mut GasMeter,
         tracer: Option<&mut EffectTracer>,
     ) -> Result<TransitionOutcome, ExecError> {
+        self.execute_dispatch(
+            store,
+            transition,
+            args,
+            contract_params,
+            ctx,
+            gas,
+            tracer,
+            ExecMode::Auto,
+        )
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn execute_dispatch(
+        &self,
+        store: &mut dyn StateStore,
+        transition: &str,
+        args: &[(String, Value)],
+        contract_params: &[(String, Value)],
+        ctx: &TransitionContext,
+        gas: &mut GasMeter,
+        tracer: Option<&mut EffectTracer>,
+        mode: ExecMode,
+    ) -> Result<TransitionOutcome, ExecError> {
         let mut _tspan = telemetry::span!("scilla.interpreter.transition");
         _tspan.attr("transition", transition);
         let gas_before = gas.used();
-        let result = self.execute_inner(store, transition, args, contract_params, ctx, gas, tracer);
+        let result =
+            self.execute_inner(store, transition, args, contract_params, ctx, gas, tracer, mode);
         _tspan.attr("ok", result.is_ok());
         _tspan.attr("gas", gas.used().saturating_sub(gas_before));
         if telemetry::enabled() {
@@ -225,17 +314,33 @@ impl CompiledContract {
         ctx: &TransitionContext,
         gas: &mut GasMeter,
         tracer: Option<&mut EffectTracer>,
+        mode: ExecMode,
     ) -> Result<TransitionOutcome, ExecError> {
         let t = self
             .contract()
             .transition(transition)
             .ok_or_else(|| ExecError::BadInvocation(format!("unknown transition '{transition}'")))?;
         gas.charge(gas::COST_TX_BASE)?;
+        let use_compiled = match mode {
+            ExecMode::Auto => crate::compile::enabled(),
+            ExecMode::Ast => false,
+            ExecMode::Compiled => true,
+        };
+        if use_compiled {
+            if let crate::compile::TransitionCode::Compiled(ct) = &*self.code_for(t) {
+                return crate::compile::run_compiled(ct, store, args, contract_params, ctx, gas, tracer);
+            }
+            if mode == ExecMode::Compiled {
+                return Err(ExecError::Internal(format!(
+                    "transition '{transition}' fell back to the AST walker"
+                )));
+            }
+        }
         let mut env = self.param_env(contract_params)?;
-        env = env.bind("_sender", Value::address(ctx.sender));
-        env = env.bind("_origin", Value::address(ctx.origin));
-        env = env.bind("_amount", Value::Uint(128, ctx.amount));
-        env = env.bind("_this_address", Value::address(ctx.this_address));
+        env = env.bind(Sym::SENDER, Value::address(ctx.sender));
+        env = env.bind(Sym::ORIGIN, Value::address(ctx.origin));
+        env = env.bind(Sym::AMOUNT, Value::Uint(128, ctx.amount));
+        env = env.bind(Sym::THIS_ADDRESS, Value::address(ctx.this_address));
         for p in &t.params {
             let v = args
                 .iter()
@@ -247,7 +352,7 @@ impl CompiledContract {
                         p.name.name
                     ))
                 })?;
-            env = env.bind(p.name.name.clone(), v);
+            env = env.bind(p.name.sym, v);
         }
         let mut exec = Exec { store, ctx, outcome: TransitionOutcome::default(), tracer };
         exec.run_stmts(env, &t.body, gas)?;
@@ -281,30 +386,30 @@ impl Exec<'_> {
         match s {
             Stmt::Load { lhs, field } => {
                 gas.charge(gas::COST_FIELD)?;
-                let v = self.store.load(&field.name).ok_or_else(|| {
+                let v = self.store.load_sym(field.sym).ok_or_else(|| {
                     ExecError::Internal(format!("field '{}' missing from state", field.name))
                 })?;
                 if let Some(t) = self.tracer.as_deref_mut() {
                     t.record_read(&field.name, Vec::new(), s.span());
                 }
-                Ok(env.bind(lhs.name.clone(), v))
+                Ok(env.bind(lhs.sym, v))
             }
             Stmt::Store { field, rhs } => {
                 gas.charge(gas::COST_FIELD)?;
                 let v = lookup(&env, rhs)?;
                 match self.tracer.as_deref_mut() {
                     Some(t) => {
-                        let prior = self.store.load(&field.name);
-                        self.store.store(&field.name, v.clone());
+                        let prior = self.store.load_sym(field.sym);
+                        self.store.store_sym(field.sym, v.clone());
                         t.record_write(&field.name, Vec::new(), prior, Some(v), s.span());
                     }
-                    None => self.store.store(&field.name, v),
+                    None => self.store.store_sym(field.sym, v),
                 }
                 Ok(env)
             }
             Stmt::Bind { lhs, rhs } => {
                 let v = eval_expr_inner(&env, rhs, gas, self.tracer.as_deref_mut())?;
-                Ok(env.bind(lhs.name.clone(), v))
+                Ok(env.bind(lhs.sym, v))
             }
             Stmt::MapUpdate { map, keys, rhs } => {
                 gas.charge(gas::COST_MAP_KEY * keys.len() as u64)?;
@@ -312,51 +417,51 @@ impl Exec<'_> {
                 let v = lookup(&env, rhs)?;
                 match self.tracer.as_deref_mut() {
                     Some(t) => {
-                        let prior = self.store.map_get(&map.name, &ks);
-                        self.store.map_update(&map.name, &ks, v.clone());
+                        let prior = self.store.map_get_sym(map.sym, &ks);
+                        self.store.map_update_sym(map.sym, &ks, v.clone());
                         t.record_write(&map.name, ks, prior, Some(v), s.span());
                     }
-                    None => self.store.map_update(&map.name, &ks, v),
+                    None => self.store.map_update_sym(map.sym, &ks, v),
                 }
                 Ok(env)
             }
             Stmt::MapGet { lhs, map, keys } => {
                 gas.charge(gas::COST_MAP_KEY * keys.len() as u64)?;
                 let ks = self.key_values(&env, keys)?;
-                let v = match self.store.map_get(&map.name, &ks) {
+                let v = match self.store.map_get_sym(map.sym, &ks) {
                     Some(v) => Value::some(v),
                     None => Value::none(),
                 };
                 if let Some(t) = self.tracer.as_deref_mut() {
                     t.record_read(&map.name, ks, s.span());
                 }
-                Ok(env.bind(lhs.name.clone(), v))
+                Ok(env.bind(lhs.sym, v))
             }
             Stmt::MapExists { lhs, map, keys } => {
                 gas.charge(gas::COST_MAP_KEY * keys.len() as u64)?;
                 let ks = self.key_values(&env, keys)?;
-                let b = self.store.map_exists(&map.name, &ks);
+                let b = self.store.map_exists_sym(map.sym, &ks);
                 if let Some(t) = self.tracer.as_deref_mut() {
                     t.record_read(&map.name, ks, s.span());
                 }
-                Ok(env.bind(lhs.name.clone(), Value::bool(b)))
+                Ok(env.bind(lhs.sym, Value::bool(b)))
             }
             Stmt::MapDelete { map, keys } => {
                 gas.charge(gas::COST_MAP_KEY * keys.len() as u64)?;
                 let ks = self.key_values(&env, keys)?;
                 match self.tracer.as_deref_mut() {
                     Some(t) => {
-                        let prior = self.store.map_get(&map.name, &ks);
-                        self.store.map_delete(&map.name, &ks);
+                        let prior = self.store.map_get_sym(map.sym, &ks);
+                        self.store.map_delete_sym(map.sym, &ks);
                         t.record_write(&map.name, ks, prior, None, s.span());
                     }
-                    None => self.store.map_delete(&map.name, &ks),
+                    None => self.store.map_delete_sym(map.sym, &ks),
                 }
                 Ok(env)
             }
             Stmt::ReadBlockchain { lhs, .. } => {
                 gas.charge(gas::COST_FIELD)?;
-                Ok(env.bind(lhs.name.clone(), Value::BNum(self.ctx.block_number)))
+                Ok(env.bind(lhs.sym, Value::BNum(self.ctx.block_number)))
             }
             Stmt::Match { scrutinee, clauses, .. } => {
                 let v = lookup(&env, scrutinee)?;
@@ -414,8 +519,8 @@ impl Exec<'_> {
     }
 }
 
-fn lookup(env: &Env, id: &Ident) -> Result<Value, ExecError> {
-    env.lookup(&id.name)
+pub(crate) fn lookup(env: &Env, id: &Ident) -> Result<Value, ExecError> {
+    env.lookup_sym(id.sym)
         .cloned()
         .ok_or_else(|| ExecError::Internal(format!("unbound identifier '{}'", id.name)))
 }
@@ -441,7 +546,7 @@ pub fn eval_expr(env: &Env, e: &Expr, gas: &mut GasMeter) -> Result<Value, ExecE
     eval_expr_inner(env, e, gas, None)
 }
 
-fn eval_expr_inner(
+pub(crate) fn eval_expr_inner(
     env: &Env,
     e: &Expr,
     gas: &mut GasMeter,
@@ -458,13 +563,13 @@ fn eval_expr_inner(
                     MsgValue::Var(i) => lookup(env, i)?,
                     MsgValue::Lit(l) => literal_value(l),
                 };
-                m.insert(en.key.clone(), v);
+                m.insert(intern(&en.key), v);
             }
             Ok(Value::Msg(m))
         }
         Expr::Constr { name, args, .. } => {
             let vals: Result<Vec<Value>, _> = args.iter().map(|a| lookup(env, a)).collect();
-            Ok(Value::Adt { ctor: name.name.clone(), args: vals? })
+            Ok(Value::Adt { ctor: name.sym, args: vals? })
         }
         Expr::Builtin { op, args } => {
             gas.charge(if op.name.ends_with("hash") { gas::COST_HASH } else { gas::COST_BUILTIN })?;
@@ -476,7 +581,7 @@ fn eval_expr_inner(
         }
         Expr::Let { bound, rhs, body, .. } => {
             let v = eval_expr_inner(env, rhs, gas, tracer.as_deref_mut())?;
-            let inner = env.bind(bound.name.clone(), v);
+            let inner = env.bind(bound.sym, v);
             eval_expr_inner(&inner, body, gas, tracer)
         }
         Expr::Fun { param, param_type, body } => Ok(Value::Clo(Arc::new(Closure {
@@ -531,7 +636,7 @@ fn eval_expr_inner(
 }
 
 /// Applies a closure to one argument.
-fn apply(
+pub(crate) fn apply(
     f: Value,
     arg: Value,
     gas: &mut GasMeter,
@@ -539,7 +644,7 @@ fn apply(
 ) -> Result<Value, ExecError> {
     match f {
         Value::Clo(c) => {
-            let inner = c.env.bind(c.param.name.clone(), arg);
+            let inner = c.env.bind(c.param.sym, arg);
             eval_expr_inner(&inner, &c.body, gas, tracer)
         }
         other => Err(ExecError::Internal(format!("cannot apply non-function value {other}"))),
@@ -547,12 +652,12 @@ fn apply(
 }
 
 /// Matches `v` against `pat`, returning the bindings on success.
-pub fn match_pattern(pat: &Pattern, v: &Value) -> Option<Vec<(String, Value)>> {
+pub fn match_pattern(pat: &Pattern, v: &Value) -> Option<Vec<(Sym, Value)>> {
     match pat {
         Pattern::Wildcard(_) => Some(vec![]),
-        Pattern::Binder(i) => Some(vec![(i.name.clone(), v.clone())]),
+        Pattern::Binder(i) => Some(vec![(i.sym, v.clone())]),
         Pattern::Constructor(c, subs) => match v {
-            Value::Adt { ctor, args } if *ctor == c.name && args.len() == subs.len() => {
+            Value::Adt { ctor, args } if *ctor == c.sym && args.len() == subs.len() => {
                 let mut binds = Vec::new();
                 for (sub, av) in subs.iter().zip(args) {
                     binds.extend(match_pattern(sub, av)?);
@@ -564,39 +669,39 @@ pub fn match_pattern(pat: &Pattern, v: &Value) -> Option<Vec<(String, Value)>> {
     }
 }
 
-fn flatten_messages(v: &Value) -> Result<Vec<Value>, ExecError> {
+pub(crate) fn flatten_messages(v: &Value) -> Result<Vec<Value>, ExecError> {
     match v {
         Value::Msg(_) => Ok(vec![v.clone()]),
-        Value::Adt { ctor, args } if ctor == "Cons" && args.len() == 2 => {
+        Value::Adt { ctor, args } if *ctor == Sym::CONS && args.len() == 2 => {
             let mut out = flatten_messages(&args[0])?;
             out.extend(flatten_messages(&args[1])?);
             Ok(out)
         }
-        Value::Adt { ctor, args } if ctor == "Nil" && args.is_empty() => Ok(vec![]),
+        Value::Adt { ctor, args } if *ctor == Sym::NIL && args.is_empty() => Ok(vec![]),
         other => Err(ExecError::Internal(format!("send expects messages, got {other}"))),
     }
 }
 
-fn parse_out_msg(v: &Value) -> Result<OutMsg, ExecError> {
+pub(crate) fn parse_out_msg(v: &Value) -> Result<OutMsg, ExecError> {
     let Value::Msg(m) = v else {
         return Err(ExecError::Internal("not a message".into()));
     };
     let recipient = m
-        .get("_recipient")
+        .get(&Sym::RECIPIENT)
         .and_then(Value::as_address)
         .ok_or_else(|| ExecError::Internal("message lacks a ByStr20 '_recipient'".into()))?;
     let amount = m
-        .get("_amount")
+        .get(&Sym::AMOUNT)
         .and_then(Value::as_uint)
         .ok_or_else(|| ExecError::Internal("message lacks a Uint '_amount'".into()))?;
-    let tag = match m.get("_tag") {
+    let tag = match m.get(&Sym::TAG) {
         Some(Value::Str(s)) => s.clone(),
         _ => return Err(ExecError::Internal("message lacks a String '_tag'".into())),
     };
     let params = m
         .iter()
-        .filter(|(k, _)| !k.starts_with('_'))
-        .map(|(k, v)| (k.clone(), v.clone()))
+        .filter(|(k, _)| !k.as_str().starts_with('_'))
+        .map(|(k, v)| (k.as_str().to_string(), v.clone()))
         .collect();
     Ok(OutMsg { recipient, amount, tag, params })
 }

@@ -45,9 +45,11 @@
 pub mod adt;
 pub mod ast;
 pub mod builtins;
+pub mod compile;
 pub mod corpus;
 pub mod error;
 pub mod gas;
+pub mod intern;
 pub mod interpreter;
 pub mod lexer;
 pub mod parser;

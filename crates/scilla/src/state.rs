@@ -16,6 +16,7 @@
 //! over an `Arc`-shared [`InMemoryState`] base. Taking a snapshot of an
 //! untouched store, or forking a working store, never copies field values.
 
+use crate::intern::{intern, Sym};
 use crate::value::Value;
 use std::collections::BTreeMap;
 use std::sync::Arc;
@@ -25,6 +26,13 @@ use telemetry::names;
 ///
 /// Nested map entries are addressed by a field name plus a key path; a key
 /// path shorter than the map's nesting depth addresses a whole sub-map.
+///
+/// Every operation exists in two forms: a `&str` form for callers holding
+/// text, and a `*_sym` form taking a pre-interned [`Sym`]. The interpreter
+/// and compiled transitions use the `Sym` forms exclusively — field names
+/// resolve once at parse/compile time, so the per-statement path does no
+/// string hashing or allocation. The defaults make the two forms
+/// interchangeable; stores override whichever side is native to them.
 pub trait StateStore {
     /// Reads a whole field. `None` if the field does not exist.
     fn load(&self, field: &str) -> Option<Value>;
@@ -50,6 +58,36 @@ pub trait StateStore {
 
     /// Deletes one (possibly nested) map entry. No-op if absent.
     fn map_delete(&mut self, field: &str, keys: &[Value]);
+
+    /// [`StateStore::load`] with a pre-interned field name.
+    fn load_sym(&self, field: Sym) -> Option<Value> {
+        self.load(field.as_str())
+    }
+
+    /// [`StateStore::store`] with a pre-interned field name.
+    fn store_sym(&mut self, field: Sym, value: Value) {
+        self.store(field.as_str(), value);
+    }
+
+    /// [`StateStore::map_get`] with a pre-interned field name.
+    fn map_get_sym(&self, field: Sym, keys: &[Value]) -> Option<Value> {
+        self.map_get(field.as_str(), keys)
+    }
+
+    /// [`StateStore::map_update`] with a pre-interned field name.
+    fn map_update_sym(&mut self, field: Sym, keys: &[Value], value: Value) {
+        self.map_update(field.as_str(), keys, value);
+    }
+
+    /// [`StateStore::map_exists`] with a pre-interned field name.
+    fn map_exists_sym(&self, field: Sym, keys: &[Value]) -> bool {
+        self.map_exists(field.as_str(), keys)
+    }
+
+    /// [`StateStore::map_delete`] with a pre-interned field name.
+    fn map_delete_sym(&mut self, field: Sym, keys: &[Value]) {
+        self.map_delete(field.as_str(), keys);
+    }
 }
 
 /// Grants mutable access to a shared map node, copying it first if anyone
@@ -211,7 +249,7 @@ enum FieldOverlay {
 #[derive(Debug, Clone, Default)]
 pub struct CowState {
     base: Arc<InMemoryState>,
-    overlay: BTreeMap<String, FieldOverlay>,
+    overlay: BTreeMap<Sym, FieldOverlay>,
 }
 
 impl CowState {
@@ -246,15 +284,18 @@ impl CowState {
     pub fn write_set(&self) -> Vec<(String, Vec<Value>)> {
         let mut out = Vec::new();
         for (field, ov) in &self.overlay {
+            let name = field.as_str();
             match ov {
-                FieldOverlay::Whole(_) => out.push((field.clone(), Vec::new())),
+                FieldOverlay::Whole(_) => out.push((name.to_string(), Vec::new())),
                 FieldOverlay::Entries(entries) => {
                     for path in entries.keys() {
-                        out.push((field.clone(), path.clone()));
+                        out.push((name.to_string(), path.clone()));
                     }
                 }
             }
         }
+        // The overlay iterates in intern-id order; report canonically.
+        out.sort();
         out
     }
 
@@ -276,15 +317,16 @@ impl CowState {
         }
         let mut fields = self.base.fields.clone();
         for (field, ov) in &self.overlay {
+            let name = field.as_str();
             match ov {
                 FieldOverlay::Whole(Some(v)) => {
-                    fields.insert(field.clone(), v.clone());
+                    fields.insert(name.to_string(), v.clone());
                 }
                 FieldOverlay::Whole(None) => {
-                    fields.remove(field);
+                    fields.remove(name);
                 }
                 FieldOverlay::Entries(entries) => {
-                    let root = fields.entry(field.clone()).or_insert_with(Value::empty_map);
+                    let root = fields.entry(name.to_string()).or_insert_with(Value::empty_map);
                     for (path, slot) in entries {
                         match slot {
                             Some(v) => insert_at(root, path, v.clone()),
@@ -301,10 +343,11 @@ impl CowState {
     /// previously-nonexistent field). If the base never had the field,
     /// dropping the overlay record restores the pristine view.
     pub fn remove_field(&mut self, field: &str) {
+        let sym = intern(field);
         if self.base.fields.contains_key(field) {
-            self.overlay.insert(field.to_string(), FieldOverlay::Whole(None));
+            self.overlay.insert(sym, FieldOverlay::Whole(None));
         } else {
-            self.overlay.remove(field);
+            self.overlay.remove(&sym);
         }
     }
 
@@ -372,13 +415,41 @@ impl CowState {
 
 impl StateStore for CowState {
     fn load(&self, field: &str) -> Option<Value> {
-        match self.overlay.get(field) {
-            None => self.base.fields.get(field).cloned(),
+        self.load_sym(intern(field))
+    }
+
+    fn store(&mut self, field: &str, value: Value) {
+        self.store_sym(intern(field), value);
+    }
+
+    fn map_get(&self, field: &str, keys: &[Value]) -> Option<Value> {
+        self.map_get_sym(intern(field), keys)
+    }
+
+    fn map_update(&mut self, field: &str, keys: &[Value], value: Value) {
+        self.map_update_sym(intern(field), keys, value);
+    }
+
+    fn map_exists(&self, field: &str, keys: &[Value]) -> bool {
+        self.map_exists_sym(intern(field), keys)
+    }
+
+    fn map_delete(&mut self, field: &str, keys: &[Value]) {
+        self.map_delete_sym(intern(field), keys);
+    }
+
+    fn load_sym(&self, field: Sym) -> Option<Value> {
+        match self.overlay.get(&field) {
+            None => self.base.fields.get(field.as_str()).cloned(),
             Some(FieldOverlay::Whole(v)) => v.clone(),
             Some(FieldOverlay::Entries(entries)) => {
                 // Whole-map read over entry-level writes: merge on demand.
-                let mut root =
-                    self.base.fields.get(field).cloned().unwrap_or_else(Value::empty_map);
+                let mut root = self
+                    .base
+                    .fields
+                    .get(field.as_str())
+                    .cloned()
+                    .unwrap_or_else(Value::empty_map);
                 for (path, slot) in entries {
                     match slot {
                         Some(v) => insert_at(&mut root, path, v.clone()),
@@ -390,24 +461,28 @@ impl StateStore for CowState {
         }
     }
 
-    fn store(&mut self, field: &str, value: Value) {
-        self.overlay.insert(field.to_string(), FieldOverlay::Whole(Some(value)));
+    fn store_sym(&mut self, field: Sym, value: Value) {
+        self.overlay.insert(field, FieldOverlay::Whole(Some(value)));
     }
 
-    fn map_get(&self, field: &str, keys: &[Value]) -> Option<Value> {
+    fn map_get_sym(&self, field: Sym, keys: &[Value]) -> Option<Value> {
         if keys.is_empty() {
-            return self.load(field);
+            return self.load_sym(field);
         }
-        match self.overlay.get(field) {
-            None => descend(self.base.fields.get(field)?, keys).cloned(),
+        match self.overlay.get(&field) {
+            None => descend(self.base.fields.get(field.as_str())?, keys).cloned(),
             Some(FieldOverlay::Whole(v)) => descend(v.as_ref()?, keys).cloned(),
             Some(FieldOverlay::Entries(entries)) => {
                 if let Some(plen) = Self::prefix_len(entries, keys) {
                     // An overlay write at or above the path shadows base.
                     return descend(entries[&keys[..plen]].as_ref()?, &keys[plen..]).cloned();
                 }
-                let base_sub =
-                    self.base.fields.get(field).and_then(|root| descend(root, keys)).cloned();
+                let base_sub = self
+                    .base
+                    .fields
+                    .get(field.as_str())
+                    .and_then(|root| descend(root, keys))
+                    .cloned();
                 let mut deeper = Self::below(entries, keys).peekable();
                 if deeper.peek().is_none() {
                     return base_sub;
@@ -436,13 +511,13 @@ impl StateStore for CowState {
         }
     }
 
-    fn map_update(&mut self, field: &str, keys: &[Value], value: Value) {
+    fn map_update_sym(&mut self, field: Sym, keys: &[Value], value: Value) {
         if keys.is_empty() {
             // A whole-field map write; same net effect as `store`.
-            self.store(field, value);
+            self.store_sym(field, value);
             return;
         }
-        match self.overlay.get_mut(field) {
+        match self.overlay.get_mut(&field) {
             Some(FieldOverlay::Whole(Some(root))) => insert_at(root, keys, value),
             Some(slot @ FieldOverlay::Whole(None)) => {
                 // Field was deleted; recreate it, as `map_update` on a plain
@@ -473,14 +548,14 @@ impl StateStore for CowState {
             None => {
                 let mut entries = BTreeMap::new();
                 entries.insert(keys.to_vec(), Some(value));
-                self.overlay.insert(field.to_string(), FieldOverlay::Entries(entries));
+                self.overlay.insert(field, FieldOverlay::Entries(entries));
             }
         }
     }
 
-    fn map_exists(&self, field: &str, keys: &[Value]) -> bool {
-        match self.overlay.get(field) {
-            None => self.base.map_exists(field, keys),
+    fn map_exists_sym(&self, field: Sym, keys: &[Value]) -> bool {
+        match self.overlay.get(&field) {
+            None => self.base.map_exists(field.as_str(), keys),
             Some(FieldOverlay::Whole(v)) => {
                 v.as_ref().is_some_and(|root| descend(root, keys).is_some())
             }
@@ -501,22 +576,22 @@ impl StateStore for CowState {
                 }
                 // Tombstones below remove entries, never the sub-map itself,
                 // so base existence stands.
-                self.base.map_exists(field, keys)
+                self.base.map_exists(field.as_str(), keys)
             }
         }
     }
 
-    fn map_delete(&mut self, field: &str, keys: &[Value]) {
+    fn map_delete_sym(&mut self, field: Sym, keys: &[Value]) {
         if keys.is_empty() {
             return;
         }
         // Decide first with shared borrows: the exactness check (and the
         // flatten fallback's `load`) needs the whole overlay.
-        let flatten = match self.overlay.get(field) {
+        let flatten = match self.overlay.get(&field) {
             Some(FieldOverlay::Entries(entries)) => match Self::prefix_len(entries, keys) {
                 // A delete inside a pinned sub-map value is always exact.
                 Some(plen) if plen < keys.len() => false,
-                _ => self.delete_needs_flatten(field, entries, keys),
+                _ => self.delete_needs_flatten(field.as_str(), entries, keys),
             },
             _ => false,
         };
@@ -524,12 +599,12 @@ impl StateStore for CowState {
             // A bare tombstone would forget intermediate maps that the
             // dropped overlay writes materialised (a plain store keeps them
             // through deletes): pin the merged field and delete inside it.
-            let mut merged = self.load(field).unwrap_or_else(Value::empty_map);
+            let mut merged = self.load_sym(field).unwrap_or_else(Value::empty_map);
             delete_at(&mut merged, keys);
-            self.overlay.insert(field.to_string(), FieldOverlay::Whole(Some(merged)));
+            self.overlay.insert(field, FieldOverlay::Whole(Some(merged)));
             return;
         }
-        match self.overlay.get_mut(field) {
+        match self.overlay.get_mut(&field) {
             Some(FieldOverlay::Whole(Some(root))) => delete_at(root, keys),
             Some(FieldOverlay::Whole(None)) => {}
             Some(FieldOverlay::Entries(entries)) => {
@@ -554,10 +629,10 @@ impl StateStore for CowState {
             None => {
                 // Deleting in a field the base never had is a no-op; do not
                 // fabricate an overlay (it would make the field "exist").
-                if self.base.fields.contains_key(field) {
+                if self.base.fields.contains_key(field.as_str()) {
                     let mut entries = BTreeMap::new();
                     entries.insert(keys.to_vec(), None);
-                    self.overlay.insert(field.to_string(), FieldOverlay::Entries(entries));
+                    self.overlay.insert(field, FieldOverlay::Entries(entries));
                 }
             }
         }

@@ -1,6 +1,7 @@
 //! Runtime values and environments.
 
 use crate::ast::{Expr, Ident};
+use crate::intern::Sym;
 use crate::types::Type;
 use std::collections::BTreeMap;
 use std::fmt;
@@ -55,13 +56,13 @@ pub enum Value {
     Map(Arc<BTreeMap<Value, Value>>),
     /// A constructed ADT value; type arguments are erased at runtime.
     Adt {
-        /// Constructor name (`Some`, `True`, `Cons`, …).
-        ctor: String,
+        /// Constructor tag (`Some`, `True`, `Cons`, …), interned.
+        ctor: Sym,
         /// Constructor arguments.
         args: Vec<Value>,
     },
-    /// A message (for `send`/`event`/`throw`): key → payload.
-    Msg(BTreeMap<String, Value>),
+    /// A message (for `send`/`event`/`throw`): interned key → payload.
+    Msg(BTreeMap<Sym, Value>),
     /// A function closure.
     Clo(Arc<Closure>),
     /// A type-abstraction closure.
@@ -69,19 +70,20 @@ pub enum Value {
 }
 
 impl Value {
-    /// The canonical `True`/`False` values.
+    /// The canonical `True`/`False` values. No allocation or table lookup:
+    /// the constructor tags are pre-interned constants.
     pub fn bool(b: bool) -> Value {
-        Value::Adt { ctor: if b { "True" } else { "False" }.into(), args: vec![] }
+        Value::Adt { ctor: if b { Sym::TRUE } else { Sym::FALSE }, args: vec![] }
     }
 
     /// `Some v`.
     pub fn some(v: Value) -> Value {
-        Value::Adt { ctor: "Some".into(), args: vec![v] }
+        Value::Adt { ctor: Sym::SOME, args: vec![v] }
     }
 
     /// `None`.
     pub fn none() -> Value {
-        Value::Adt { ctor: "None".into(), args: vec![] }
+        Value::Adt { ctor: Sym::NONE, args: vec![] }
     }
 
     /// An empty map value.
@@ -97,11 +99,15 @@ impl Value {
     /// Extracts a boolean, if this is a `Bool` value.
     pub fn as_bool(&self) -> Option<bool> {
         match self {
-            Value::Adt { ctor, args } if args.is_empty() => match ctor.as_str() {
-                "True" => Some(true),
-                "False" => Some(false),
-                _ => None,
-            },
+            Value::Adt { ctor, args } if args.is_empty() => {
+                if *ctor == Sym::TRUE {
+                    Some(true)
+                } else if *ctor == Sym::FALSE {
+                    Some(false)
+                } else {
+                    None
+                }
+            }
             _ => None,
         }
     }
@@ -183,9 +189,16 @@ impl Ord for Value {
             (ByStr(a), ByStr(b)) => a.cmp(b),
             (BNum(a), BNum(b)) => a.cmp(b),
             (Map(a), Map(b)) => a.cmp(b),
+            // Constructor tags order by their *text*, not their intern id:
+            // map iteration order (hence wire encodings and digests) must not
+            // depend on the process's interning history.
             (Adt { ctor: c1, args: a1 }, Adt { ctor: c2, args: a2 }) => {
-                c1.cmp(c2).then_with(|| a1.cmp(a2))
+                c1.cmp_str(*c2).then_with(|| a1.cmp(a2))
             }
+            // Key order here follows intern ids: equality is still exact
+            // content equality (same text ⇒ same id in-process), and
+            // well-typed programs never key maps by messages, so the
+            // *relative* order of distinct messages is never canonical.
             (Msg(a), Msg(b)) => a.cmp(b),
             (Clo(a), Clo(b)) => (Arc::as_ptr(a) as usize).cmp(&(Arc::as_ptr(b) as usize)),
             (TClo(a), TClo(b)) => (Arc::as_ptr(a) as usize).cmp(&(Arc::as_ptr(b) as usize)),
@@ -226,8 +239,13 @@ impl fmt::Display for Value {
                 Ok(())
             }
             Value::Msg(m) => {
+                // Render in key-text order so the output is independent of
+                // interning history (messages surface in error strings and
+                // repro artifacts).
+                let mut entries: Vec<_> = m.iter().collect();
+                entries.sort_by(|(a, _), (b, _)| a.cmp_str(**b));
                 write!(f, "Msg{{")?;
-                for (i, (k, v)) in m.iter().enumerate() {
+                for (i, (k, v)) in entries.into_iter().enumerate() {
                     if i > 0 {
                         write!(f, "; ")?;
                     }
@@ -251,7 +269,7 @@ pub struct Env(Option<Arc<EnvNode>>);
 
 #[derive(Debug)]
 struct EnvNode {
-    name: String,
+    name: Sym,
     value: Value,
     rest: Env,
 }
@@ -263,12 +281,18 @@ impl Env {
     }
 
     /// Returns an environment extended with `name → value`.
-    pub fn bind(&self, name: impl Into<String>, value: Value) -> Env {
+    pub fn bind(&self, name: impl Into<Sym>, value: Value) -> Env {
         Env(Some(Arc::new(EnvNode { name: name.into(), value, rest: self.clone() })))
     }
 
     /// Looks up the innermost binding of `name`.
     pub fn lookup(&self, name: &str) -> Option<&Value> {
+        self.lookup_sym(crate::intern::intern(name))
+    }
+
+    /// Looks up the innermost binding of an interned name. Each list node is
+    /// rejected or accepted on a single integer compare.
+    pub fn lookup_sym(&self, name: Sym) -> Option<&Value> {
         let mut cur = self;
         while let Some(node) = &cur.0 {
             if node.name == name {

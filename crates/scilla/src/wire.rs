@@ -29,10 +29,15 @@ pub fn to_json(v: &Value) -> Json {
         }
         Value::Adt { ctor, args } => {
             let args: Vec<Json> = args.iter().map(to_json).collect();
-            json!({"t": "ADT", "c": ctor, "a": args})
+            json!({"t": "ADT", "c": ctor.as_str(), "a": args})
         }
         Value::Msg(m) => {
-            let entries: Vec<Json> = m.iter().map(|(k, v)| json!([k, to_json(v)])).collect();
+            // Canonical form: entries in key-text order, independent of the
+            // process's interning history.
+            let mut keys: Vec<_> = m.keys().copied().collect();
+            keys.sort_by(|a, b| a.cmp_str(*b));
+            let entries: Vec<Json> =
+                keys.iter().map(|k| json!([k.as_str(), to_json(&m[k])])).collect();
             json!({"t": "Msg", "v": entries})
         }
         Value::Clo(_) | Value::TClo(_) => Json::Null,
@@ -86,7 +91,7 @@ pub fn from_json(j: &Json) -> Result<Value, String> {
             let ctor = obj.get("c").and_then(Json::as_str).ok_or("missing constructor")?;
             let args = obj.get("a").and_then(Json::as_array).ok_or("missing args")?;
             let args: Result<Vec<Value>, String> = args.iter().map(from_json).collect();
-            Ok(Value::Adt { ctor: ctor.to_string(), args: args? })
+            Ok(Value::Adt { ctor: crate::intern::intern(ctor), args: args? })
         }
         "Msg" => {
             let entries = get_v()?.as_array().ok_or("msg payload must be an array")?;
@@ -94,7 +99,7 @@ pub fn from_json(j: &Json) -> Result<Value, String> {
             for e in entries {
                 let pair = e.as_array().filter(|a| a.len() == 2).ok_or("msg entry must be a pair")?;
                 let k = pair[0].as_str().ok_or("msg key must be a string")?;
-                m.insert(k.to_string(), from_json(&pair[1])?);
+                m.insert(crate::intern::intern(k), from_json(&pair[1])?);
             }
             Ok(Value::Msg(m))
         }

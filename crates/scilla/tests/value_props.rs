@@ -23,9 +23,11 @@ fn value() -> impl Strategy<Value = Value> {
             prop::collection::btree_map(inner.clone(), inner.clone(), 0..4)
                 .prop_map(Value::map_from),
             (prop_oneof![Just("Some"), Just("Pair"), Just("Cons")], prop::collection::vec(inner.clone(), 1..3))
-                .prop_map(|(c, args)| Value::Adt { ctor: c.to_string(), args }),
+                .prop_map(|(c, args)| Value::Adt { ctor: scilla::intern::intern(c), args }),
             prop::collection::btree_map("[a-z_]{1,8}", inner, 0..3)
-                .prop_map(|m| Value::Msg(m.into_iter().collect::<BTreeMap<_, _>>())),
+                .prop_map(|m| {
+                    Value::Msg(m.into_iter().map(|(k, v): (String, Value)| (scilla::intern::intern(&k), v)).collect::<BTreeMap<_, _>>())
+                }),
         ]
     })
 }

@@ -78,6 +78,12 @@ pub mod names {
     pub const STATE_COW_BREAKS: &str = "chain.state.cow_breaks";
     /// Approximate bytes shallow-copied by those CoW breaks.
     pub const STATE_BYTES_CLONED: &str = "chain.state.bytes_cloned";
+    /// Owned-name allocations on the transaction hot path: any state access
+    /// that reached the executor through a string field name (and so paid an
+    /// intern/allocation per call) instead of a pre-resolved `Sym`. The
+    /// compiled pipeline keeps this at zero; a nonzero count localises a
+    /// clone regression to the string-name fallback.
+    pub const STATE_HOT_CLONES: &str = "chain.state.hot_clones";
     /// Trace records accepted by the flight recorder (spans + instants).
     pub const TRACE_RECORDS: &str = "telemetry.trace.records";
     /// Trace records evicted from the flight recorder — by the per-stripe

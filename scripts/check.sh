@@ -40,6 +40,9 @@ cargo run --release -q -p cosplit-bench --bin callgraph_smoke
 echo "== precision smoke (no global ⊤, blame sweep, refined dispatch gate) =="
 cargo run --release -q -p cosplit-bench --bin precision_smoke
 
+echo "== hotpath smoke (compiled dispatch wins, work-stealing identical + claims, 0 hot clones) =="
+cargo run --release -q -p cosplit-bench --bin hotpath_smoke
+
 # Perf-regression gate against the committed BENCH_baseline.json: fails on
 # >20% wall-clock regression or any deterministic dispatch-fraction drift.
 # Opt out on hosts unrelated to the baseline's with COSPLIT_SKIP_BENCH_GATE=1;

@@ -17,12 +17,12 @@ fn addr(i: u8) -> Address {
 /// per-shard-disjoint component ids to model ownership dispatch.
 fn delta(shard: usize) -> impl Strategy<Value = StateDelta> {
     let int_entry = (0u8..6, -50i128..50).prop_map(|(k, d)| {
-        (("counters".to_string(), vec![addr(k).to_value()]), IntDelta { delta: d, width: 128, signed: false })
+        (("counters".into(), vec![addr(k).to_value()]), IntDelta { delta: d, width: 128, signed: false })
     });
     let ow_entry = (0u8..6, 0u128..100).prop_map(move |(k, v)| {
         // Disjointness by construction: each shard owns its own key range.
         let key = Value::Str(format!("s{shard}-{k}"));
-        (("owners".to_string(), vec![key]), Some(Value::Uint(128, v)))
+        (("owners".into(), vec![key]), Some(Value::Uint(128, v)))
     });
     (
         prop::collection::vec(int_entry, 0..5),
@@ -118,7 +118,7 @@ proptest! {
         deltas in prop::collection::vec(-40i128..40, 1..6)
     ) {
         let contract = Address::from_index(42);
-        let comp = ("counters".to_string(), vec![addr(0).to_value()]);
+        let comp = ("counters".into(), vec![addr(0).to_value()]);
         let shards: Vec<StateDelta> = deltas
             .iter()
             .map(|d| {
